@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Extension: hardware design-space sensitivity. Sweeps the Table III
+ * configuration along three axes -- tile-grid size, per-tile
+ * scratchpad capacity, and NoC link bandwidth -- and reports Adyna's
+ * speedup over M-tile at each point. Shows which of the paper's
+ * conclusions are robust to the hardware baseline: the dynamism-
+ * aware advantage persists across chip sizes, grows when on-chip
+ * capacity is scarce (more segments to balance), and is insensitive
+ * to NoC bandwidth beyond a modest floor.
+ */
+
+#include "bench_common.hh"
+
+using namespace adyna;
+using namespace adyna::bench;
+using baselines::Design;
+
+namespace {
+
+double
+speedupAt(const arch::HwConfig &hw, const BenchParams &p,
+          const std::vector<std::string> &names)
+{
+    std::vector<double> speeds;
+    for (const auto &n : names) {
+        const Workload w = makeWorkload(n, p.batchSize);
+        const double mtile =
+            runDesign(w, Design::MTile, p, hw).timeMs;
+        const double adyna =
+            runDesign(w, Design::Adyna, p, hw).timeMs;
+        speeds.push_back(mtile / adyna);
+    }
+    return geomean(speeds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    BenchParams p = BenchParams::fromArgs(args);
+    if (!args.has("batches"))
+        p.batches = 100;
+    const arch::HwConfig base;
+    printBanner("=== Extension: hardware design-space sweep ===", base,
+                p);
+    const std::vector<std::string> names{"skipnet", "tutel-moe",
+                                         "dpsnet"};
+
+    TextTable grid("Tile grid sweep (per-tile resources fixed)");
+    grid.header({"grid", "tiles", "peak TFLOPS",
+                 "Adyna vs M-tile (geomean)"});
+    for (int edge : {6, 8, 12, 16}) {
+        arch::HwConfig hw = base;
+        hw.gridRows = edge;
+        hw.gridCols = edge;
+        grid.row({std::to_string(edge) + "x" + std::to_string(edge),
+                  std::to_string(hw.tiles()),
+                  TextTable::num(hw.peakTflops(), 0),
+                  TextTable::mult(speedupAt(hw, p, names))});
+    }
+    grid.print(std::cout);
+    std::printf("\n");
+
+    TextTable spad("Scratchpad capacity sweep (12x12 grid)");
+    spad.header({"spad/tile", "total on-chip",
+                 "Adyna vs M-tile (geomean)"});
+    for (int kb : {128, 256, 512, 1024}) {
+        arch::HwConfig hw = base;
+        hw.tech.spadBytes = static_cast<Bytes>(kb) << 10;
+        spad.row({std::to_string(kb) + " kB",
+                  std::to_string(kb * 144 / 1024) + " MB",
+                  TextTable::mult(speedupAt(hw, p, names))});
+    }
+    spad.print(std::cout);
+    std::printf("\n");
+
+    TextTable noc("NoC link bandwidth sweep (12x12 grid)");
+    noc.header({"GB/s per link", "Adyna vs M-tile (geomean)"});
+    for (double bw : {48.0, 96.0, 192.0, 384.0}) {
+        arch::HwConfig hw = base;
+        hw.nocLinkBytesPerCycle = bw;
+        noc.row({TextTable::num(bw, 0),
+                 TextTable::mult(speedupAt(hw, p, names))});
+    }
+    noc.print(std::cout);
+    return 0;
+}

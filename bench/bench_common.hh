@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: flag
+ * parsing, workload construction, design sweeps, and the standard
+ * header that echoes the Table III configuration and the run
+ * parameters so every bench output is self-describing.
+ */
+
+#ifndef ADYNA_BENCH_BENCH_COMMON_HH
+#define ADYNA_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/designs.hh"
+#include "baselines/gpu.hh"
+#include "common/cli.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "graph/parser.hh"
+#include "models/models.hh"
+
+namespace adyna::bench {
+
+/** Standard run parameters shared by all benches. */
+struct BenchParams
+{
+    int batches = 200;
+    std::int64_t batchSize = 128;
+    std::uint64_t seed = 7;
+
+    static BenchParams
+    fromArgs(const CliArgs &args)
+    {
+        BenchParams p;
+        p.batches = static_cast<int>(args.getInt("batches", 200));
+        p.batchSize = args.getInt("batch", 128);
+        p.seed = static_cast<std::uint64_t>(args.getInt("seed", 7));
+        return p;
+    }
+};
+
+/** Print the reproduction banner with Table III and run params. */
+inline void
+printBanner(const std::string &title, const arch::HwConfig &hw,
+            const BenchParams &p)
+{
+    std::printf("%s\n", title.c_str());
+    std::printf("Adyna reproduction | %dx%d tiles, %dx%d FP16 PEs/tile, "
+                "%.0f kB spad/tile, %d HBM2 stacks (%.0f GB/s), "
+                "2D torus %.0f GB/s/link | %.0f TFLOPS peak\n",
+                hw.gridRows, hw.gridCols, hw.tech.peRows,
+                hw.tech.peCols,
+                static_cast<double>(hw.tech.spadBytes) / 1024.0,
+                hw.hbmStacks, hw.hbmTotalBytesPerCycle,
+                hw.nocLinkBytesPerCycle, hw.peakTflops());
+    std::printf("batches=%d batch-size=%ld seed=%llu\n\n", p.batches,
+                static_cast<long>(p.batchSize),
+                static_cast<unsigned long long>(p.seed));
+}
+
+/** One workload ready to simulate. */
+struct Workload
+{
+    std::string name;        ///< Table I display name
+    models::ModelBundle bundle;
+    graph::DynGraph dg;
+};
+
+/** Build a workload by registry name at the given batch size. */
+inline Workload
+makeWorkload(const std::string &name, std::int64_t batch_size)
+{
+    models::ModelBundle bundle = models::buildByName(name, batch_size);
+    graph::DynGraph dg = graph::parseModel(bundle.graph);
+    return Workload{bundle.name, std::move(bundle), std::move(dg)};
+}
+
+/** Build all five paper workloads (Table I). */
+inline std::vector<Workload>
+makeAllWorkloads(std::int64_t batch_size)
+{
+    std::vector<Workload> out;
+    for (const std::string &name : models::workloadNames())
+        out.push_back(makeWorkload(name, batch_size));
+    return out;
+}
+
+/** Run one accelerator design on one workload. */
+inline core::RunReport
+runDesign(const Workload &w, baselines::Design design,
+          const BenchParams &p, const arch::HwConfig &hw)
+{
+    trace::TraceConfig cfg = w.bundle.traceConfig;
+    cfg.batchSize = p.batchSize;
+    auto sys = baselines::makeSystem(w.dg, cfg, hw, design, p.batches,
+                                     p.seed);
+    return sys.run();
+}
+
+/** Run the GPU baseline on one workload. */
+inline core::RunReport
+runGpuBaseline(const Workload &w, const BenchParams &p)
+{
+    trace::TraceConfig cfg = w.bundle.traceConfig;
+    cfg.batchSize = p.batchSize;
+    return baselines::runGpu(w.dg, cfg, baselines::GpuParams{},
+                             p.batches, p.seed);
+}
+
+} // namespace adyna::bench
+
+#endif // ADYNA_BENCH_BENCH_COMMON_HH

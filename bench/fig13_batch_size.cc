@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 13 reproduction: Adyna's speedup over M-tile at batch sizes
+ * 1, 4, 16, 64, and 128. The paper reports average speedups of
+ * 1.29x / 1.37x / 1.49x / 1.61x / 1.70x: the advantage grows with
+ * batch size (larger dynamic variation to exploit) but persists at
+ * batch 1.
+ */
+
+#include "bench_common.hh"
+
+using namespace adyna;
+using namespace adyna::bench;
+using baselines::Design;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    BenchParams p = BenchParams::fromArgs(args);
+    const arch::HwConfig hw;
+    printBanner("=== Figure 13: speedup over M-tile vs batch size ===",
+                hw, p);
+
+    const std::vector<std::int64_t> batchSizes{1, 4, 16, 64, 128};
+    const auto names = models::workloadNames();
+
+    TextTable t("Adyna speedup over M-tile");
+    std::vector<std::string> header{"batch size"};
+    for (const auto &n : names)
+        header.push_back(n);
+    header.push_back("geomean");
+    header.push_back("paper avg");
+    t.header(header);
+
+    const char *paperAvg[] = {"1.29x", "1.37x", "1.49x", "1.61x",
+                              "1.70x"};
+    for (std::size_t bi = 0; bi < batchSizes.size(); ++bi) {
+        BenchParams bp = p;
+        bp.batchSize = batchSizes[bi];
+        std::vector<std::string> cells{
+            std::to_string(batchSizes[bi])};
+        std::vector<double> speeds;
+        for (const auto &n : names) {
+            const Workload w = makeWorkload(n, bp.batchSize);
+            const auto mtile = runDesign(w, Design::MTile, bp, hw);
+            const auto adyna = runDesign(w, Design::Adyna, bp, hw);
+            const double s = mtile.timeMs / adyna.timeMs;
+            speeds.push_back(s);
+            cells.push_back(TextTable::mult(s));
+        }
+        cells.push_back(TextTable::mult(geomean(speeds)));
+        cells.push_back(paperAvg[bi]);
+        t.row(cells);
+    }
+    t.print(std::cout);
+    std::printf("\nShape check: the speedup should grow with batch "
+                "size and stay above 1x at batch 1.\n");
+    return 0;
+}

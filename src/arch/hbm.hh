@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Off-chip HBM2 model: one bandwidth channel per stack, tiles mapped
+ * to the nearest memory interface by column, plus a fixed access
+ * latency.
+ */
+
+#ifndef ADYNA_ARCH_HBM_HH
+#define ADYNA_ARCH_HBM_HH
+
+#include <vector>
+
+#include "arch/hwconfig.hh"
+#include "des/resource.hh"
+
+namespace adyna::arch {
+
+/** Completed DRAM access summary. */
+struct HbmAccess
+{
+    Tick start = 0;
+    Tick end = 0;
+};
+
+/** HBM stacks as contended bandwidth channels. */
+class Hbm
+{
+  public:
+    explicit Hbm(const HwConfig &cfg);
+
+    /** Channel serving a given tile (nearest interface). */
+    int channelOf(TileId tile) const;
+
+    /**
+     * Access @p bytes (read or write) from @p tile, no earlier than
+     * @p earliest.
+     */
+    HbmAccess access(Tick earliest, TileId tile, Bytes bytes);
+
+    /** Total bytes moved to/from DRAM. */
+    Bytes bytesServed() const;
+
+    /** Aggregate channel busy ticks. */
+    Tick busyTicks() const;
+
+    /** Aggregate bandwidth in bytes per cycle. */
+    double totalBandwidth() const;
+
+    void reset();
+
+  private:
+    const HwConfig cfg_;
+    std::vector<des::GapBandwidthResource> channels_;
+};
+
+} // namespace adyna::arch
+
+#endif // ADYNA_ARCH_HBM_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Accelerator hardware configuration (the paper's Table III): a 2D
+ * grid of tiles on a torus NoC with HBM2 stacks at the chip edges.
+ */
+
+#ifndef ADYNA_ARCH_HWCONFIG_HH
+#define ADYNA_ARCH_HWCONFIG_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "costmodel/tech.hh"
+
+namespace adyna::arch {
+
+/** Chip-level configuration; defaults reproduce Table III. */
+struct HwConfig
+{
+    /** Tile grid (12 x 12 = 144 tiles). */
+    int gridRows = 12;
+    int gridCols = 12;
+
+    /** Per-tile compute / storage / energy parameters. */
+    costmodel::TechParams tech;
+
+    /** NoC link bandwidth per tile, bytes per cycle (192 GB/s at
+     * 1 GHz = 192 B/cycle). */
+    double nocLinkBytesPerCycle = 192.0;
+
+    /** Per-hop router latency, cycles. */
+    Cycles nocHopLatency = 2;
+
+    /** Number of HBM2 stacks (each one channel in the model). */
+    int hbmStacks = 6;
+
+    /** Aggregate HBM bandwidth, bytes per cycle (1842 GB/s at
+     * 1 GHz). */
+    double hbmTotalBytesPerCycle = 1842.0;
+
+    /** Fixed DRAM access latency, cycles. */
+    Cycles hbmLatency = 120;
+
+    int tiles() const { return gridRows * gridCols; }
+
+    /** Peak FP16 throughput in TFLOPS (2 flops per MAC). */
+    double
+    peakTflops() const
+    {
+        return 2.0 * tiles() *
+               static_cast<double>(tech.macsPerCycle()) *
+               tech.freqGhz * 1e9 / 1e12;
+    }
+
+    /** Total on-chip scratchpad capacity. */
+    Bytes
+    totalSpad() const
+    {
+        return static_cast<Bytes>(tiles()) * tech.spadBytes;
+    }
+
+    /** Row / column of a tile id (row-major). */
+    int tileRow(TileId t) const { return static_cast<int>(t) / gridCols; }
+    int tileCol(TileId t) const { return static_cast<int>(t) % gridCols; }
+};
+
+/**
+ * Boustrophedon (snake) enumeration of the tile grid: consecutive
+ * positions are always grid neighbours, so consecutive pipeline
+ * stages receive adjacent tile ranges and NoC paths stay short.
+ */
+inline std::vector<TileId>
+snakeTileOrder(const HwConfig &cfg)
+{
+    std::vector<TileId> order;
+    order.reserve(static_cast<std::size_t>(cfg.tiles()));
+    for (int r = 0; r < cfg.gridRows; ++r) {
+        for (int c = 0; c < cfg.gridCols; ++c) {
+            const int col = r % 2 == 0 ? c : cfg.gridCols - 1 - c;
+            order.push_back(static_cast<TileId>(r * cfg.gridCols + col));
+        }
+    }
+    return order;
+}
+
+} // namespace adyna::arch
+
+#endif // ADYNA_ARCH_HWCONFIG_HH

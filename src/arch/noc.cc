@@ -1,0 +1,171 @@
+#include "arch/noc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adyna::arch {
+
+namespace {
+
+/** Signed shortest torus step direction from a to b over size n:
+ * +1 = increasing index, -1 = decreasing, 0 = equal. */
+int
+torusDir(int a, int b, int n)
+{
+    if (a == b)
+        return 0;
+    const int fwd = (b - a + n) % n;  // steps in + direction
+    const int back = (a - b + n) % n; // steps in - direction
+    return fwd <= back ? +1 : -1;
+}
+
+int
+torusDist(int a, int b, int n)
+{
+    const int fwd = (b - a + n) % n;
+    const int back = (a - b + n) % n;
+    return std::min(fwd, back);
+}
+
+// Directed link directions per tile.
+constexpr int kEast = 0;
+constexpr int kWest = 1;
+constexpr int kSouth = 2;
+constexpr int kNorth = 3;
+
+} // namespace
+
+Noc::Noc(const HwConfig &cfg) : cfg_(cfg)
+{
+    links_.reserve(static_cast<std::size_t>(cfg_.tiles()) * 4);
+    for (int i = 0; i < cfg_.tiles() * 4; ++i)
+        links_.emplace_back(cfg_.nocLinkBytesPerCycle);
+}
+
+std::size_t
+Noc::linkIndex(TileId tile, int dir) const
+{
+    return static_cast<std::size_t>(tile) * 4 +
+           static_cast<std::size_t>(dir);
+}
+
+int
+Noc::hops(TileId src, TileId dst) const
+{
+    return torusDist(cfg_.tileCol(src), cfg_.tileCol(dst),
+                     cfg_.gridCols) +
+           torusDist(cfg_.tileRow(src), cfg_.tileRow(dst),
+                     cfg_.gridRows);
+}
+
+std::vector<std::size_t>
+Noc::path(TileId src, TileId dst) const
+{
+    std::vector<std::size_t> out;
+    int row = cfg_.tileRow(src);
+    int col = cfg_.tileCol(src);
+    const int dstRow = cfg_.tileRow(dst);
+    const int dstCol = cfg_.tileCol(dst);
+
+    // X first (columns), then Y (rows): deadlock-free on the torus
+    // with the usual dateline virtual channels abstracted away.
+    while (col != dstCol) {
+        const int dir = torusDir(col, dstCol, cfg_.gridCols);
+        const TileId here =
+            static_cast<TileId>(row * cfg_.gridCols + col);
+        out.push_back(linkIndex(here, dir > 0 ? kEast : kWest));
+        col = (col + dir + cfg_.gridCols) % cfg_.gridCols;
+    }
+    while (row != dstRow) {
+        const int dir = torusDir(row, dstRow, cfg_.gridRows);
+        const TileId here =
+            static_cast<TileId>(row * cfg_.gridCols + col);
+        out.push_back(linkIndex(here, dir > 0 ? kSouth : kNorth));
+        row = (row + dir + cfg_.gridRows) % cfg_.gridRows;
+    }
+    return out;
+}
+
+NocTransfer
+Noc::transfer(Tick earliest, TileId src, TileId dst, Bytes bytes)
+{
+    NocTransfer t;
+    t.start = earliest;
+    if (src == dst || bytes == 0) {
+        t.end = earliest;
+        return t;
+    }
+    const auto route = path(src, dst);
+    t.hops = static_cast<int>(route.size());
+    Tick latest = earliest;
+    for (std::size_t link : route) {
+        const auto res = links_[link].acquire(earliest, bytes);
+        latest = std::max(latest, res.end);
+    }
+    t.end = latest + static_cast<Tick>(t.hops) * cfg_.nocHopLatency;
+    t.byteHops = bytes * static_cast<Bytes>(t.hops);
+    byteHops_ += t.byteHops;
+    return t;
+}
+
+NocTransfer
+Noc::multicast(Tick earliest, TileId src,
+               const std::vector<TileId> &dsts, Bytes bytes)
+{
+    NocTransfer t;
+    t.start = earliest;
+    t.end = earliest;
+    if (bytes == 0 || dsts.empty())
+        return t;
+
+    // Union of the X-Y paths: each link carries the payload once.
+    std::vector<std::size_t> links;
+    int maxHops = 0;
+    for (TileId dst : dsts) {
+        if (dst == src)
+            continue;
+        maxHops = std::max(maxHops, hops(src, dst));
+        for (std::size_t link : path(src, dst))
+            links.push_back(link);
+    }
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+
+    Tick latest = earliest;
+    for (std::size_t link : links) {
+        const auto res = links_[link].acquire(earliest, bytes);
+        latest = std::max(latest, res.end);
+    }
+    t.hops = maxHops;
+    t.end = latest + static_cast<Tick>(maxHops) * cfg_.nocHopLatency;
+    t.byteHops = bytes * static_cast<Bytes>(links.size());
+    byteHops_ += t.byteHops;
+    return t;
+}
+
+Tick
+Noc::probeAckLatency(TileId src, TileId dst) const
+{
+    return 2 * static_cast<Tick>(hops(src, dst)) * cfg_.nocHopLatency;
+}
+
+Tick
+Noc::linkBusyTicks() const
+{
+    Tick total = 0;
+    for (const auto &link : links_)
+        total += link.busyTicks();
+    return total;
+}
+
+void
+Noc::reset()
+{
+    for (auto &link : links_)
+        link.reset();
+    byteHops_ = 0;
+}
+
+} // namespace adyna::arch

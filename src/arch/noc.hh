@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 2D-torus network-on-chip model with X-Y routing (Section VI-A/C).
+ *
+ * Links are modelled as bandwidth resources with busy-until
+ * reservations; a message reserves every link on its X-Y path and
+ * finishes after the slowest link plus per-hop router latency. The
+ * probe/ack synchronization of Section VI-C is a small round trip
+ * charged before a data transfer may begin.
+ */
+
+#ifndef ADYNA_ARCH_NOC_HH
+#define ADYNA_ARCH_NOC_HH
+
+#include <vector>
+
+#include "arch/hwconfig.hh"
+#include "des/resource.hh"
+
+namespace adyna::arch {
+
+/** Completed NoC transfer summary. */
+struct NocTransfer
+{
+    Tick start = 0;
+    Tick end = 0;
+    int hops = 0;
+    Bytes byteHops = 0; ///< bytes x hops, for NoC energy
+};
+
+/** Torus NoC with per-directed-link bandwidth accounting. */
+class Noc
+{
+  public:
+    explicit Noc(const HwConfig &cfg);
+
+    /** Hop count of the X-Y torus route between two tiles. */
+    int hops(TileId src, TileId dst) const;
+
+    /**
+     * Transfer @p bytes from @p src to @p dst, no earlier than
+     * @p earliest. Reserves every link on the path.
+     */
+    NocTransfer transfer(Tick earliest, TileId src, TileId dst,
+                         Bytes bytes);
+
+    /**
+     * Multicast @p bytes from @p src to every tile in @p dsts: the
+     * message is injected once and replicated at routing-tree branch
+     * points, so each link on the union of the X-Y paths is reserved
+     * exactly once (the instruction issuer's multicast support,
+     * Section VI-B).
+     */
+    NocTransfer multicast(Tick earliest, TileId src,
+                          const std::vector<TileId> &dsts, Bytes bytes);
+
+    /**
+     * Probe/ack round trip latency between two tiles (no bandwidth
+     * reservation; probes are single-flit packets).
+     */
+    Tick probeAckLatency(TileId src, TileId dst) const;
+
+    /** Total bytes x hops served (NoC energy accounting). */
+    Bytes byteHopsServed() const { return byteHops_; }
+
+    /** Aggregate busy ticks over all links. */
+    Tick linkBusyTicks() const;
+
+    /** Forget all reservations. */
+    void reset();
+
+  private:
+    /** Directed link index: 4 links (E, W, S, N) per tile. */
+    std::size_t linkIndex(TileId tile, int dir) const;
+
+    /** Torus X-Y path as a sequence of directed link indices. */
+    std::vector<std::size_t> path(TileId src, TileId dst) const;
+
+    const HwConfig cfg_;
+    std::vector<des::BandwidthResource> links_;
+    Bytes byteHops_ = 0;
+};
+
+} // namespace adyna::arch
+
+#endif // ADYNA_ARCH_NOC_HH

@@ -1,0 +1,106 @@
+#include "arch/profiler.hh"
+
+#include "common/logging.hh"
+
+namespace adyna::arch {
+
+const FreqHistogram Profiler::kEmptyTable{};
+const std::deque<std::vector<std::int64_t>> Profiler::kEmptyHistory{};
+
+Profiler::Profiler(std::size_t history) : history_(history)
+{
+    ADYNA_ASSERT(history_ >= 2, "profiler history too short");
+}
+
+void
+Profiler::recordValue(OpId op, std::int64_t value)
+{
+    tables_[op].add(value);
+}
+
+void
+Profiler::recordBranchLoads(OpId switch_op,
+                            const std::vector<std::int64_t> &loads)
+{
+    auto &hist = branches_[switch_op];
+    hist.push_back(loads);
+    while (hist.size() > history_)
+        hist.pop_front();
+}
+
+const FreqHistogram &
+Profiler::table(OpId op) const
+{
+    const auto it = tables_.find(op);
+    return it == tables_.end() ? kEmptyTable : it->second;
+}
+
+std::vector<OpId>
+Profiler::trackedOps() const
+{
+    std::vector<OpId> out;
+    out.reserve(tables_.size());
+    for (const auto &[op, table] : tables_)
+        out.push_back(op);
+    return out;
+}
+
+const std::deque<std::vector<std::int64_t>> &
+Profiler::branchHistory(OpId switch_op) const
+{
+    const auto it = branches_.find(switch_op);
+    return it == branches_.end() ? kEmptyHistory : it->second;
+}
+
+double
+Profiler::branchCovariance(OpId switch_op, int a, int b) const
+{
+    const auto &hist = branchHistory(switch_op);
+    if (hist.size() < 2)
+        return 0.0;
+    double meanA = 0.0, meanB = 0.0;
+    for (const auto &loads : hist) {
+        meanA += static_cast<double>(loads[static_cast<std::size_t>(a)]);
+        meanB += static_cast<double>(loads[static_cast<std::size_t>(b)]);
+    }
+    meanA /= static_cast<double>(hist.size());
+    meanB /= static_cast<double>(hist.size());
+    double cov = 0.0;
+    for (const auto &loads : hist) {
+        cov += (static_cast<double>(
+                    loads[static_cast<std::size_t>(a)]) -
+                meanA) *
+               (static_cast<double>(
+                    loads[static_cast<std::size_t>(b)]) -
+                meanB);
+    }
+    return cov / static_cast<double>(hist.size());
+}
+
+double
+Profiler::branchActivity(OpId switch_op, int branch) const
+{
+    const auto &hist = branchHistory(switch_op);
+    if (hist.empty())
+        return 1.0;
+    std::size_t active = 0;
+    for (const auto &loads : hist)
+        active += loads[static_cast<std::size_t>(branch)] > 0;
+    return static_cast<double>(active) /
+           static_cast<double>(hist.size());
+}
+
+void
+Profiler::resetTables()
+{
+    tables_.clear();
+}
+
+void
+Profiler::reset()
+{
+    tables_.clear();
+    branches_.clear();
+}
+
+} // namespace adyna::arch

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The hardware profiler (Sections IV, VI-A): per dynamic operator it
+ * tracks the frequency of observed dyn_dim values (the frequency
+ * track table) and, per switch, the recent per-branch load vectors
+ * used by the scheduler for tile-sharing pair selection. Reports are
+ * pulled periodically by the scheduler on the host.
+ */
+
+#ifndef ADYNA_ARCH_PROFILER_HH
+#define ADYNA_ARCH_PROFILER_HH
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace adyna::arch {
+
+/** Per-run profiler state. */
+class Profiler
+{
+  public:
+    /** @param history batches of per-branch loads kept per switch. */
+    explicit Profiler(std::size_t history = 64);
+
+    /** Record the dyn_dim value an operator observed in one batch. */
+    void recordValue(OpId op, std::int64_t value);
+
+    /** Record one batch's per-branch loads at a switch. */
+    void recordBranchLoads(OpId switch_op,
+                           const std::vector<std::int64_t> &loads);
+
+    /** Frequency track table of an operator (empty if never seen). */
+    const FreqHistogram &table(OpId op) const;
+
+    /** All tracked operators. */
+    std::vector<OpId> trackedOps() const;
+
+    /** Recent per-branch load history of a switch (newest last). */
+    const std::deque<std::vector<std::int64_t>> &
+    branchHistory(OpId switch_op) const;
+
+    /**
+     * Covariance of the loads of two branches of a switch over the
+     * recorded history; 0 if fewer than two batches recorded.
+     */
+    double branchCovariance(OpId switch_op, int a, int b) const;
+
+    /** Fraction of recorded batches in which a branch was active
+     * (load > 0); 1.0 if no history. */
+    double branchActivity(OpId switch_op, int branch) const;
+
+    /** Clear the frequency tables (start of a profiling period);
+     * branch history is kept rolling. */
+    void resetTables();
+
+    /** Clear everything. */
+    void reset();
+
+  private:
+    std::size_t history_;
+    std::map<OpId, FreqHistogram> tables_;
+    std::map<OpId, std::deque<std::vector<std::int64_t>>> branches_;
+
+    static const FreqHistogram kEmptyTable;
+    static const std::deque<std::vector<std::int64_t>> kEmptyHistory;
+};
+
+} // namespace adyna::arch
+
+#endif // ADYNA_ARCH_PROFILER_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Design-point presets for the paper's evaluation (Section VIII):
+ * the M-tile and M-tenant baselines, Adyna (static), full Adyna, and
+ * the idealized full-kernel setting, each as a (SchedulerConfig,
+ * ExecPolicy, RunOptions) triple driving the common System.
+ */
+
+#ifndef ADYNA_BASELINES_DESIGNS_HH
+#define ADYNA_BASELINES_DESIGNS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "models/models.hh"
+
+namespace adyna::baselines {
+
+/** The accelerator design points of Figure 9. */
+enum class Design {
+    MTile,      ///< worst-case static multi-tile baseline
+    MTenant,    ///< Planaria-like multi-tenant baseline
+    AdynaStatic,///< Adyna without runtime adjustment
+    Adyna,      ///< full Adyna
+    FullKernel, ///< idealized all-kernels-on-chip upper bound
+};
+
+/** All design points, in Figure 9's order. */
+std::vector<Design> allDesigns();
+
+/** Display name ("M-tile", "Adyna (static)", ...). */
+const char *designName(Design design);
+
+/** Scheduler configuration of a design point. */
+core::SchedulerConfig schedulerConfig(Design design);
+
+/** Engine policy of a design point. */
+core::ExecPolicy execPolicy(Design design);
+
+/** Run options of a design point (reconfig cadence etc.). */
+core::RunOptions runOptions(Design design, int num_batches,
+                            std::uint64_t seed);
+
+/**
+ * Convenience: build a System for one workload bundle and design.
+ * The returned System references @p dg, which must outlive it.
+ */
+core::System makeSystem(const graph::DynGraph &dg,
+                        const trace::TraceConfig &trace_cfg,
+                        const arch::HwConfig &hw, Design design,
+                        int num_batches, std::uint64_t seed);
+
+} // namespace adyna::baselines
+
+#endif // ADYNA_BASELINES_DESIGNS_HH

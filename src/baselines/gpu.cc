@@ -1,0 +1,135 @@
+#include "baselines/gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adyna::baselines {
+
+using graph::OpKind;
+using graph::OpNode;
+
+namespace {
+
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Seconds to execute one operator at batch extent @p rows. */
+double
+opSeconds(const OpNode &node, std::int64_t rows, bool dynamic,
+          const GpuParams &p)
+{
+    if (rows <= 0)
+        return 0.0;
+    const double launch = p.kernelLaunchUs * 1e-6;
+    const std::int64_t perRowMacs =
+        node.macs() / std::max<std::int64_t>(node.dims.n(), 1);
+    if (perRowMacs == 0) {
+        // Element-wise / marshalling kernel: memory bound.
+        const double bytes = static_cast<double>(
+            node.outputBytesAt(rows) + node.inputBytesAt(rows));
+        return launch +
+               bytes / (p.memBwGBs * 1e9 * p.memEfficiency);
+    }
+
+    // GEMM occupancy: thread blocks over the (rows x K) output.
+    const std::int64_t blocks =
+        ceilDiv(rows * node.dims.p() * node.dims.q(), p.gemmTileM) *
+        ceilDiv(node.dims.k(), p.gemmTileN);
+    const double occupancy = std::min(
+        1.0, static_cast<double>(blocks) / p.numSms);
+    const double flops =
+        2.0 * static_cast<double>(perRowMacs) *
+        static_cast<double>(rows);
+    const double eff =
+        dynamic ? p.dynamicEfficiency : p.computeEfficiency;
+    const double tCompute =
+        flops / (p.peakTflops * 1e12 * eff * occupancy);
+
+    const double bytes = static_cast<double>(
+        node.inputBytesAt(rows) + node.weightBytes() +
+        node.outputBytesAt(rows));
+    const double tMem = bytes / (p.memBwGBs * 1e9 * p.memEfficiency);
+    return launch + std::max(tCompute, tMem);
+}
+
+} // namespace
+
+core::RunReport
+runGpu(const graph::DynGraph &dg, const trace::TraceConfig &trace_cfg,
+       const GpuParams &params, int num_batches, std::uint64_t seed)
+{
+    trace::TraceGenerator trace(dg, trace_cfg, seed);
+
+    double totalSeconds = 0.0;
+    core::RunReport report;
+    report.workload = dg.name();
+    report.design = "GPU";
+
+    for (int b = 0; b < num_batches; ++b) {
+        const trace::BatchRouting routing = trace.next();
+        double batchSeconds = 0.0;
+
+        for (OpId id : dg.topo()) {
+            const OpNode &node = dg.graph().node(id);
+            switch (node.kind) {
+              case OpKind::Input:
+              case OpKind::Output:
+              case OpKind::Sink:
+                break;
+              case OpKind::Switch: {
+                // Host reads the routing mask, synchronizes, and
+                // launches the ScatterRouter; the scatter moves the
+                // routed rows once.
+                batchSeconds += params.hostSyncUs * 1e-6;
+                const std::int64_t rows = routing.dynValue(dg, id);
+                const double bytes = static_cast<double>(
+                    node.outputBytesAt(std::max<std::int64_t>(rows,
+                                                              0)));
+                batchSeconds +=
+                    params.kernelLaunchUs * 1e-6 +
+                    bytes / (params.memBwGBs * 1e9 *
+                             params.routeEfficiency);
+                break;
+              }
+              case OpKind::Merge: {
+                // GatherRouter: one more launch + strided gather.
+                const std::int64_t rows = routing.dynValue(dg, id);
+                const double bytes = static_cast<double>(
+                    node.outputBytesAt(std::max<std::int64_t>(rows,
+                                                              0)));
+                batchSeconds +=
+                    params.kernelLaunchUs * 1e-6 +
+                    bytes / (params.memBwGBs * 1e9 *
+                             params.routeEfficiency);
+                break;
+              }
+              default: {
+                // Diverged branches execute sequentially on the one
+                // device: every operator adds its own time, and
+                // dynamic (sub-batched, ragged) operators run at the
+                // degraded DynNN efficiency.
+                const std::int64_t rows = routing.dynValue(dg, id);
+                batchSeconds += opSeconds(node, rows,
+                                          dg.isDynamic(id), params);
+                break;
+              }
+            }
+        }
+        totalSeconds += batchSeconds;
+        report.batchEnds.push_back(
+            static_cast<Tick>(totalSeconds * 1e9));
+    }
+
+    report.timeMs = totalSeconds * 1e3;
+    report.cycles = static_cast<Tick>(totalSeconds * 1e9);
+    report.batchesPerSecond =
+        totalSeconds > 0.0 ? num_batches / totalSeconds : 0.0;
+    return report;
+}
+
+} // namespace adyna::baselines

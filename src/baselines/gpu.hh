@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytic GPU baseline (an NVIDIA A100-class device running batched
+ * DynNN execution with Brainstorm-style scatter/gather routing, as
+ * in Section VIII). The model is a roofline per operator plus the
+ * three DynNN-specific penalties the paper identifies: sequential
+ * (not spatial) execution of diverged branches, per-decision
+ * CPU-GPU synchronization, and kernel-launch overheads -- each an
+ * explicit parameter. See DESIGN.md, substitutions.
+ */
+
+#ifndef ADYNA_BASELINES_GPU_HH
+#define ADYNA_BASELINES_GPU_HH
+
+#include <cstdint>
+
+#include "core/system.hh"
+#include "graph/dyngraph.hh"
+#include "trace/trace.hh"
+
+namespace adyna::baselines {
+
+/** GPU device and software-stack parameters (A100 80 GB defaults). */
+struct GpuParams
+{
+    double peakTflops = 312.0;     ///< FP16 tensor-core peak
+    double memBwGBs = 1935.0;      ///< HBM2e bandwidth
+    double computeEfficiency = 0.45; ///< autotuned static GEMMs
+    double memEfficiency = 0.75;
+
+    /**
+     * Efficiency of *dynamic* operators: ragged, per-branch
+     * sub-batch kernels cannot use autotuned fixed-shape GEMMs, pad
+     * to tile boundaries, and thrash the L2 between scatter/gather
+     * epochs. Measured DynNN GPU implementations run far below
+     * static-model efficiency (Section II-C; Brainstorm/Cocktailer
+     * report batch-1-like regimes) -- this factor is the model's
+     * stand-in for that gap.
+     */
+    double dynamicEfficiency = 0.12;
+
+    int numSms = 108;
+    int gemmTileM = 128; ///< thread-block tile rows
+    int gemmTileN = 128; ///< thread-block tile cols
+
+    /** Kernel launch latency per operator, microseconds. */
+    double kernelLaunchUs = 3.0;
+
+    /** CPU-GPU synchronization per dynamic routing decision: device
+     * sync + D2H mask copy + host-side routing + relaunch,
+     * microseconds. */
+    double hostSyncUs = 50.0;
+
+    /** Scatter/gather data-movement efficiency (strided copies). */
+    double routeEfficiency = 0.3;
+};
+
+/**
+ * Simulate @p num_batches batches of the workload on the GPU model
+ * and report in the same RunReport format as the accelerator
+ * designs (energy/utilization fields are left zero: the paper's
+ * Figures 10/11 cover accelerator designs only).
+ */
+core::RunReport runGpu(const graph::DynGraph &dg,
+                       const trace::TraceConfig &trace_cfg,
+                       const GpuParams &params, int num_batches,
+                       std::uint64_t seed);
+
+} // namespace adyna::baselines
+
+#endif // ADYNA_BASELINES_GPU_HH

@@ -1,0 +1,50 @@
+#include "baselines/realtime.hh"
+
+#include "common/logging.hh"
+
+namespace adyna::baselines {
+
+std::int64_t
+dynamicOpsPerBatch(const graph::DynGraph &dg)
+{
+    std::int64_t count = 0;
+    for (OpId op : dg.dynamicOps()) {
+        const auto kind = dg.graph().node(op).kind;
+        if (graph::isCompute(kind) || graph::isFusable(kind))
+            ++count;
+    }
+    return count;
+}
+
+RealtimeSweep
+sweepRealtimeScheduling(const graph::DynGraph &dg,
+                        const core::RunReport &adyna,
+                        const core::RunReport &full_kernel,
+                        int num_batches,
+                        const std::vector<double> &latencies_ms)
+{
+    RealtimeSweep sweep;
+    sweep.schedEvents =
+        dynamicOpsPerBatch(dg) * static_cast<std::int64_t>(num_batches);
+
+    const double tAdyna = adyna.timeMs;
+    const double tOpt = full_kernel.timeMs;
+    for (double lat : latencies_ms) {
+        RealtimePoint pt;
+        pt.schedLatencyMs = lat;
+        pt.realtimeMs =
+            tOpt + lat * static_cast<double>(sweep.schedEvents);
+        pt.speedupVsAdyna =
+            pt.realtimeMs > 0.0 ? tAdyna / pt.realtimeMs : 0.0;
+        sweep.points.push_back(pt);
+    }
+    // Crossover: T_opt + N * t = T_Adyna.
+    sweep.crossoverMs =
+        sweep.schedEvents > 0
+            ? (tAdyna - tOpt) /
+                  static_cast<double>(sweep.schedEvents)
+            : 0.0;
+    return sweep;
+}
+
+} // namespace adyna::baselines

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The real-time (online) scheduling comparison of Section IX-D /
+ * Figure 12: online scheduling would execute every dynamic operator
+ * with its optimal kernel (the full-kernel performance) but pays a
+ * scheduling latency before each dynamic operator execution. The
+ * speedup over Adyna is T_Adyna / (T_opt + N * t_sched); the
+ * crossover latency is where it reaches 1.0.
+ */
+
+#ifndef ADYNA_BASELINES_REALTIME_HH
+#define ADYNA_BASELINES_REALTIME_HH
+
+#include <vector>
+
+#include "core/system.hh"
+#include "graph/dyngraph.hh"
+
+namespace adyna::baselines {
+
+/** One point of the Figure 12 sweep. */
+struct RealtimePoint
+{
+    double schedLatencyMs = 0.0;  ///< per-operator scheduling cost
+    double realtimeMs = 0.0;      ///< end-to-end online-scheduling time
+    double speedupVsAdyna = 0.0;  ///< realtime vs Adyna (>1 = faster)
+};
+
+/** Figure 12 sweep results. */
+struct RealtimeSweep
+{
+    std::vector<RealtimePoint> points;
+
+    /** Scheduling latency (ms) at which online scheduling matches
+     * Adyna. */
+    double crossoverMs = 0.0;
+
+    /** Dynamic-operator scheduling events per run. */
+    std::int64_t schedEvents = 0;
+};
+
+/** Dynamic operator executions per batch (scheduling decisions an
+ * online scheduler must make). */
+std::int64_t dynamicOpsPerBatch(const graph::DynGraph &dg);
+
+/**
+ * Build the sweep from the measured Adyna and full-kernel reports.
+ * @param latencies_ms per-operator scheduling latencies to sweep.
+ */
+RealtimeSweep
+sweepRealtimeScheduling(const graph::DynGraph &dg,
+                        const core::RunReport &adyna,
+                        const core::RunReport &full_kernel,
+                        int num_batches,
+                        const std::vector<double> &latencies_ms);
+
+} // namespace adyna::baselines
+
+#endif // ADYNA_BASELINES_REALTIME_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by the bench binaries and
+ * the example applications. Supports "--name value", "--name=value",
+ * and boolean "--name" forms.
+ */
+
+#ifndef ADYNA_COMMON_CLI_HH
+#define ADYNA_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adyna {
+
+/** Parsed command-line flags with typed, defaulted accessors. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. Unknown positional arguments are collected in
+     * positional(); a bad flag syntax terminates via fatal().
+     */
+    CliArgs(int argc, const char *const *argv);
+
+    /** True if the flag was present on the command line. */
+    bool has(const std::string &name) const;
+
+    /** String flag with default. */
+    std::string getString(const std::string &name,
+                          const std::string &dflt) const;
+
+    /** Integer flag with default; fatal() on non-numeric value. */
+    std::int64_t getInt(const std::string &name, std::int64_t dflt) const;
+
+    /** Floating-point flag with default; fatal() on bad value. */
+    double getDouble(const std::string &name, double dflt) const;
+
+    /** Boolean flag: present without value, or true/false/1/0. */
+    bool getBool(const std::string &name, bool dflt) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace adyna
+
+#endif // ADYNA_COMMON_CLI_HH

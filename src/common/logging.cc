@@ -1,0 +1,71 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace adyna {
+
+namespace {
+
+LogLevel gLogLevel = LogLevel::Normal;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+namespace detail {
+
+void
+appendOne(std::ostringstream &os)
+{
+    (void)os;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (gLogLevel != LogLevel::Quiet)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+verboseImpl(const std::string &msg)
+{
+    if (gLogLevel == LogLevel::Verbose)
+        std::fprintf(stderr, "verbose: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace adyna

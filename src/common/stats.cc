@@ -1,0 +1,201 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adyna {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    sumSq_ += x * x;
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats{};
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / static_cast<double>(count_) - m * m;
+    return var < 0.0 ? 0.0 : var; // guard against FP cancellation
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+void
+FreqHistogram::add(std::int64_t value, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    counts_[value] += weight;
+    total_ += weight;
+}
+
+void
+FreqHistogram::merge(const FreqHistogram &other)
+{
+    for (const auto &[value, count] : other.counts_)
+        add(value, count);
+}
+
+void
+FreqHistogram::reset()
+{
+    counts_.clear();
+    total_ = 0;
+}
+
+void
+FreqHistogram::decay(double factor)
+{
+    ADYNA_ASSERT(factor >= 0.0 && factor <= 1.0,
+                 "decay factor out of range: ", factor);
+    total_ = 0;
+    for (auto it = counts_.begin(); it != counts_.end();) {
+        const auto decayed = static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(it->second) * factor));
+        if (decayed == 0) {
+            it = counts_.erase(it);
+        } else {
+            it->second = decayed;
+            total_ += decayed;
+            ++it;
+        }
+    }
+}
+
+std::uint64_t
+FreqHistogram::count(std::int64_t value) const
+{
+    const auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double
+FreqHistogram::expectation() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &[value, count] : counts_)
+        acc += static_cast<double>(value) * static_cast<double>(count);
+    return acc / static_cast<double>(total_);
+}
+
+double
+FreqHistogram::variance() const
+{
+    if (total_ == 0)
+        return 0.0;
+    const double m = expectation();
+    double acc = 0.0;
+    for (const auto &[value, count] : counts_) {
+        const double d = static_cast<double>(value) - m;
+        acc += d * d * static_cast<double>(count);
+    }
+    return acc / static_cast<double>(total_);
+}
+
+std::int64_t
+FreqHistogram::maxValue() const
+{
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+std::int64_t
+FreqHistogram::minValue() const
+{
+    return counts_.empty() ? 0 : counts_.begin()->first;
+}
+
+std::int64_t
+FreqHistogram::quantile(double q) const
+{
+    ADYNA_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    if (counts_.empty())
+        return 0;
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t acc = 0;
+    for (const auto &[value, count] : counts_) {
+        acc += count;
+        if (static_cast<double>(acc) >= target)
+            return value;
+    }
+    return counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+FreqHistogram::sorted() const
+{
+    return {counts_.begin(), counts_.end()};
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        ADYNA_ASSERT(v > 0.0, "geomean requires positive values, got ", v);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace adyna

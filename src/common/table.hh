@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by the bench harness to emit
+ * paper-style rows (Figure / Table reproductions).
+ */
+
+#ifndef ADYNA_COMMON_TABLE_HH
+#define ADYNA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adyna {
+
+/** Column-aligned text table with an optional title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = {});
+
+    /** Set the header row (printed with a separator line under it). */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row; rows may have differing lengths. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Format a double with @p precision decimal places. */
+    static std::string num(double value, int precision = 2);
+
+    /** Format a value as a multiplier, e.g. "1.70x". */
+    static std::string mult(double value, int precision = 2);
+
+    /** Format a fraction as a percentage, e.g. "87.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool isSeparator = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace adyna
+
+#endif // ADYNA_COMMON_TABLE_HH

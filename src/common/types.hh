@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across all Adyna libraries.
+ */
+
+#ifndef ADYNA_COMMON_TYPES_HH
+#define ADYNA_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace adyna {
+
+/** Simulated time, in accelerator clock cycles (1 GHz by default). */
+using Cycles = std::uint64_t;
+
+/** Simulated time, in picoseconds, used by the DES core. */
+using Tick = std::uint64_t;
+
+/** Data volume in bytes. */
+using Bytes = std::uint64_t;
+
+/** Count of multiply-accumulate operations. */
+using MacCount = std::uint64_t;
+
+/** Energy in picojoules. */
+using PicoJoules = double;
+
+/** Identifier of a tile on the accelerator (row-major index). */
+using TileId = std::uint32_t;
+
+/** Identifier of an operator node in a graph. */
+using OpId = std::uint32_t;
+
+/** Sentinel for "no tile". */
+inline constexpr TileId kInvalidTile = ~TileId{0};
+
+/** Sentinel for "no operator". */
+inline constexpr OpId kInvalidOp = ~OpId{0};
+
+inline constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return Bytes{v} << 10;
+}
+
+inline constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return Bytes{v} << 20;
+}
+
+inline constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return Bytes{v} << 30;
+}
+
+} // namespace adyna
+
+#endif // ADYNA_COMMON_TYPES_HH

@@ -1,0 +1,566 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "des/resource.hh"
+
+namespace adyna::core {
+
+using costmodel::KernelCost;
+using costmodel::Mapping;
+using graph::OpKind;
+using graph::OpNode;
+
+namespace {
+
+/** Aggregate cost of one stage execution (possibly multi-pass). */
+struct ExecCost
+{
+    Cycles cycles = 0;
+    MacCount useful = 0;
+    MacCount issued = 0;
+    Bytes spill = 0;
+    Bytes sram = 0;
+};
+
+ExecCost
+accumulate(ExecCost acc, const KernelCost &c)
+{
+    acc.cycles += c.cycles;
+    acc.useful += c.usefulMacs;
+    acc.issued += c.issuedMacs;
+    acc.spill += c.dramSpillBytes;
+    acc.sram += c.sramBytes;
+    return acc;
+}
+
+/** Per-row output bytes of an op given its fused output dims. */
+Bytes
+perRowOutBytes(const OpNode &node, const graph::LoopDims &out_dims)
+{
+    return static_cast<Bytes>(out_dims.k() * out_dims.p() *
+                              out_dims.q()) *
+           node.dtypeBytes;
+}
+
+/** Single-tile cycles per batch row (allocation weight). */
+double
+perRowWork(const OpNode &node, const costmodel::TechParams &tech)
+{
+    if (graph::isCompute(node.kind))
+        return costmodel::computeCyclesPerRow(node.dims, tech);
+    return static_cast<double>(node.dims.k() * node.dims.p() *
+                               node.dims.q()) /
+           static_cast<double>(tech.macsPerCycle());
+}
+
+} // namespace
+
+Engine::Engine(const graph::DynGraph &dg, arch::HwConfig hw,
+               costmodel::Mapper &mapper, ExecPolicy policy)
+    : dg_(dg), hw_(std::move(hw)), mapper_(mapper), policy_(policy)
+{
+    if (policy_.perBatchRepartition)
+        ADYNA_ASSERT(policy_.exactKernels,
+                     "per-batch repartition requires exact kernels");
+}
+
+void
+Engine::resolveProducers(OpId op, bool crossed,
+                         std::vector<std::pair<OpId, bool>> &out,
+                         std::vector<char> &visited) const
+{
+    const OpNode &node = dg_.graph().node(op);
+    for (OpId in : node.inputs) {
+        if (visited[in])
+            continue;
+        visited[in] = 1;
+        const OpNode &p = dg_.graph().node(in);
+        if (p.kind == OpKind::Switch || p.kind == OpKind::Merge) {
+            resolveProducers(in, /*crossed=*/true, out, visited);
+        } else if (p.kind == OpKind::Sink ||
+                   p.kind == OpKind::Output) {
+            // never a data producer
+        } else {
+            out.emplace_back(in, crossed);
+        }
+    }
+}
+
+std::vector<Engine::StagePlan>
+Engine::planSegment(const Schedule &schedule,
+                    std::size_t seg_index) const
+{
+    const Segment &seg = schedule.segments[seg_index];
+    std::vector<StagePlan> plans(seg.stages.size());
+
+    for (std::size_t si = 0; si < seg.stages.size(); ++si) {
+        const OpId op = seg.stages[si].op;
+        std::vector<std::pair<OpId, bool>> producers;
+        std::vector<char> visited(dg_.graph().size(), 0);
+        resolveProducers(op, false, producers, visited);
+        for (const auto &[pid, crossed] : producers) {
+            Edge e;
+            e.producerOp = pid;
+            e.producerStage = seg.stageOf(pid);
+            e.crossesRouting = crossed;
+            const OpNode &pnode = dg_.graph().node(pid);
+            const graph::LoopDims outDims =
+                pnode.kind == OpKind::Input ? pnode.dims
+                                            : dg_.info(pid).outDims;
+            e.perRowBytes = perRowOutBytes(pnode, outDims);
+            plans[si].edges.push_back(e);
+        }
+    }
+
+    // A stage writes to DRAM if any consumer resolves to it from
+    // outside this segment (a later segment or a graph output), or
+    // unconditionally without pipelining.
+    for (std::size_t si = 0; si < seg.stages.size(); ++si) {
+        if (!policy_.pipelining) {
+            plans[si].writesOut = true;
+            continue;
+        }
+        const OpId op = seg.stages[si].op;
+        for (std::size_t s2 = 0; s2 < schedule.segments.size(); ++s2) {
+            if (plans[si].writesOut)
+                break;
+            if (s2 == seg_index)
+                continue;
+            for (const StageAssign &st : schedule.segments[s2].stages) {
+                std::vector<std::pair<OpId, bool>> producers;
+                std::vector<char> visited(dg_.graph().size(), 0);
+                resolveProducers(st.op, false, producers, visited);
+                for (const auto &[pid, crossed] : producers) {
+                    (void)crossed;
+                    if (pid == op) {
+                        plans[si].writesOut = true;
+                        break;
+                    }
+                }
+                if (plans[si].writesOut)
+                    break;
+            }
+        }
+        for (OpId outId : dg_.graph().outputIds()) {
+            if (plans[si].writesOut)
+                break;
+            std::vector<std::pair<OpId, bool>> producers;
+            std::vector<char> visited(dg_.graph().size(), 0);
+            resolveProducers(outId, false, producers, visited);
+            for (const auto &[pid, crossed] : producers) {
+                (void)crossed;
+                if (pid == op)
+                    plans[si].writesOut = true;
+            }
+        }
+    }
+    return plans;
+}
+
+PeriodResult
+Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
+                  const std::vector<trace::BatchRouting> &batches,
+                  arch::Profiler *profiler, Tick barrier)
+{
+    PeriodResult result;
+    const std::size_t numBatches = batches.size();
+    result.batchEnds.assign(numBatches, barrier);
+
+    const auto snake = arch::snakeTileOrder(hw_);
+    // Switch/merge on the host CPU (M-tenant): a serial processor
+    // that executes routing tasks in time order (gap-filling, one
+    // cycle-unit per tick).
+    des::GapBandwidthResource hostCpu(1.0);
+
+    // Record per-switch branch loads once per batch.
+    if (profiler) {
+        for (const auto &routing : batches)
+            for (const auto &[sw, oc] : routing.outcomes)
+                profiler->recordBranchLoads(sw, oc.branchCounts);
+    }
+
+    Tick segBarrier = barrier;
+    for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
+        const Segment &seg = schedule.segments[s];
+        if (seg.stages.empty())
+            continue;
+        const auto plans = planSegment(schedule, s);
+
+        // Load resident weights at segment activation.
+        if (seg.residentWeightBytes > 0) {
+            const auto acc = chip.hbm().access(
+                segBarrier, seg.stages.front().tiles.front(),
+                seg.residentWeightBytes);
+            chip.chargeHbmEnergy(seg.residentWeightBytes);
+            segBarrier = acc.end;
+        }
+
+        repartCount_.clear(); // fresh partition per segment
+
+        // Per-stage start/completion times and per-batch used tiles.
+        std::vector<std::vector<Tick>> starts(
+            seg.stages.size(), std::vector<Tick>(numBatches, 0));
+        std::vector<std::vector<Tick>> ends(
+            seg.stages.size(), std::vector<Tick>(numBatches, 0));
+        std::vector<std::vector<TileId>> usedTiles(seg.stages.size());
+
+        Tick segEnd = segBarrier;
+        for (std::size_t b = 0; b < numBatches; ++b) {
+            const trace::BatchRouting &routing = batches[b];
+
+            const auto vActualOf = [&](OpId op) {
+                return routing.dynValue(dg_, op);
+            };
+            const auto vExecOf = [&](OpId op) {
+                return policy_.worstCaseExec ? dg_.maxDyn(op)
+                                             : vActualOf(op);
+            };
+
+            // Tile-sharing configuration per pair for this batch.
+            std::vector<int> pairConfig(seg.pairs.size(), 0);
+            if (policy_.tileSharing) {
+                for (std::size_t p = 0; p < seg.pairs.size(); ++p) {
+                    const SharePair &pair = seg.pairs[p];
+                    const OpNode &na = dg_.graph().node(
+                        seg.stages[static_cast<std::size_t>(
+                                       pair.stageA)]
+                            .op);
+                    const OpNode &nb = dg_.graph().node(
+                        seg.stages[static_cast<std::size_t>(
+                                       pair.stageB)]
+                            .op);
+                    const double loadA =
+                        static_cast<double>(vExecOf(na.id)) *
+                        perRowWork(na, hw_.tech);
+                    const double loadB =
+                        static_cast<double>(vExecOf(nb.id)) *
+                        perRowWork(nb, hw_.tech);
+                    double best = -1.0;
+                    for (int c = 0; c < 3; ++c) {
+                        const auto [ta, tb] =
+                            pair.alloc[static_cast<std::size_t>(c)];
+                        const double makespan =
+                            std::max(loadA / ta, loadB / tb);
+                        if (best < 0.0 || makespan < best) {
+                            best = makespan;
+                            pairConfig[p] = c;
+                        }
+                    }
+                }
+            }
+
+            // M-tenant: re-partition the segment's tiles for this
+            // batch proportional to the actual loads, with
+            // hysteresis -- the partition only moves when some
+            // stage's ideal share drifts substantially, as frequent
+            // subarray reassignment would thrash the pipeline.
+            if (policy_.perBatchRepartition) {
+                std::vector<double> works(seg.stages.size(), 0.0);
+                double total = 0.0;
+                for (std::size_t si = 0; si < seg.stages.size(); ++si) {
+                    const OpNode &n =
+                        dg_.graph().node(seg.stages[si].op);
+                    works[si] =
+                        std::max<double>(
+                            1.0, static_cast<double>(
+                                     vExecOf(n.id))) *
+                        perRowWork(n, hw_.tech);
+                    total += works[si];
+                }
+                const int T = hw_.tiles();
+                std::vector<int> ideal(seg.stages.size(), 0);
+                int used = 0;
+                for (std::size_t si = 0; si < seg.stages.size(); ++si) {
+                    ideal[si] = std::max(
+                        1, static_cast<int>(works[si] / total * T));
+                    used += ideal[si];
+                }
+                // Trim overshoot from the largest allocations.
+                while (used > T) {
+                    const auto it =
+                        std::max_element(ideal.begin(), ideal.end());
+                    if (*it <= 1)
+                        break;
+                    --*it;
+                    --used;
+                }
+                bool move = repartCount_.size() != ideal.size();
+                if (!move) {
+                    for (std::size_t si = 0; si < ideal.size(); ++si) {
+                        const double cur =
+                            static_cast<double>(repartCount_[si]);
+                        const double want =
+                            static_cast<double>(ideal[si]);
+                        if (std::abs(want - cur) >
+                            0.25 * std::max(cur, 1.0)) {
+                            move = true;
+                            break;
+                        }
+                    }
+                }
+                if (move)
+                    repartCount_ = std::move(ideal);
+            }
+            const std::vector<int> &repartCount = repartCount_;
+
+            int repartBase = 0;
+            for (std::size_t si = 0; si < seg.stages.size(); ++si) {
+                const StageAssign &st = seg.stages[si];
+                const OpNode &node = dg_.graph().node(st.op);
+                const std::int64_t vActual = vActualOf(st.op);
+                const std::int64_t vExec = vExecOf(st.op);
+
+                if (profiler && dg_.isDynamic(st.op))
+                    profiler->recordValue(st.op, vActual);
+
+                // Effective tile group for this batch.
+                std::vector<TileId> tiles;
+                if (policy_.perBatchRepartition) {
+                    const int count = repartCount[si];
+                    for (int t = 0; t < count; ++t)
+                        tiles.push_back(
+                            snake[static_cast<std::size_t>(
+                                (repartBase + t) %
+                                hw_.tiles())]);
+                    repartBase += count;
+                } else if (st.sharePair >= 0 && policy_.tileSharing) {
+                    const SharePair &pair =
+                        seg.pairs[static_cast<std::size_t>(
+                            st.sharePair)];
+                    const auto [ta, tb] =
+                        pair.alloc[static_cast<std::size_t>(
+                            pairConfig[static_cast<std::size_t>(
+                                st.sharePair)])];
+                    const int count = st.shareFirst ? ta : tb;
+                    if (st.shareFirst) {
+                        tiles.assign(st.tiles.begin(),
+                                     st.tiles.begin() + count);
+                    } else {
+                        tiles.assign(st.tiles.end() - count,
+                                     st.tiles.end());
+                    }
+                } else {
+                    tiles.assign(st.tiles.begin(),
+                                 st.tiles.begin() + st.baseTiles);
+                }
+                usedTiles[si] = tiles;
+                const int tileCount = static_cast<int>(tiles.size());
+
+                // Empty sub-batch with fitting: nothing to execute.
+                if (vExec == 0 && policy_.kernelFitting) {
+                    Tick ready = segBarrier;
+                    for (const Edge &e : plans[si].edges)
+                        if (e.producerStage >= 0)
+                            ready = std::max(
+                                ready,
+                                ends[static_cast<std::size_t>(
+                                    e.producerStage)][b]);
+                    starts[si][b] = ready;
+                    ends[si][b] = ready;
+                    segEnd = std::max(segEnd, ready);
+                    continue;
+                }
+
+                // --- kernel selection and cost -----------------------
+                ExecCost cost;
+                bool rowSplit = true; // consumer splits rows (N)?
+                if (policy_.exactKernels) {
+                    const Mapping m = mapper_.search(
+                        node, std::max<std::int64_t>(vExec, 1),
+                        tileCount);
+                    rowSplit = m.splitFactor(graph::Dim::N) > 1 ||
+                               tileCount == 1;
+                    cost = accumulate(
+                        cost, evalKernel(node, m, vExec,
+                                         policy_.kernelFitting,
+                                         hw_.tech));
+                } else {
+                    const auto storeIt = st.stores.find(tileCount);
+                    ADYNA_ASSERT(storeIt != st.stores.end(),
+                                 "no kernel store for op ", st.op,
+                                 " at ", tileCount, " tiles");
+                    const auto &store = storeIt->second;
+                    const auto d = store.dispatch(
+                        std::max<std::int64_t>(vExec, 1));
+                    const Mapping &m = store.at(d.index).mapping;
+                    rowSplit = m.splitFactor(graph::Dim::N) > 1 ||
+                               tileCount == 1;
+                    const std::int64_t full = d.perPass;
+                    for (std::int64_t pass = 0; pass + 1 < d.passes;
+                         ++pass)
+                        cost = accumulate(
+                            cost, evalKernel(node, m, full,
+                                             policy_.kernelFitting,
+                                             hw_.tech));
+                    const std::int64_t lastRows =
+                        vExec - (d.passes - 1) * full;
+                    cost = accumulate(
+                        cost,
+                        evalKernel(node, m,
+                                   std::max<std::int64_t>(lastRows, 0),
+                                   policy_.kernelFitting, hw_.tech));
+                    // Useful work never exceeds the actual rows.
+                    cost.useful = std::min<MacCount>(
+                        cost.useful,
+                        static_cast<MacCount>(vActual) *
+                            static_cast<MacCount>(
+                                node.macs() /
+                                std::max<std::int64_t>(node.dims.n(),
+                                                       1)));
+                }
+
+                // --- input readiness ----------------------------------
+                // Pipelined (NoC) producers hand blocks over as they
+                // are produced (Section II-B's inter-operator
+                // pipelining): the consumer may START once the first
+                // blocks arrive, but cannot FINISH before the
+                // producer's last block plus its transfer. DRAM /
+                // host edges remain store-and-forward.
+                Tick startLB = segBarrier;
+                Tick endLB = 0;
+                for (const Edge &e : plans[si].edges) {
+                    const std::int64_t vProd =
+                        dg_.graph().node(e.producerOp).kind ==
+                                OpKind::Input
+                            ? vExec
+                            : vExecOf(e.producerOp);
+                    const Bytes bytes =
+                        static_cast<Bytes>(
+                            std::min(vProd, vExec)) *
+                        e.perRowBytes;
+                    if (bytes == 0)
+                        continue;
+
+                    const bool internal = e.producerStage >= 0;
+                    const bool viaHost =
+                        policy_.hostRouting && e.crossesRouting;
+                    if (internal && policy_.pipelining && !viaHost) {
+                        const std::size_t pi =
+                            static_cast<std::size_t>(e.producerStage);
+                        const auto &src = usedTiles[pi];
+                        const Tick sync =
+                            chip.noc().probeAckLatency(
+                                src.front(), tiles.front());
+                        Tick t0 = starts[pi][b] + sync;
+                        // Double-buffered input slots: wait for the
+                        // slot freed by batch b-2.
+                        if (b >= 2)
+                            t0 = std::max(t0, ends[si][b - 2]);
+                        Tick done = t0;
+                        const Bytes per = bytes /
+                                          static_cast<Bytes>(
+                                              src.size());
+                        if (rowSplit) {
+                            // Row-split consumer: each destination
+                            // tile receives its own row slice.
+                            for (std::size_t i = 0; i < src.size();
+                                 ++i) {
+                                const auto tr = chip.noc().transfer(
+                                    t0, src[i],
+                                    tiles[i % tiles.size()],
+                                    std::max<Bytes>(per, 1));
+                                done = std::max(done, tr.end);
+                                chip.chargeNocEnergy(tr.byteHops);
+                            }
+                        } else {
+                            // Feature-split consumer: every tile
+                            // needs the whole tensor -> each source
+                            // slice is multicast to the group
+                            // (Section VI-B's multicast support).
+                            for (std::size_t i = 0; i < src.size();
+                                 ++i) {
+                                const auto tr = chip.noc().multicast(
+                                    t0, src[i], tiles,
+                                    std::max<Bytes>(per, 1));
+                                done = std::max(done, tr.end);
+                                chip.chargeNocEnergy(tr.byteHops);
+                            }
+                        }
+                        startLB = std::max(startLB, t0);
+                        endLB = std::max(
+                            {endLB, done, ends[pi][b] + sync});
+                    } else {
+                        // DRAM round trip (and host switch/merge).
+                        Tick t0 = internal
+                                      ? ends[static_cast<std::size_t>(
+                                            e.producerStage)][b]
+                                      : segBarrier;
+                        if (viaHost) {
+                            t0 = hostCpu
+                                     .acquire(t0,
+                                              policy_.hostSyncCycles)
+                                     .end;
+                        }
+                        const auto acc = chip.hbm().access(
+                            t0, tiles.front(), bytes);
+                        chip.chargeHbmEnergy(bytes);
+                        startLB = std::max(startLB, acc.end);
+                    }
+                }
+
+                // Streamed weights and scratchpad spills overlap
+                // with the computation (double-buffered prefetch):
+                // they bound the completion, not the start.
+                if (!st.weightsResident && node.weightBytes() > 0) {
+                    const auto acc = chip.hbm().access(
+                        startLB, tiles.front(), node.weightBytes());
+                    chip.chargeHbmEnergy(node.weightBytes());
+                    endLB = std::max(endLB, acc.end);
+                }
+                if (cost.spill > 0) {
+                    const auto acc = chip.hbm().access(
+                        startLB, tiles.front(), cost.spill);
+                    chip.chargeHbmEnergy(cost.spill);
+                    endLB = std::max(endLB, acc.end);
+                }
+
+                // --- compute -----------------------------------------
+                const Tick start =
+                    std::max(startLB, chip.tilesFreeAt(tiles));
+                const Tick duration = std::max<Tick>(
+                    cost.cycles, endLB > start ? endLB - start : 0);
+                const auto res =
+                    chip.occupyTiles(start, tiles, duration);
+                starts[si][b] = res.start;
+                ends[si][b] = res.end;
+                segEnd = std::max(segEnd, res.end);
+                chip.recordMacs(cost.issued, cost.useful);
+                chip.chargePeEnergy(hw_.tech.eMacPj *
+                                    static_cast<double>(cost.issued));
+                chip.chargeSramEnergy(
+                    hw_.tech.eSramPerBytePj *
+                    static_cast<double>(cost.sram));
+                result.stageCycles[st.op].push_back(cost.cycles);
+
+                // --- output write-back --------------------------------
+                if (plans[si].writesOut) {
+                    const Bytes outBytes =
+                        static_cast<Bytes>(vExec) *
+                        perRowOutBytes(node, dg_.info(st.op).outDims);
+                    if (outBytes > 0) {
+                        const auto acc = chip.hbm().access(
+                            res.end, tiles.front(), outBytes);
+                        chip.chargeHbmEnergy(outBytes);
+                        segEnd = std::max(segEnd, acc.end);
+                        if (!policy_.pipelining)
+                            ends[si][b] = acc.end;
+                    }
+                }
+            }
+
+            // Batch completion at the last stage of this segment.
+            Tick batchEnd = result.batchEnds[b];
+            for (std::size_t si = 0; si < seg.stages.size(); ++si)
+                batchEnd = std::max(batchEnd, ends[si][b]);
+            result.batchEnds[b] = batchEnd;
+        }
+        segBarrier = std::max(segEnd, chip.allTilesFreeAt());
+        result.endTime = segBarrier;
+    }
+    return result;
+}
+
+} // namespace adyna::core

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The pipelined execution engine: simulates batches streaming
+ * through a schedule on the modelled chip. One engine serves every
+ * design point via ExecPolicy flags -- the Adyna modes, the M-tile
+ * worst-case baseline, the M-tenant (Planaria-like) baseline, and
+ * the idealized full-kernel setting.
+ */
+
+#ifndef ADYNA_CORE_ENGINE_HH
+#define ADYNA_CORE_ENGINE_HH
+
+#include <map>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "arch/profiler.hh"
+#include "core/schedule.hh"
+#include "costmodel/mapper.hh"
+#include "graph/dyngraph.hh"
+#include "trace/trace.hh"
+
+namespace adyna::core {
+
+/** Execution-mode flags distinguishing the design points. */
+struct ExecPolicy
+{
+    /** Execute every operator at its worst-case size with a single
+     * max-size kernel (the M-tile baseline's static schedule). */
+    bool worstCaseExec = false;
+
+    /** Runtime kernel fitting clamps loop bounds to actual values
+     * (Section VI-B). */
+    bool kernelFitting = true;
+
+    /** Inter-operator pipelining over the NoC; false routes every
+     * inter-stage tensor through DRAM (M-tenant). */
+    bool pipelining = true;
+
+    /** Switch/merge handled by the host CPU: edges crossing routing
+     * operators pay a synchronization round trip (M-tenant). */
+    bool hostRouting = false;
+
+    /** Host switch/merge latency, cycles (~20 us at 1 GHz). */
+    Cycles hostSyncCycles = 20000;
+
+    /** Re-partition tile groups every batch proportional to actual
+     * loads (M-tenant's fast runtime adjustment). */
+    bool perBatchRepartition = false;
+
+    /** Generate the exact kernel for every actual value instead of
+     * dispatching from on-chip stores (full-kernel upper bound; also
+     * the optimistic M-tenant pre-compilation assumption). */
+    bool exactKernels = false;
+
+    /** Honor the schedule's tile-sharing pairs at runtime. */
+    bool tileSharing = true;
+};
+
+/** Outcome of executing a group of batches. */
+struct PeriodResult
+{
+    /** Completion time of the last batch. */
+    Tick endTime = 0;
+
+    /** Per-batch completion times (last segment). */
+    std::vector<Tick> batchEnds;
+
+    /** Per-batch, per-stage-op makespan cycles of the final segment
+     * run (used by the Figure 6 trace bench). */
+    std::map<OpId, std::vector<Cycles>> stageCycles;
+};
+
+/** Batch-streaming simulator over a fixed schedule. */
+class Engine
+{
+  public:
+    Engine(const graph::DynGraph &dg, arch::HwConfig hw,
+           costmodel::Mapper &mapper, ExecPolicy policy);
+
+    /**
+     * Stream @p batches through @p schedule on @p chip, starting no
+     * earlier than @p barrier. Records dyn values and branch loads
+     * into @p profiler when non-null.
+     */
+    PeriodResult runPeriod(arch::Chip &chip, const Schedule &schedule,
+                           const std::vector<trace::BatchRouting>
+                               &batches,
+                           arch::Profiler *profiler, Tick barrier);
+
+    const ExecPolicy &policy() const { return policy_; }
+
+  private:
+    struct Edge
+    {
+        /** Producer stage index within the segment, or -1 for an
+         * external producer (earlier segment / graph input). */
+        int producerStage = -1;
+
+        /** Resolved producer op (stage op or Input node). */
+        OpId producerOp = kInvalidOp;
+
+        /** Bytes per batch row of the producer's output. */
+        Bytes perRowBytes = 0;
+
+        /** The edge passes through switch/merge routing nodes. */
+        bool crossesRouting = false;
+    };
+
+    struct StagePlan
+    {
+        std::vector<Edge> edges;
+        bool writesOut = false;
+    };
+
+    /** Resolve the compute/input producers of @p op through routing
+     * nodes. */
+    void resolveProducers(OpId op, bool crossed,
+                          std::vector<std::pair<OpId, bool>> &out,
+                          std::vector<char> &visited) const;
+
+    std::vector<StagePlan> planSegment(const Schedule &schedule,
+                                       std::size_t seg_index) const;
+
+    const graph::DynGraph &dg_;
+    arch::HwConfig hw_; // by value: small, and callers may pass
+                        // temporaries
+    costmodel::Mapper &mapper_;
+    ExecPolicy policy_;
+
+    /** Last M-tenant partition (per-batch repartition hysteresis). */
+    std::vector<int> repartCount_;
+};
+
+} // namespace adyna::core
+
+#endif // ADYNA_CORE_ENGINE_HH

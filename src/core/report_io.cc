@@ -1,0 +1,120 @@
+#include "core/report_io.hh"
+
+#include <sstream>
+
+namespace adyna::core {
+
+namespace {
+
+/** Escape a string for JSON. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+emitCommon(std::ostringstream &os, const RunReport &r)
+{
+    os << "\"workload\":\"" << jsonEscape(r.workload) << "\","
+       << "\"design\":\"" << jsonEscape(r.design) << "\","
+       << "\"cycles\":" << r.cycles << ","
+       << "\"time_ms\":" << r.timeMs << ","
+       << "\"batches_per_second\":" << r.batchesPerSecond << ","
+       << "\"pe_utilization\":" << r.peUtilization << ","
+       << "\"hbm_utilization\":" << r.hbmUtilization << ","
+       << "\"useful_macs\":" << r.usefulMacs << ","
+       << "\"issued_macs\":" << r.issuedMacs << ","
+       << "\"stored_kernels\":" << r.storedKernels << ","
+       << "\"segments\":" << r.segments << ","
+       << "\"reconfigurations\":" << r.reconfigurations << ","
+       << "\"energy_pj\":{"
+       << "\"pe\":" << r.energy.pe << ","
+       << "\"sram\":" << r.energy.sram << ","
+       << "\"hbm\":" << r.energy.hbm << ","
+       << "\"noc\":" << r.energy.noc << ","
+       << "\"total\":" << r.energy.total() << "}";
+}
+
+} // namespace
+
+std::string
+toJson(const RunReport &report, bool include_batches)
+{
+    std::ostringstream os;
+    os << "{";
+    emitCommon(os, report);
+    if (include_batches) {
+        os << ",\"batch_ends\":[";
+        for (std::size_t i = 0; i < report.batchEnds.size(); ++i) {
+            if (i)
+                os << ",";
+            os << report.batchEnds[i];
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<RunReport> &reports, bool include_batches)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i)
+            os << ",";
+        os << toJson(reports[i], include_batches);
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string
+csvHeader()
+{
+    return "workload,design,cycles,time_ms,batches_per_second,"
+           "pe_utilization,hbm_utilization,useful_macs,issued_macs,"
+           "stored_kernels,segments,reconfigurations,"
+           "energy_pe_pj,energy_sram_pj,energy_hbm_pj,energy_noc_pj,"
+           "energy_total_pj";
+}
+
+std::string
+toCsvRow(const RunReport &r)
+{
+    std::ostringstream os;
+    os << r.workload << ',' << r.design << ',' << r.cycles << ','
+       << r.timeMs << ',' << r.batchesPerSecond << ','
+       << r.peUtilization << ',' << r.hbmUtilization << ','
+       << r.usefulMacs << ',' << r.issuedMacs << ','
+       << r.storedKernels << ',' << r.segments << ','
+       << r.reconfigurations << ',' << r.energy.pe << ','
+       << r.energy.sram << ',' << r.energy.hbm << ',' << r.energy.noc
+       << ',' << r.energy.total();
+    return os.str();
+}
+
+std::string
+toCsv(const std::vector<RunReport> &reports)
+{
+    std::ostringstream os;
+    os << csvHeader() << '\n';
+    for (const RunReport &r : reports)
+        os << toCsvRow(r) << '\n';
+    return os.str();
+}
+
+} // namespace adyna::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-kernel sampling (Section VII, Algorithms 1 and 2).
+ *
+ * Given the current set of sampled dyn_dim values and the kernel
+ * invocation frequencies reported by the hardware profiler, the
+ * scheduler iteratively removes the value whose absence costs the
+ * least (Equation 1's punishment) and inserts a new value where it
+ * saves the most, redistributing frequencies under a uniform
+ * within-range assumption.
+ */
+
+#ifndef ADYNA_CORE_SAMPLING_HH
+#define ADYNA_CORE_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace adyna::core {
+
+/**
+ * Algorithm 2: redistribute the frequencies of the old sampled
+ * values onto the re-sampled values, assuming a uniform distribution
+ * inside each old range (v_{i-1}, v_i].
+ *
+ * @param vals old sampled values, ascending.
+ * @param freq frequency of each old value (same length).
+ * @param new_vals re-sampled values, ascending.
+ * @return per-new-value frequencies (same length as new_vals).
+ */
+std::vector<double>
+redistributeFrequencies(const std::vector<std::int64_t> &vals,
+                        const std::vector<double> &freq,
+                        const std::vector<std::int64_t> &new_vals);
+
+/**
+ * Algorithm 1: re-sample the kernel value set to match the observed
+ * frequency distribution. The largest value is never removed (the
+ * dispatcher needs a kernel covering the worst case).
+ *
+ * @param vals current sampled values, ascending.
+ * @param freq observed frequency per value.
+ * @param iterations maximum move iterations (N in the paper).
+ * @return the new sampled values, ascending.
+ */
+std::vector<std::int64_t>
+resampleKernelValues(std::vector<std::int64_t> vals,
+                     std::vector<double> freq, int iterations);
+
+/**
+ * Bucket a raw dyn_dim value histogram onto a kernel value set: each
+ * observed value counts toward the smallest sampled value that is no
+ * less than it (the kernel the dispatcher would pick). Values above
+ * the maximum count toward the maximum.
+ */
+std::vector<double>
+bucketFrequencies(const FreqHistogram &observed,
+                  const std::vector<std::int64_t> &vals);
+
+} // namespace adyna::core
+
+#endif // ADYNA_CORE_SAMPLING_HH

@@ -1,0 +1,48 @@
+#include "core/schedule.hh"
+
+#include <sstream>
+
+namespace adyna::core {
+
+int
+Segment::stageOf(OpId op) const
+{
+    for (std::size_t i = 0; i < stages.size(); ++i)
+        if (stages[i].op == op)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::size_t
+Schedule::totalKernels() const
+{
+    std::size_t total = 0;
+    for (const Segment &seg : segments)
+        for (const StageAssign &st : seg.stages)
+            for (const auto &[tiles, store] : st.stores)
+                total += store.size();
+    return total;
+}
+
+std::string
+Schedule::str() const
+{
+    std::ostringstream os;
+    os << "Schedule: " << segments.size() << " segments, "
+       << totalKernels() << " kernels\n";
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+        const Segment &seg = segments[s];
+        os << " segment " << s << ": " << seg.stages.size()
+           << " stages, " << seg.pairs.size() << " share pairs, "
+           << (seg.residentWeightBytes >> 20) << " MiB weights\n";
+        for (const StageAssign &st : seg.stages) {
+            os << "  op#" << st.op << " tiles=" << st.baseTiles << "/"
+               << st.tiles.size()
+               << (st.weightsResident ? "" : " [streamed]")
+               << (st.sharePair >= 0 ? " [shared]" : "") << '\n';
+        }
+    }
+    return os.str();
+}
+
+} // namespace adyna::core

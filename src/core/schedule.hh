@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dataflow schedule structures: graph segments, per-operator stage
+ * assignments (tile groups + multi-kernel stores), tile-sharing
+ * pairs (Section V-B), and branch groups.
+ */
+
+#ifndef ADYNA_CORE_SCHEDULE_HH
+#define ADYNA_CORE_SCHEDULE_HH
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "kernels/store.hh"
+
+namespace adyna::core {
+
+/** One operator spatially scheduled onto a tile group. */
+struct StageAssign
+{
+    OpId op = kInvalidOp;
+
+    /**
+     * The full tile range this stage may use. Without sharing the
+     * stage always uses all of them; with sharing the per-batch
+     * configuration selects a prefix / suffix.
+     */
+    std::vector<TileId> tiles;
+
+    /** Tiles used in the default configuration. */
+    int baseTiles = 1;
+
+    /** Kernel stores per tile-group size (sharing configurations
+     * need kernels for each possible size, Section VII). */
+    std::map<int, kernels::KernelStore> stores;
+
+    /** Weights stay resident in the scratchpads (vs streamed from
+     * DRAM every batch). */
+    bool weightsResident = true;
+
+    /** Index into Segment::pairs, -1 if unshared. */
+    int sharePair = -1;
+
+    /** True if this stage is the first member of its share pair
+     * (uses the range prefix; the second member uses the suffix). */
+    bool shareFirst = false;
+};
+
+/** A tile-sharing pair: two stages on complementary branches share
+ * boundary tiles under three allocation ratios (Section V-B). */
+struct SharePair
+{
+    int stageA = -1; ///< index into Segment::stages
+    int stageB = -1;
+
+    /** (tilesA, tilesB) per configuration: base ratio a:b, then
+     * 2a:b, then a:2b. */
+    std::array<std::pair<int, int>, 3> alloc{};
+};
+
+/** A pipelined group of operators resident on-chip together. */
+struct Segment
+{
+    /** Stages in topological order. */
+    std::vector<StageAssign> stages;
+
+    /** Tile-sharing pairs among the stages. */
+    std::vector<SharePair> pairs;
+
+    /** Total resident weight bytes (loaded at segment activation). */
+    Bytes residentWeightBytes = 0;
+
+    /** Stage index of an op, -1 if not in this segment. */
+    int stageOf(OpId op) const;
+};
+
+/** A full dataflow schedule. */
+struct Schedule
+{
+    std::vector<Segment> segments;
+
+    /** Total kernels stored, over all stages and tile counts. */
+    std::size_t totalKernels() const;
+
+    /** Human-readable summary. */
+    std::string str() const;
+};
+
+} // namespace adyna::core
+
+#endif // ADYNA_CORE_SCHEDULE_HH

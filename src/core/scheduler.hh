@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The dynamism-aware scheduler (Section V): graph segmentation,
+ * frequency-weighted tile allocation, tile sharing, branch grouping,
+ * and multi-kernel store construction.
+ */
+
+#ifndef ADYNA_CORE_SCHEDULER_HH
+#define ADYNA_CORE_SCHEDULER_HH
+
+#include <map>
+#include <vector>
+
+#include "arch/hwconfig.hh"
+#include "arch/profiler.hh"
+#include "core/schedule.hh"
+#include "costmodel/mapper.hh"
+#include "graph/dyngraph.hh"
+
+namespace adyna::core {
+
+/** Scheduler policy knobs. */
+struct SchedulerConfig
+{
+    /** Fraction of total scratchpad budgeted for resident weights
+     * when cutting segments. */
+    double spadFill = 0.5;
+
+    /** Sampled kernel values per operator (Section VII derives ~32
+     * from the 25.6 kB budget and tile sharing's 6x factor). */
+    int kernelBudgetPerOp = 32;
+
+    /** Branches active in fewer than this fraction of batches are
+     * grouped (Section V-B). */
+    double groupActivityThreshold = 0.25;
+
+    bool tileSharing = true;
+    bool branchGrouping = true;
+
+    /** Use worst-case (maximum) sizes everywhere: the M-tile
+     * baseline's static scheduling. */
+    bool worstCase = false;
+};
+
+/** Builds schedules for one dynamic operator graph on one chip. */
+class Scheduler
+{
+  public:
+    Scheduler(const graph::DynGraph &dg, arch::HwConfig hw,
+              costmodel::Mapper &mapper, SchedulerConfig cfg);
+
+    /**
+     * Build a schedule.
+     *
+     * @param expectations E[dyn value] per dynamic op (frequency-
+     *        weighted allocation); missing ops use their worst case.
+     * @param kernel_values sampled kernel values per op; missing ops
+     *        get a uniform initial placement.
+     * @param profiler optional runtime profile (tile-sharing pair
+     *        selection and branch-grouping activity); nullptr
+     *        disables both optimizations.
+     */
+    Schedule build(const std::map<OpId, double> &expectations,
+                   const std::map<OpId, std::vector<std::int64_t>>
+                       &kernel_values,
+                   const arch::Profiler *profiler) const;
+
+    /** Per-op uniform initial kernel values (Section VII). */
+    std::map<OpId, std::vector<std::int64_t>> initialKernelValues() const;
+
+    /** Value budget per operator after the hardware's metadata cap
+     * (min of the configured budget and maxKernelsPerTile / 6). */
+    int effectiveKernelBudget() const;
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+  private:
+    /** Ops that become pipeline stages (compute + standalone vector
+     * ops), topologically ordered. */
+    std::vector<OpId> stageOps() const;
+
+    /** Expected per-batch work of an op, in single-tile cycles. */
+    double expectedWork(OpId op,
+                        const std::map<OpId, double> &expectations) const;
+
+    /** Partition stage ops into segments respecting atoms. */
+    std::vector<std::vector<OpId>> segmentOps() const;
+
+    const graph::DynGraph &dg_;
+    arch::HwConfig hw_; // by value: small, and callers may pass
+                        // temporaries
+    costmodel::Mapper &mapper_;
+    SchedulerConfig cfg_;
+};
+
+} // namespace adyna::core
+
+#endif // ADYNA_CORE_SCHEDULER_HH

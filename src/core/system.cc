@@ -1,0 +1,183 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/sampling.hh"
+#include "core/validate.hh"
+
+namespace adyna::core {
+
+System::System(const graph::DynGraph &dg, trace::TraceConfig trace_cfg,
+               arch::HwConfig hw, SchedulerConfig sched_cfg,
+               ExecPolicy policy, RunOptions options,
+               std::string design_name)
+    : dg_(dg), traceCfg_(trace_cfg), hw_(hw), schedCfg_(sched_cfg),
+      policy_(policy), options_(options),
+      designName_(std::move(design_name))
+{
+    ADYNA_ASSERT(options_.numBatches > 0, "numBatches must be > 0");
+}
+
+void
+System::setReplay(std::vector<trace::BatchRouting> replay)
+{
+    ADYNA_ASSERT(static_cast<int>(replay.size()) >=
+                     options_.numBatches,
+                 "replay trace holds ", replay.size(),
+                 " batches but the run needs ", options_.numBatches);
+    replay_ = std::move(replay);
+}
+
+RunReport
+System::run()
+{
+    costmodel::Mapper mapper(hw_.tech);
+    Scheduler scheduler(dg_, hw_, mapper, schedCfg_);
+    Engine engine(dg_, hw_, mapper, policy_);
+    arch::Chip chip(hw_);
+    arch::Profiler profiler;
+
+    trace::TraceGenerator trace(dg_, traceCfg_, options_.seed);
+    std::size_t replayCursor = 0;
+
+    // ---- offline profiling (Figure 4: initial statistics) ----------
+    std::map<OpId, double> expectations;
+    std::map<OpId, std::vector<std::int64_t>> kernelValues =
+        scheduler.initialKernelValues();
+    if (!schedCfg_.worstCase && options_.profileBatches > 0) {
+        // Warm the profiler (and the expectations) with offline
+        // statistics so the first schedule can pick sharing pairs /
+        // grouped branches. With a replayed trace, its prefix doubles
+        // as the offline profile.
+        std::map<OpId, double> sums;
+        trace::TraceGenerator probe(dg_, traceCfg_,
+                                    options_.seed ^
+                                        0x517cc1b727220a95ULL);
+        for (int b = 0; b < options_.profileBatches; ++b) {
+            const trace::BatchRouting routing =
+                replay_.empty()
+                    ? probe.next()
+                    : replay_[static_cast<std::size_t>(b) %
+                              replay_.size()];
+            for (const auto &[sw, oc] : routing.outcomes)
+                profiler.recordBranchLoads(sw, oc.branchCounts);
+            for (OpId op : dg_.dynamicOps()) {
+                const auto v = routing.dynValue(dg_, op);
+                profiler.recordValue(op, v);
+                sums[op] += static_cast<double>(v);
+            }
+        }
+        for (auto &[op, sum] : sums)
+            expectations[op] = sum / options_.profileBatches;
+
+        // Initial kernel sampling against the offline profile.
+        for (auto &[op, values] : kernelValues) {
+            const auto freq =
+                bucketFrequencies(profiler.table(op), values);
+            values = resampleKernelValues(
+                values, freq, static_cast<int>(values.size()));
+        }
+        profiler.resetTables();
+    }
+
+    Schedule schedule = scheduler.build(
+        expectations, kernelValues,
+        schedCfg_.worstCase ? nullptr : &profiler);
+    const auto checkSchedule = [&](const Schedule &sch) {
+        const auto issues = validateSchedule(sch, dg_, hw_);
+        ADYNA_ASSERT(issues.empty(), "invalid schedule:\n",
+                     issuesToString(issues));
+    };
+    checkSchedule(schedule);
+
+    // ---- main loop with periodic reconfiguration --------------------
+    RunReport report;
+    report.workload = dg_.name();
+    report.design = designName_;
+    report.segments = static_cast<int>(schedule.segments.size());
+    report.storedKernels = schedule.totalKernels();
+
+    const int period = options_.reconfigPeriod > 0
+                           ? options_.reconfigPeriod
+                           : options_.numBatches;
+    Tick barrier = 0;
+    int done = 0;
+    while (done < options_.numBatches) {
+        const int count =
+            std::min(period, options_.numBatches - done);
+        std::vector<trace::BatchRouting> routings;
+        routings.reserve(static_cast<std::size_t>(count));
+        for (int b = 0; b < count; ++b)
+            routings.push_back(replay_.empty()
+                                   ? trace.next()
+                                   : replay_[replayCursor++]);
+
+        const PeriodResult res = engine.runPeriod(
+            chip, schedule, routings, &profiler, barrier);
+        barrier = res.endTime;
+        report.batchEnds.insert(report.batchEnds.end(),
+                                res.batchEnds.begin(),
+                                res.batchEnds.end());
+        for (const auto &[op, cycles] : res.stageCycles) {
+            auto &dst = report.stageCycles[op];
+            dst.insert(dst.end(), cycles.begin(), cycles.end());
+        }
+        done += count;
+
+        const bool adjust = options_.reconfigPeriod > 0 &&
+                            done < options_.numBatches &&
+                            !schedCfg_.worstCase;
+        if (!adjust)
+            continue;
+
+        // Scheduler pulls the profiler report (Section V):
+        // frequency-weighted expectations and kernel re-sampling.
+        std::map<OpId, double> newExp;
+        for (OpId op : profiler.trackedOps()) {
+            const auto &table = profiler.table(op);
+            if (!table.empty())
+                newExp[op] = table.expectation();
+        }
+        if (!newExp.empty())
+            expectations = std::move(newExp);
+
+        if (options_.resampleKernels && !policy_.exactKernels) {
+            for (auto &[op, values] : kernelValues) {
+                const auto &table = profiler.table(op);
+                if (table.empty())
+                    continue;
+                const auto freq = bucketFrequencies(table, values);
+                values = resampleKernelValues(
+                    values, freq, static_cast<int>(values.size()));
+            }
+        }
+        profiler.resetTables();
+
+        schedule = scheduler.build(expectations, kernelValues,
+                                   &profiler);
+        checkSchedule(schedule);
+        report.storedKernels = std::max(report.storedKernels,
+                                        schedule.totalKernels());
+        // Reconfiguration: the period boundary already drained the
+        // pipeline; add the fixed kernel/metadata reload cost.
+        barrier += options_.reconfigOverheadCycles;
+        ++report.reconfigurations;
+    }
+
+    // ---- metrics ------------------------------------------------------
+    report.cycles = barrier;
+    const double seconds = static_cast<double>(barrier) /
+                           (hw_.tech.freqGhz * 1e9);
+    report.timeMs = seconds * 1e3;
+    report.batchesPerSecond =
+        seconds > 0.0 ? options_.numBatches / seconds : 0.0;
+    report.peUtilization = chip.peUtilization(barrier);
+    report.hbmUtilization = chip.hbmUtilization(barrier);
+    report.energy = chip.energy();
+    report.usefulMacs = chip.usefulMacs();
+    report.issuedMacs = chip.issuedMacs();
+    return report;
+}
+
+} // namespace adyna::core

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * AdynaSystem: the public entry point. Owns the scheduler, the
+ * execution engine, the chip model, and the profiler feedback loop
+ * (Figure 4's overall workflow): offline profiling, initial
+ * multi-kernel sampling, periodic frequency-weighted re-allocation
+ * and kernel re-sampling with pipeline-drain reconfiguration costs.
+ */
+
+#ifndef ADYNA_CORE_SYSTEM_HH
+#define ADYNA_CORE_SYSTEM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "arch/profiler.hh"
+#include "core/engine.hh"
+#include "core/scheduler.hh"
+#include "graph/dyngraph.hh"
+#include "trace/trace.hh"
+
+namespace adyna::core {
+
+/** Run-level options. */
+struct RunOptions
+{
+    /** Batches to simulate. */
+    int numBatches = 200;
+
+    /** Seed for the dynamism trace. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Batches between runtime re-scheduling / re-sampling events
+     * (the paper reconfigures every 40 batches); 0 disables runtime
+     * adjustment entirely (the Adyna-static setting).
+     */
+    int reconfigPeriod = 40;
+
+    /** Fixed reconfiguration overhead added on top of the natural
+     * pipeline drain, cycles. */
+    Cycles reconfigOverheadCycles = 10000;
+
+    /** Offline profiling batches before the first schedule. */
+    int profileBatches = 40;
+
+    /** Run Algorithm 1 re-sampling at each reconfiguration. */
+    bool resampleKernels = true;
+};
+
+/** Everything a run reports (feeds every evaluation figure). */
+struct RunReport
+{
+    std::string workload;
+    std::string design;
+
+    Tick cycles = 0;
+    double timeMs = 0.0;
+    double batchesPerSecond = 0.0;
+
+    double peUtilization = 0.0;
+    double hbmUtilization = 0.0;
+    arch::EnergyBreakdown energy;
+
+    MacCount usefulMacs = 0;
+    MacCount issuedMacs = 0;
+
+    std::size_t storedKernels = 0;
+    int segments = 0;
+    int reconfigurations = 0;
+
+    /** Per-batch completion times. */
+    std::vector<Tick> batchEnds;
+
+    /** Per-op per-batch stage makespans (Figure 6 trace bench). */
+    std::map<OpId, std::vector<Cycles>> stageCycles;
+};
+
+/** One design point = scheduler config + engine policy + options. */
+class System
+{
+  public:
+    System(const graph::DynGraph &dg, trace::TraceConfig trace_cfg,
+           arch::HwConfig hw, SchedulerConfig sched_cfg,
+           ExecPolicy policy, RunOptions options,
+           std::string design_name);
+
+    /** Simulate and report. */
+    RunReport run();
+
+    /**
+     * Replay a recorded routing trace instead of the synthetic
+     * generator (see trace/replay.hh). Must hold at least
+     * RunOptions::numBatches entries; the first profileBatches
+     * entries double as the offline profile.
+     */
+    void setReplay(std::vector<trace::BatchRouting> replay);
+
+    const arch::HwConfig &hwConfig() const { return hw_; }
+
+  private:
+    const graph::DynGraph &dg_;
+    trace::TraceConfig traceCfg_;
+    arch::HwConfig hw_;
+    SchedulerConfig schedCfg_;
+    ExecPolicy policy_;
+    RunOptions options_;
+    std::string designName_;
+    std::vector<trace::BatchRouting> replay_;
+};
+
+} // namespace adyna::core
+
+#endif // ADYNA_CORE_SYSTEM_HH

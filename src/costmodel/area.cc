@@ -1,0 +1,71 @@
+#include "costmodel/area.hh"
+
+namespace adyna::costmodel {
+
+double
+TileBudget::totalAreaMm2() const
+{
+    double total = 0.0;
+    for (const ComponentBudget &c : components)
+        total += c.areaMm2;
+    return total;
+}
+
+double
+TileBudget::totalPowerMw() const
+{
+    double total = 0.0;
+    for (const ComponentBudget &c : components)
+        total += c.powerMw;
+    return total;
+}
+
+double
+TileBudget::dynnnAreaFraction() const
+{
+    double dyn = 0.0;
+    for (const ComponentBudget &c : components)
+        if (c.name.find("Dispatcher") != std::string::npos ||
+            c.name.find("network interface") != std::string::npos)
+            dyn += c.areaMm2;
+    const double total = totalAreaMm2();
+    return total > 0.0 ? dyn / total : 0.0;
+}
+
+TileBudget
+tileBudget(const TechParams &tech)
+{
+    // Scale factors relative to the calibration point (32x32 PEs,
+    // 512 kB scratchpad).
+    const double peScale =
+        static_cast<double>(tech.peRows) * tech.peCols / (32.0 * 32.0);
+    const double spadScale =
+        static_cast<double>(tech.spadBytes) /
+        static_cast<double>(Bytes{512} << 10);
+
+    TileBudget b;
+    b.components.push_back({"PE array", tech.peArrayAreaMm2 * peScale,
+                            tech.peArrayPowerMw * peScale});
+    b.components.push_back({"Scratchpad", tech.spadAreaMm2 * spadScale,
+                            tech.spadPowerMw * spadScale});
+    b.components.push_back({"Dispatcher + controller",
+                            tech.dispatcherCtrlAreaMm2,
+                            tech.dispatcherCtrlPowerMw});
+    b.components.push_back({"Router + network interface",
+                            tech.routerNicAreaMm2,
+                            tech.routerNicPowerMw});
+    return b;
+}
+
+TileBudget
+chipBudget(const TechParams &tech, int tiles)
+{
+    TileBudget tile = tileBudget(tech);
+    for (ComponentBudget &c : tile.components) {
+        c.areaMm2 *= tiles;
+        c.powerMw *= tiles;
+    }
+    return tile;
+}
+
+} // namespace adyna::costmodel

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Area / power technology model (substitute for the paper's RTL
+ * synthesis + CACTI 7.0 flow). Component constants live in
+ * TechParams, calibrated at a 32x32 FP16 tile in 28 nm; this module
+ * scales them with the configured tile shape and reports the tile
+ * and chip breakdowns of Table IV.
+ */
+
+#ifndef ADYNA_COSTMODEL_AREA_HH
+#define ADYNA_COSTMODEL_AREA_HH
+
+#include <string>
+#include <vector>
+
+#include "costmodel/tech.hh"
+
+namespace adyna::costmodel {
+
+/** One row of the Table IV breakdown. */
+struct ComponentBudget
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/** Area / power breakdown of one tile. */
+struct TileBudget
+{
+    std::vector<ComponentBudget> components;
+
+    double totalAreaMm2() const;
+    double totalPowerMw() const;
+
+    /** Fraction of tile area in DynNN-specific logic (dispatcher,
+     * controller/profiler, modified network interface). */
+    double dynnnAreaFraction() const;
+};
+
+/**
+ * Tile breakdown under @p tech. The PE array scales quadratically
+ * with array edge, the scratchpad linearly with capacity; the
+ * dispatcher/controller and router/NIC are fixed blocks.
+ */
+TileBudget tileBudget(const TechParams &tech);
+
+/** Whole-chip budget for @p tiles tiles. */
+TileBudget chipBudget(const TechParams &tech, int tiles);
+
+} // namespace adyna::costmodel
+
+#endif // ADYNA_COSTMODEL_AREA_HH

@@ -1,0 +1,185 @@
+#include "costmodel/mapper.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace adyna::costmodel {
+
+using graph::Dim;
+using graph::LoopDims;
+
+namespace {
+
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Factor pairs (a, b) with a * b == t, a <= b included both ways. */
+std::vector<std::pair<int, int>>
+factorPairs(int t)
+{
+    std::vector<std::pair<int, int>> out;
+    for (int a = 1; a * a <= t; ++a) {
+        if (t % a != 0)
+            continue;
+        const int b = t / a;
+        out.emplace_back(a, b);
+        if (a != b)
+            out.emplace_back(b, a);
+    }
+    return out;
+}
+
+/** Candidate spatial splits over {N, K, P} totalling exactly tiles. */
+std::vector<std::vector<SpatialSplit>>
+splitCandidates(const LoopDims &dims, int tiles)
+{
+    const Dim spatialDims[3] = {Dim::N, Dim::K, Dim::P};
+    std::vector<std::vector<SpatialSplit>> out;
+    if (tiles == 1) {
+        out.push_back({});
+        return out;
+    }
+    for (Dim d : spatialDims) {
+        (void)dims;
+        out.push_back({SpatialSplit{d, tiles}});
+    }
+    for (Dim d1 : spatialDims) {
+        for (Dim d2 : spatialDims) {
+            if (d1 == d2)
+                continue;
+            for (const auto &[a, b] : factorPairs(tiles)) {
+                if (a == 1 || b == 1)
+                    continue; // covered by the 1D cases
+                out.push_back(
+                    {SpatialSplit{d1, a}, SpatialSplit{d2, b}});
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Pick the largest scratchpad blocking that fits the buffer budget:
+ * start from full per-tile extents and shrink N, then P, then K
+ * until the double-buffered working set plus resident weights fit.
+ */
+LoopDims
+chooseSpadBlock(const graph::OpNode &op, const LoopDims &per_tile,
+                int weight_split, Bytes budget)
+{
+    LoopDims block = per_tile;
+    const auto footprint = [&](const LoopDims &b) {
+        const std::int64_t ih = (b.p() - 1) * op.stride + b.r();
+        const std::int64_t iw = (b.q() - 1) * op.stride + b.s();
+        const Bytes in =
+            static_cast<Bytes>(b.n() * b.c() * ih * iw) * op.dtypeBytes;
+        const Bytes outb =
+            static_cast<Bytes>(b.n() * b.k() * b.p() * b.q()) *
+            op.dtypeBytes;
+        const Bytes weights =
+            graph::isCompute(op.kind)
+                ? static_cast<Bytes>(
+                      ceilDiv(static_cast<std::int64_t>(op.weightBytes()),
+                              weight_split))
+                : 0;
+        return weights + 2 * (in + outb);
+    };
+
+    const Dim shrinkOrder[3] = {Dim::N, Dim::P, Dim::K};
+    for (Dim d : shrinkOrder) {
+        while (footprint(block) > budget && block[d] > 1)
+            block[d] = ceilDiv(block[d], 2);
+    }
+    return block;
+}
+
+} // namespace
+
+Mapper::Mapper(TechParams tech) : tech_(tech) {}
+
+Mapping
+Mapper::search(const graph::OpNode &op, std::int64_t n, int tiles)
+{
+    Key key{op.dims.ext, op.stride, op.dtypeBytes, n, tiles};
+    // The N extent in the key is superseded by the compiled value.
+    std::get<0>(key)[0] = 0;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    Mapping m = searchUncached(op, n, tiles);
+    cache_.emplace(std::move(key), m);
+    return m;
+}
+
+std::pair<Mapping, KernelCost>
+Mapper::searchWithCost(const graph::OpNode &op, std::int64_t n, int tiles)
+{
+    Mapping m = search(op, n, tiles);
+    return {m, evalKernel(op, m, n, true, tech_)};
+}
+
+Mapping
+Mapper::searchUncached(const graph::OpNode &op, std::int64_t n,
+                       int tiles) const
+{
+    ADYNA_ASSERT(tiles >= 1, "mapping search needs >= 1 tile");
+    ADYNA_ASSERT(n >= 1, "mapping search needs n >= 1, got ", n);
+
+    const LoopDims dims = op.dims.with(Dim::N, n);
+    const Bytes budget = static_cast<Bytes>(
+        static_cast<double>(tech_.spadBytes) *
+        (1.0 - tech_.kernelSpadFraction));
+
+    Mapping best;
+    bool haveBest = false;
+    bool bestFeasible = false;
+    KernelCost bestCost;
+
+    for (const auto &splits : splitCandidates(dims, tiles)) {
+        for (int o = 0; o < kNumLoopOrders; ++o) {
+            Mapping m;
+            m.compiledDims = dims;
+            m.tiles = tiles;
+            m.splits = splits;
+            m.order = static_cast<LoopOrder>(o);
+
+            LoopDims perTile = m.perTileDims();
+            m.spadBlock = chooseSpadBlock(
+                op, perTile, m.splitFactor(Dim::K), budget);
+
+            const KernelCost cost =
+                evalKernel(op, m, n, /*fitting=*/true, tech_);
+            const bool feasible = cost.spadFootprint <= budget;
+
+            const auto better = [&]() {
+                if (!haveBest)
+                    return true;
+                if (feasible != bestFeasible)
+                    return feasible;
+                if (cost.cycles != bestCost.cycles)
+                    return cost.cycles < bestCost.cycles;
+                if (cost.dramSpillBytes != bestCost.dramSpillBytes)
+                    return cost.dramSpillBytes < bestCost.dramSpillBytes;
+                return cost.sramBytes < bestCost.sramBytes;
+            };
+            if (better()) {
+                best = m;
+                bestCost = cost;
+                haveBest = true;
+                bestFeasible = feasible;
+            }
+        }
+    }
+    ADYNA_ASSERT(haveBest, "mapping search found no candidate");
+    return best;
+}
+
+} // namespace adyna::costmodel

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Kernel generation: search for the best mapping of one operator at
+ * one dyn_dim value onto a tile group (Section II-B's "kernel
+ * generation" level). The search space is the spatial split of up to
+ * two dims across the tiles, the DRAM-level loop order, and the
+ * scratchpad blocking; the objective is makespan cycles, then DRAM
+ * spills, then SRAM traffic. Results are memoized: the scheduler
+ * asks for the same (op, value, tiles) triple many times.
+ */
+
+#ifndef ADYNA_COSTMODEL_MAPPER_HH
+#define ADYNA_COSTMODEL_MAPPER_HH
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "costmodel/cost.hh"
+#include "costmodel/mapping.hh"
+#include "costmodel/tech.hh"
+#include "graph/op.hh"
+
+namespace adyna::costmodel {
+
+/** Memoizing mapping search engine. */
+class Mapper
+{
+  public:
+    explicit Mapper(TechParams tech);
+
+    /**
+     * Best mapping for @p op executed at batch extent @p n on
+     * @p tiles tiles. Feasible (scratchpad-fitting) mappings are
+     * preferred; if none fits (oversized weights), the smallest-
+     * footprint mapping is returned and the caller must stream
+     * weights.
+     */
+    Mapping search(const graph::OpNode &op, std::int64_t n, int tiles);
+
+    /** Convenience: mapping and its cost at the compiled value. */
+    std::pair<Mapping, KernelCost>
+    searchWithCost(const graph::OpNode &op, std::int64_t n, int tiles);
+
+    const TechParams &tech() const { return tech_; }
+
+    /** Cache statistics. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    using Key = std::tuple<std::array<std::int64_t, graph::kNumDims>,
+                           int, int, std::int64_t, int>;
+
+    Mapping searchUncached(const graph::OpNode &op, std::int64_t n,
+                           int tiles) const;
+
+    TechParams tech_;
+    std::map<Key, Mapping> cache_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace adyna::costmodel
+
+#endif // ADYNA_COSTMODEL_MAPPER_HH

@@ -1,0 +1,75 @@
+#include "costmodel/mapping.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace adyna::costmodel {
+
+using graph::Dim;
+using graph::kNumDims;
+
+const char *
+loopOrderName(LoopOrder order)
+{
+    switch (order) {
+      case LoopOrder::NOuter: return "N-outer";
+      case LoopOrder::KOuter: return "K-outer";
+      case LoopOrder::COuter: return "C-outer";
+    }
+    ADYNA_PANIC("bad LoopOrder ", static_cast<int>(order));
+}
+
+std::array<Dim, kNumDims>
+orderPermutation(LoopOrder order)
+{
+    // P, Q, R, S always innermost, in that order.
+    switch (order) {
+      case LoopOrder::NOuter:
+        return {Dim::N, Dim::K, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S};
+      case LoopOrder::KOuter:
+        return {Dim::K, Dim::N, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S};
+      case LoopOrder::COuter:
+        return {Dim::C, Dim::N, Dim::K, Dim::P, Dim::Q, Dim::R, Dim::S};
+    }
+    ADYNA_PANIC("bad LoopOrder ", static_cast<int>(order));
+}
+
+int
+Mapping::splitFactor(Dim d) const
+{
+    int factor = 1;
+    for (const SpatialSplit &s : splits)
+        if (s.dim == d)
+            factor *= s.factor;
+    return factor;
+}
+
+graph::LoopDims
+Mapping::perTileDims() const
+{
+    graph::LoopDims out = compiledDims;
+    for (const SpatialSplit &s : splits) {
+        const std::int64_t ext = out[s.dim];
+        out[s.dim] = (ext + s.factor - 1) / s.factor;
+    }
+    return out;
+}
+
+std::string
+Mapping::str() const
+{
+    std::ostringstream os;
+    os << "Mapping{dims=" << compiledDims.str() << ", tiles=" << tiles
+       << ", splits=[";
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << graph::dimName(splits[i].dim) << 'x' << splits[i].factor;
+    }
+    os << "], block=" << spadBlock.str() << ", "
+       << loopOrderName(order) << '}';
+    return os.str();
+}
+
+} // namespace adyna::costmodel

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Kernel mappings: the intra-operator dataflow scheme the paper calls
+ * a "kernel" (Section II-B, kernel generation level). A mapping fixes
+ * (1) the spatial split of the loop nest across the operator's tile
+ * group, (2) the scratchpad-level blocking, and (3) the DRAM-level
+ * loop order. A kernel is a mapping compiled for one specific
+ * dyn_dim (batch) value.
+ */
+
+#ifndef ADYNA_COSTMODEL_MAPPING_HH
+#define ADYNA_COSTMODEL_MAPPING_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/dims.hh"
+
+namespace adyna::costmodel {
+
+/** Canonical DRAM-level loop orders (outermost blocked dim first). */
+enum class LoopOrder : std::uint8_t {
+    NOuter = 0, ///< N, K, C outer-to-inner (weights re-streamed per N)
+    KOuter = 1, ///< K, N, C (inputs re-streamed per K)
+    COuter = 2, ///< C, N, K (partial sums spilled per C block)
+};
+
+inline constexpr int kNumLoopOrders = 3;
+
+/** Short name of a loop order. */
+const char *loopOrderName(LoopOrder order);
+
+/** Full 7-dim permutation (outer to inner) of a canonical order. */
+std::array<graph::Dim, graph::kNumDims> orderPermutation(LoopOrder order);
+
+/** One spatial split: a loop dimension parallelized across tiles. */
+struct SpatialSplit
+{
+    graph::Dim dim = graph::Dim::N;
+    int factor = 1;
+
+    bool operator==(const SpatialSplit &other) const = default;
+};
+
+/**
+ * A kernel mapping, compiled for a specific dyn_dim value
+ * (compiledDims.n()) and tile-group size.
+ */
+struct Mapping
+{
+    /** Loop extents the kernel was compiled for (N = the kernel's
+     * dyn_dim sample value). */
+    graph::LoopDims compiledDims;
+
+    /** Tile-group size the kernel was compiled for. */
+    int tiles = 1;
+
+    /** Spatial splits across the tile group (at most 2; factors
+     * multiply to <= tiles). */
+    std::vector<SpatialSplit> splits;
+
+    /** Scratchpad-level block extents per dim. */
+    graph::LoopDims spadBlock;
+
+    /** DRAM-level loop order over the blocked dims. */
+    LoopOrder order = LoopOrder::NOuter;
+
+    /** Total spatial split factor along @p d (1 if unsplit). */
+    int splitFactor(graph::Dim d) const;
+
+    /** Per-tile loop extents after the spatial split (ceil). */
+    graph::LoopDims perTileDims() const;
+
+    /** Human-readable description. */
+    std::string str() const;
+
+    bool operator==(const Mapping &other) const = default;
+};
+
+} // namespace adyna::costmodel
+
+#endif // ADYNA_COSTMODEL_MAPPING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Technology parameters of the modelled accelerator: PE array shape,
+ * buffer capacities, and per-action energy / per-unit area constants.
+ *
+ * The energy constants are literature values for a 28 nm process
+ * (FP16 MAC ~1.1 pJ including register-file access, large SRAM
+ * ~0.6 pJ/B, HBM2 ~3.9 pJ/bit, NoC ~0.8 pJ/B/hop); the area and
+ * power constants are calibrated so one 32x32 tile reproduces the
+ * paper's Table IV breakdown. This substitutes for the paper's RTL
+ * synthesis + CACTI flow (see DESIGN.md).
+ */
+
+#ifndef ADYNA_COSTMODEL_TECH_HH
+#define ADYNA_COSTMODEL_TECH_HH
+
+#include "common/types.hh"
+
+namespace adyna::costmodel {
+
+/** Per-tile compute / storage shape and per-action costs. */
+struct TechParams
+{
+    // --- compute ---------------------------------------------------
+    int peRows = 32; ///< PE array rows (mapped to K)
+    int peCols = 32; ///< PE array columns (mapped to C)
+    double freqGhz = 1.0;
+
+    // --- storage ---------------------------------------------------
+    Bytes spadBytes = Bytes{512} << 10; ///< scratchpad per tile
+    Bytes rfBytes = 64;                 ///< register file per PE
+    /** Fraction of the scratchpad reserved for kernel metadata
+     * (Section VI-B: <= 5%, i.e. 25.6 kB of 512 kB). */
+    double kernelSpadFraction = 0.05;
+    /** Bytes of one encoded template kernel (Section VI-B). */
+    Bytes kernelMetadataBytes = 128;
+
+    // --- energy (picojoules) ---------------------------------------
+    double eMacPj = 1.10;       ///< FP16 MAC incl. RF access
+    double eSramPerBytePj = 0.60;
+    double eDramPerBytePj = 31.2; ///< HBM2, 3.9 pJ/bit
+    double eNocPerByteHopPj = 0.80;
+
+    // --- area / power (Table IV calibration, 28 nm) -----------------
+    double peArrayAreaMm2 = 1.981;
+    double peArrayPowerMw = 1156.355;
+    double spadAreaMm2 = 1.413;
+    double spadPowerMw = 247.927;
+    double dispatcherCtrlAreaMm2 = 0.148;
+    double dispatcherCtrlPowerMw = 10.409;
+    double routerNicAreaMm2 = 0.025;
+    double routerNicPowerMw = 1.646;
+
+    /** MACs one tile retires per cycle at full utilization. */
+    std::int64_t
+    macsPerCycle() const
+    {
+        return static_cast<std::int64_t>(peRows) * peCols;
+    }
+
+    /** Scratchpad budget for kernel metadata (25.6 kB default). */
+    Bytes
+    kernelSpadBudget() const
+    {
+        return static_cast<Bytes>(
+            kernelSpadFraction * static_cast<double>(spadBytes));
+    }
+
+    /** Maximum number of kernels one tile can buffer. */
+    int
+    maxKernelsPerTile() const
+    {
+        return static_cast<int>(kernelSpadBudget() /
+                                kernelMetadataBytes);
+    }
+};
+
+} // namespace adyna::costmodel
+
+#endif // ADYNA_COSTMODEL_TECH_HH

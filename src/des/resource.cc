@@ -1,0 +1,117 @@
+#include "des/resource.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adyna::des {
+
+BandwidthResource::BandwidthResource(double bytes_per_tick)
+    : rate_(bytes_per_tick)
+{
+    ADYNA_ASSERT(rate_ > 0.0, "channel rate must be positive: ", rate_);
+}
+
+Tick
+BandwidthResource::serviceTime(Bytes bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    const double ticks = static_cast<double>(bytes) / rate_;
+    return static_cast<Tick>(std::ceil(ticks));
+}
+
+Reservation
+BandwidthResource::acquire(Tick earliest, Bytes bytes)
+{
+    const Tick start = std::max(earliest, busyUntil_);
+    const Tick dur = serviceTime(bytes);
+    busyUntil_ = start + dur;
+    busyTicks_ += dur;
+    bytesServed_ += bytes;
+    return {start, busyUntil_};
+}
+
+void
+BandwidthResource::reset()
+{
+    busyUntil_ = 0;
+    busyTicks_ = 0;
+    bytesServed_ = 0;
+}
+
+GapBandwidthResource::GapBandwidthResource(double bytes_per_tick)
+    : rate_(bytes_per_tick)
+{
+    ADYNA_ASSERT(rate_ > 0.0, "channel rate must be positive: ", rate_);
+}
+
+Tick
+GapBandwidthResource::serviceTime(Bytes bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    const double ticks = static_cast<double>(bytes) / rate_;
+    return static_cast<Tick>(std::ceil(ticks));
+}
+
+Reservation
+GapBandwidthResource::acquire(Tick earliest, Bytes bytes)
+{
+    const Tick dur = serviceTime(bytes);
+    bytesServed_ += bytes;
+    busyTicks_ += dur;
+
+    // First idle gap of length >= dur starting at or after earliest.
+    Tick candidate = earliest;
+    std::size_t insertAt = 0;
+    for (; insertAt < busy_.size(); ++insertAt) {
+        const Reservation &r = busy_[insertAt];
+        if (candidate + dur <= r.start)
+            break; // fits before this interval
+        candidate = std::max(candidate, r.end);
+    }
+    const Reservation granted{candidate, candidate + dur};
+    busy_.insert(busy_.begin() +
+                     static_cast<std::ptrdiff_t>(insertAt),
+                 granted);
+
+    // Merge adjacent intervals to keep the list short.
+    std::vector<Reservation> merged;
+    merged.reserve(busy_.size());
+    for (const Reservation &r : busy_) {
+        if (!merged.empty() && r.start <= merged.back().end)
+            merged.back().end = std::max(merged.back().end, r.end);
+        else
+            merged.push_back(r);
+    }
+    busy_ = std::move(merged);
+    return granted;
+}
+
+void
+GapBandwidthResource::reset()
+{
+    busy_.clear();
+    busyTicks_ = 0;
+    bytesServed_ = 0;
+}
+
+Reservation
+SerialResource::acquire(Tick earliest, Tick duration)
+{
+    const Tick start = std::max(earliest, busyUntil_);
+    busyUntil_ = start + duration;
+    busyTicks_ += duration;
+    return {start, busyUntil_};
+}
+
+void
+SerialResource::reset()
+{
+    busyUntil_ = 0;
+    busyTicks_ = 0;
+}
+
+} // namespace adyna::des

@@ -1,0 +1,52 @@
+#include "des/simulator.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace adyna::des {
+
+void
+Simulator::schedule(Tick when, EventFn fn)
+{
+    ADYNA_ASSERT(when >= now_, "scheduling into the past: ", when,
+                 " < now ", now_);
+    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+void
+Simulator::scheduleIn(Tick delay, EventFn fn)
+{
+    schedule(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::run()
+{
+    while (step()) {
+    }
+}
+
+Tick
+Simulator::runUntil(Tick limit)
+{
+    while (!queue_.empty() && queue_.top().when <= limit)
+        step();
+    return now_;
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    // Move the callback out before popping so it survives the pop.
+    Event ev = std::move(const_cast<Event &>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++processed_;
+    ev.fn();
+    return true;
+}
+
+} // namespace adyna::des

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The Adyna hardware model (tiles, NoC links, HBM channels) is driven
+ * by this engine: callbacks scheduled at absolute or relative ticks,
+ * executed in (tick, insertion-order) order. One tick equals one
+ * accelerator clock cycle (1 ns at the default 1 GHz).
+ */
+
+#ifndef ADYNA_DES_SIMULATOR_HH
+#define ADYNA_DES_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace adyna::des {
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Priority-queue based discrete-event simulator. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    // The event queue holds closures over `this`-external state;
+    // copying a simulator is never meaningful.
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void schedule(Tick when, EventFn fn);
+
+    /** Schedule @p fn at now() + @p delay. */
+    void scheduleIn(Tick delay, EventFn fn);
+
+    /** Run until the event queue is empty. */
+    void run();
+
+    /**
+     * Run until the queue is empty or simulated time would exceed
+     * @p limit. Events at exactly @p limit still execute.
+     * @return the simulated time when the run stopped.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Execute at most one pending event. @return false if none. */
+    bool step();
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return queue_.size(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace adyna::des
+
+#endif // ADYNA_DES_SIMULATOR_HH

@@ -1,0 +1,77 @@
+#include "graph/dims.hh"
+
+#include <sstream>
+
+namespace adyna::graph {
+
+const char *
+dimName(Dim d)
+{
+    static const char *const names[kNumDims] = {"N", "K", "C", "P",
+                                                "Q", "R", "S"};
+    return names[static_cast<std::size_t>(d)];
+}
+
+LoopDims
+LoopDims::conv(std::int64_t n, std::int64_t k, std::int64_t c,
+               std::int64_t p, std::int64_t q, std::int64_t r,
+               std::int64_t s)
+{
+    LoopDims d;
+    d[Dim::N] = n;
+    d[Dim::K] = k;
+    d[Dim::C] = c;
+    d[Dim::P] = p;
+    d[Dim::Q] = q;
+    d[Dim::R] = r;
+    d[Dim::S] = s;
+    return d;
+}
+
+LoopDims
+LoopDims::matmul(std::int64_t n, std::int64_t k, std::int64_t c)
+{
+    return conv(n, k, c, 1, 1, 1, 1);
+}
+
+std::int64_t
+LoopDims::macs() const
+{
+    std::int64_t total = 1;
+    for (std::int64_t e : ext)
+        total *= e;
+    return total;
+}
+
+LoopDims
+LoopDims::with(Dim d, std::int64_t extent) const
+{
+    LoopDims copy = *this;
+    copy[d] = extent;
+    return copy;
+}
+
+bool
+LoopDims::valid() const
+{
+    for (std::int64_t e : ext)
+        if (e <= 0)
+            return false;
+    return true;
+}
+
+std::string
+LoopDims::str() const
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+        if (i)
+            os << ' ';
+        os << dimName(static_cast<Dim>(i)) << ext[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace adyna::graph

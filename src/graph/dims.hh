@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The 7-dimensional loop-nest abstraction of tensor operators.
+ *
+ * Every compute operator in Adyna lowers to a dense nested loop over
+ * the dimensions (N, K, C, P, Q, R, S): batch, output channels, input
+ * channels, output rows, output columns, filter rows, filter columns.
+ * A fully-connected / matmul operator is the special case with
+ * P = Q = R = S = 1. This is the canonical abstraction used by DNN
+ * dataflow schedulers (Timeloop, Interstellar) and by the paper's
+ * kernel template (Figure 8).
+ */
+
+#ifndef ADYNA_GRAPH_DIMS_HH
+#define ADYNA_GRAPH_DIMS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace adyna::graph {
+
+/** Loop dimensions of the canonical 7-dim operator nest. */
+enum class Dim : std::uint8_t {
+    N = 0, ///< batch (always the dynamic dimension after parsing)
+    K = 1, ///< output channels / matmul output features
+    C = 2, ///< input channels / matmul input features
+    P = 3, ///< output feature-map rows
+    Q = 4, ///< output feature-map columns
+    R = 5, ///< filter rows
+    S = 6, ///< filter columns
+};
+
+inline constexpr std::size_t kNumDims = 7;
+
+/** Short name ("N", "K", ...) of a dimension. */
+const char *dimName(Dim d);
+
+/** Per-dimension extents of one operator's loop nest. */
+struct LoopDims
+{
+    std::array<std::int64_t, kNumDims> ext{1, 1, 1, 1, 1, 1, 1};
+
+    std::int64_t
+    operator[](Dim d) const
+    {
+        return ext[static_cast<std::size_t>(d)];
+    }
+
+    std::int64_t &
+    operator[](Dim d)
+    {
+        return ext[static_cast<std::size_t>(d)];
+    }
+
+    std::int64_t n() const { return (*this)[Dim::N]; }
+    std::int64_t k() const { return (*this)[Dim::K]; }
+    std::int64_t c() const { return (*this)[Dim::C]; }
+    std::int64_t p() const { return (*this)[Dim::P]; }
+    std::int64_t q() const { return (*this)[Dim::Q]; }
+    std::int64_t r() const { return (*this)[Dim::R]; }
+    std::int64_t s() const { return (*this)[Dim::S]; }
+
+    /** Convolution-style dims. */
+    static LoopDims conv(std::int64_t n, std::int64_t k, std::int64_t c,
+                         std::int64_t p, std::int64_t q, std::int64_t r,
+                         std::int64_t s);
+
+    /** Matmul dims: [n, c] x [c, k] -> [n, k]. */
+    static LoopDims matmul(std::int64_t n, std::int64_t k, std::int64_t c);
+
+    /** Total multiply-accumulate count of the full nest. */
+    std::int64_t macs() const;
+
+    /** Copy with a different extent for one dimension. */
+    LoopDims with(Dim d, std::int64_t extent) const;
+
+    /** All extents positive. */
+    bool valid() const;
+
+    /** Human-readable form, e.g. "[N8 K64 C64 P56 Q56 R3 S3]". */
+    std::string str() const;
+
+    bool operator==(const LoopDims &other) const = default;
+};
+
+} // namespace adyna::graph
+
+#endif // ADYNA_GRAPH_DIMS_HH

@@ -1,0 +1,88 @@
+#include "graph/dot.hh"
+
+#include <sstream>
+
+namespace adyna::graph {
+
+namespace {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+const char *
+shapeFor(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Switch: return "diamond";
+      case OpKind::Merge: return "invtriangle";
+      case OpKind::Sink: return "point";
+      case OpKind::Input:
+      case OpKind::Output: return "ellipse";
+      default: return "box";
+    }
+}
+
+void
+emitEdges(std::ostringstream &os, const Graph &g)
+{
+    for (const OpNode &n : g.nodes()) {
+        for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+            os << "  n" << n.inputs[i] << " -> n" << n.id;
+            if (n.inputBranch[i] >= 0)
+                os << " [label=\"b" << n.inputBranch[i] << "\"]";
+            os << ";\n";
+        }
+    }
+}
+
+} // namespace
+
+std::string
+toDot(const Graph &g)
+{
+    std::ostringstream os;
+    os << "digraph \"" << escape(g.name()) << "\" {\n"
+       << "  rankdir=TB;\n  node [fontsize=10];\n";
+    for (const OpNode &n : g.nodes()) {
+        os << "  n" << n.id << " [label=\"" << escape(n.name) << "\\n"
+           << opKindName(n.kind) << "\", shape=" << shapeFor(n.kind)
+           << "];\n";
+    }
+    emitEdges(os, g);
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+toDot(const DynGraph &dg)
+{
+    const Graph &g = dg.graph();
+    std::ostringstream os;
+    os << "digraph \"" << escape(g.name()) << "\" {\n"
+       << "  rankdir=TB;\n  node [fontsize=10];\n";
+    for (const OpNode &n : g.nodes()) {
+        const DynOpInfo &di = dg.info(n.id);
+        os << "  n" << n.id << " [label=\"" << escape(n.name) << "\\n"
+           << opKindName(n.kind);
+        if (di.dynamic)
+            os << "\\ndyn<=" << di.maxDyn;
+        os << "\", shape=" << shapeFor(n.kind);
+        if (di.dynamic)
+            os << ", style=filled, fillcolor=lightgray";
+        os << "];\n";
+    }
+    emitEdges(os, g);
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace adyna::graph

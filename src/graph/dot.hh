@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Graphviz DOT export of (dynamic) operator graphs for documentation
+ * and debugging.
+ */
+
+#ifndef ADYNA_GRAPH_DOT_HH
+#define ADYNA_GRAPH_DOT_HH
+
+#include <string>
+
+#include "graph/dyngraph.hh"
+#include "graph/graph.hh"
+
+namespace adyna::graph {
+
+/** Render a user-level graph as DOT. */
+std::string toDot(const Graph &g);
+
+/** Render a parsed dynamic operator graph as DOT; dynamic operators
+ * are shaded, matching the paper's Figure 5. */
+std::string toDot(const DynGraph &dg);
+
+} // namespace adyna::graph
+
+#endif // ADYNA_GRAPH_DOT_HH

@@ -1,0 +1,105 @@
+#include "graph/dyngraph.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace adyna::graph {
+
+DynGraph::DynGraph(Graph graph, std::vector<DynOpInfo> info,
+                   std::vector<SwitchInfo> switches)
+    : graph_(std::move(graph)), info_(std::move(info)),
+      switches_(std::move(switches))
+{
+    ADYNA_ASSERT(info_.size() == graph_.size(),
+                 "DynOpInfo count mismatch: ", info_.size(), " vs ",
+                 graph_.size());
+    topo_ = graph_.topoOrder();
+}
+
+const DynOpInfo &
+DynGraph::info(OpId id) const
+{
+    ADYNA_ASSERT(id < info_.size(), "bad OpId ", id);
+    return info_[id];
+}
+
+const SwitchInfo &
+DynGraph::switchInfo(OpId switch_op) const
+{
+    for (const SwitchInfo &sw : switches_)
+        if (sw.switchOp == switch_op)
+            return sw;
+    ADYNA_PANIC("no SwitchInfo for op ", switch_op);
+}
+
+std::vector<OpId>
+DynGraph::dynamicOps() const
+{
+    std::vector<OpId> out;
+    for (OpId id : topo_)
+        if (info_[id].dynamic)
+            out.push_back(id);
+    return out;
+}
+
+std::vector<OpId>
+DynGraph::computeOps() const
+{
+    std::vector<OpId> out;
+    for (OpId id : topo_)
+        if (isCompute(graph_.node(id).kind))
+            out.push_back(id);
+    return out;
+}
+
+std::int64_t
+DynGraph::worstCaseMacs() const
+{
+    return graph_.totalMacs();
+}
+
+double
+DynGraph::expectedMacs(
+    const std::vector<std::pair<OpId, double>> &expected) const
+{
+    double total = 0.0;
+    for (const OpNode &n : graph_.nodes()) {
+        if (n.macs() == 0)
+            continue;
+        double scale = 1.0;
+        for (const auto &[id, exp_n] : expected) {
+            if (id == n.id && n.dims.n() > 0) {
+                scale = exp_n / static_cast<double>(n.dims.n());
+                break;
+            }
+        }
+        total += scale * static_cast<double>(n.macs());
+    }
+    return total;
+}
+
+std::string
+DynGraph::summary() const
+{
+    std::ostringstream os;
+    os << "DynGraph '" << name() << "': " << graph_.size() << " ops, "
+       << switches_.size() << " switches, " << dynamicOps().size()
+       << " dynamic ops\n";
+    for (OpId id : topo_) {
+        const OpNode &n = graph_.node(id);
+        const DynOpInfo &di = info_[id];
+        os << "  #" << id << ' ' << opKindName(n.kind) << " '" << n.name
+           << "' " << n.dims.str();
+        if (di.dynamic) {
+            os << " dyn(max=" << di.maxDyn << ", switch=" << di.ownerSwitch
+               << ", branch=" << di.branch << ")";
+        }
+        if (di.epilogueOps > 0)
+            os << " +" << di.epilogueOps << " fused";
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace adyna::graph

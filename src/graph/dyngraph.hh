@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The paper's unified representation: dynamic operator graphs
+ * (Section IV). Produced by the model parser from a user-level Graph;
+ * all dynamism is folded onto the batch dimension (N), each dynamic
+ * operator knows its controlling switch, and a frequency track table
+ * slot exists for every dynamic operator.
+ */
+
+#ifndef ADYNA_GRAPH_DYNGRAPH_HH
+#define ADYNA_GRAPH_DYNGRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "graph/graph.hh"
+
+namespace adyna::graph {
+
+/**
+ * Dynamism annotation of one operator in a dynamic operator graph.
+ * `branch >= 0` means the op lies on that branch of `ownerSwitch`;
+ * `branch == -1` with a valid ownerSwitch means the op executes after
+ * the switch's merge but still sees a dynamic batch (samples may have
+ * left through a sink, e.g. early exiting).
+ */
+struct DynOpInfo
+{
+    /** Batch extent varies at runtime. */
+    bool dynamic = false;
+
+    /** Nearest switch controlling this op's batch extent. */
+    OpId ownerSwitch = kInvalidOp;
+
+    /** Branch index on ownerSwitch, or -1 for post-merge ops. */
+    int branch = -1;
+
+    /** Worst-case dyn_dim (batch) value. */
+    std::int64_t maxDyn = 0;
+
+    /** Number of epilogue operators fused into this node. */
+    int epilogueOps = 0;
+
+    /** Effective output dims after fusion (tail of the fused chain). */
+    LoopDims outDims;
+};
+
+/** Branch structure of one switch operator. */
+struct SwitchInfo
+{
+    OpId switchOp = kInvalidOp;
+
+    /** Per-branch operator ids, in topological order. */
+    std::vector<std::vector<OpId>> branches;
+
+    /** The merge joining the branches, if any. */
+    OpId mergeOp = kInvalidOp;
+
+    /** True if any branch terminates in a sink (samples can leave,
+     * making post-merge batch extents dynamic). */
+    bool hasSink = false;
+
+    int numBranches() const { return static_cast<int>(branches.size()); }
+};
+
+/**
+ * A parsed dynamic operator graph: the fused computation graph plus
+ * per-op dynamism annotations and per-switch branch structure. The
+ * structure is immutable after parsing; runtime frequency track
+ * tables are kept by the profiler (adyna::arch) keyed by OpId.
+ */
+class DynGraph
+{
+  public:
+    DynGraph(Graph graph, std::vector<DynOpInfo> info,
+             std::vector<SwitchInfo> switches);
+
+    const Graph &graph() const { return graph_; }
+    const std::string &name() const { return graph_.name(); }
+
+    const DynOpInfo &info(OpId id) const;
+    const std::vector<SwitchInfo> &switches() const { return switches_; }
+
+    /** The switch structure owning @p switch_op; fatal if absent. */
+    const SwitchInfo &switchInfo(OpId switch_op) const;
+
+    bool isDynamic(OpId id) const { return info(id).dynamic; }
+    std::int64_t maxDyn(OpId id) const { return info(id).maxDyn; }
+
+    /** Ids of all dynamic operators (frequency-table owners). */
+    std::vector<OpId> dynamicOps() const;
+
+    /** Ids of all compute operators, topologically ordered. */
+    std::vector<OpId> computeOps() const;
+
+    /** Cached topological order over all nodes. */
+    const std::vector<OpId> &topo() const { return topo_; }
+
+    /** Worst-case MACs of the whole graph (one batch). */
+    std::int64_t worstCaseMacs() const;
+
+    /**
+     * Expected MACs of one batch under the given per-op expected
+     * batch extents (op id -> E[dyn]); ops absent from the map use
+     * their worst case.
+     */
+    double expectedMacs(
+        const std::vector<std::pair<OpId, double>> &expected) const;
+
+    /** One line per op: kind, dims, dynamism annotation. */
+    std::string summary() const;
+
+  private:
+    Graph graph_;
+    std::vector<DynOpInfo> info_;
+    std::vector<SwitchInfo> switches_;
+    std::vector<OpId> topo_;
+};
+
+} // namespace adyna::graph
+
+#endif // ADYNA_GRAPH_DYNGRAPH_HH

@@ -1,0 +1,101 @@
+#include "graph/op.hh"
+
+#include "common/logging.hh"
+
+namespace adyna::graph {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Input: return "Input";
+      case OpKind::Output: return "Output";
+      case OpKind::Conv2d: return "Conv2d";
+      case OpKind::MatMul: return "MatMul";
+      case OpKind::Eltwise: return "Eltwise";
+      case OpKind::Pool: return "Pool";
+      case OpKind::Act: return "Act";
+      case OpKind::Norm: return "Norm";
+      case OpKind::Softmax: return "Softmax";
+      case OpKind::Switch: return "Switch";
+      case OpKind::Merge: return "Merge";
+      case OpKind::Sink: return "Sink";
+    }
+    ADYNA_PANIC("unknown OpKind ", static_cast<int>(kind));
+}
+
+bool
+isCompute(OpKind kind)
+{
+    return kind == OpKind::Conv2d || kind == OpKind::MatMul;
+}
+
+bool
+isFusable(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Eltwise:
+      case OpKind::Pool:
+      case OpKind::Act:
+      case OpKind::Norm:
+      case OpKind::Softmax:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isRouting(OpKind kind)
+{
+    return kind == OpKind::Switch || kind == OpKind::Merge ||
+           kind == OpKind::Sink;
+}
+
+std::int64_t
+OpNode::macs() const
+{
+    return isCompute(kind) ? dims.macs() : 0;
+}
+
+Bytes
+OpNode::inputBytesAt(std::int64_t n) const
+{
+    // Input spatial extents from output extents, stride, and filter.
+    const std::int64_t ih =
+        (dims.p() - 1) * stride + dims.r();
+    const std::int64_t iw =
+        (dims.q() - 1) * stride + dims.s();
+    const std::int64_t elems = n * dims.c() * ih * iw;
+    return static_cast<Bytes>(elems) * dtypeBytes;
+}
+
+Bytes
+OpNode::outputBytesAt(std::int64_t n) const
+{
+    const std::int64_t elems = n * dims.k() * dims.p() * dims.q();
+    return static_cast<Bytes>(elems) * dtypeBytes;
+}
+
+Bytes
+OpNode::inputBytes() const
+{
+    return inputBytesAt(dims.n());
+}
+
+Bytes
+OpNode::outputBytes() const
+{
+    return outputBytesAt(dims.n());
+}
+
+Bytes
+OpNode::weightBytes() const
+{
+    if (!isCompute(kind))
+        return 0;
+    const std::int64_t elems = dims.k() * dims.c() * dims.r() * dims.s();
+    return static_cast<Bytes>(elems) * dtypeBytes;
+}
+
+} // namespace adyna::graph

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Operator nodes of Adyna computation graphs, including the paper's
+ * customized switch / merge / sink operators (Section IV).
+ */
+
+#ifndef ADYNA_GRAPH_OP_HH
+#define ADYNA_GRAPH_OP_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/dims.hh"
+
+namespace adyna::graph {
+
+/** Kinds of operators in a (dynamic) computation graph. */
+enum class OpKind : std::uint8_t {
+    Input,   ///< graph input (activations fetched from DRAM)
+    Output,  ///< graph output (results written to DRAM)
+    Conv2d,  ///< dense convolution (full 7-dim nest)
+    MatMul,  ///< dense matmul / fully-connected (N, K, C)
+    Eltwise, ///< element-wise binary op (residual add, mul)
+    Pool,    ///< pooling (spatial reduction)
+    Act,     ///< activation function (ReLU, GeLU, sigmoid)
+    Norm,    ///< normalization (BatchNorm, LayerNorm)
+    Softmax, ///< softmax over the K dimension
+    Switch,  ///< dynamic split along dyn_dim by a routing mask
+    Merge,   ///< join of branches created by a switch
+    Sink,    ///< discards its input (early exit, dropped patches)
+};
+
+/** Short name of an operator kind. */
+const char *opKindName(OpKind kind);
+
+/** True for kinds that perform MAC work on the PE array. */
+bool isCompute(OpKind kind);
+
+/**
+ * True for kinds the kernel template can fuse as an epilogue of the
+ * preceding compute operator (element-wise and in-place ops,
+ * Section VI-B).
+ */
+bool isFusable(OpKind kind);
+
+/** True for switch / merge / sink routing operators. */
+bool isRouting(OpKind kind);
+
+/**
+ * Descriptor of the runtime decision a switch operator implements.
+ * The graph stores only the *policy*; the dynamism trace generator
+ * (src/trace) interprets it to produce concrete routing masks. This
+ * substitutes for a trained gate network evaluated on a real dataset
+ * (see DESIGN.md, substitutions).
+ */
+struct RoutingPolicy
+{
+    enum class Kind : std::uint8_t {
+        /** Branch 0 = exit (sink), branch 1 = continue. The exit
+         * probability grows with gate depth and sample easiness. */
+        EarlyExit,
+        /** Branch 0 = shortcut (skip), branch 1 = backbone block. */
+        LayerSkip,
+        /** Each sample activates exactly k of the branches (MoE). */
+        TopKExperts,
+        /** Branch i = channel block i of a channel-pruned operator;
+         * each sample activates a difficulty-dependent prefix. */
+        ChannelBlocks,
+        /** Branch 0 = keep patch, branch 1 = drop (sink). Samples are
+         * patch-folded rows; selection keeps an input-dependent
+         * subset. */
+        PatchSelect,
+    };
+
+    Kind kind = Kind::LayerSkip;
+
+    /** Number of outgoing branches of the switch. */
+    int numBranches = 2;
+
+    /** Policy-specific scalar, e.g. base skip/exit probability or the
+     * expected keep fraction for PatchSelect. */
+    double param = 0.5;
+
+    /** TopKExperts: number of experts activated per sample. */
+    int topK = 1;
+
+    /** Gate index along the model (0-based); later gates see easier
+     * residual distributions for EarlyExit. */
+    int gateIndex = 0;
+
+    /** Optional per-branch prior weights (expert popularity skew). */
+    std::vector<double> branchBias;
+
+    /**
+     * Rows of the batch dimension one routed unit occupies. A gate
+     * deciding per sequence over token-folded rows uses the sequence
+     * length (PABEE); a per-token MoE router uses 1 but sees
+     * batch x seq rows. PatchSelect interprets this as the number of
+     * folded patches per sample. Gates nested *inside* a
+     * patch-selected region must keep this at 1: the dynamism trace
+     * already tracks each sample's surviving row count there.
+     */
+    std::int64_t unitsPerSample = 1;
+};
+
+/**
+ * One operator node. Nodes are owned by a Graph and addressed by
+ * OpId (their index). `inputs` holds the data-dependency edges; for
+ * a Merge the inputs are the branch tails, and for an operator
+ * consuming a switch output, `switchBranch` records which branch of
+ * the producing switch feeds it.
+ */
+struct OpNode
+{
+    OpId id = kInvalidOp;
+    std::string name;
+    OpKind kind = OpKind::Conv2d;
+
+    /** Maximum (worst-case) extents of the loop nest. */
+    LoopDims dims;
+
+    /** Convolution stride (output-to-input spatial scaling). */
+    int stride = 1;
+
+    /** Element size of activations/weights in bytes (FP16 = 2). */
+    int dtypeBytes = 2;
+
+    /** Data-dependency producers. */
+    std::vector<OpId> inputs;
+
+    /**
+     * Which branch of the producing switch this op consumes
+     * (meaningful only when the corresponding producer is a Switch).
+     * Parallel to `inputs`; -1 for non-switch producers.
+     */
+    std::vector<int> inputBranch;
+
+    /** Dimension declared dynamic *before* parsing (builders may mark
+     * e.g. C for channel pruning); the parser folds everything onto
+     * N. Unset means fully static unless dynamism propagates in. */
+    std::optional<Dim> declaredDynDim;
+
+    /** Routing policy; meaningful only for Switch nodes. */
+    RoutingPolicy policy;
+
+    /**
+     * Merge-only: this merge restores the pre-fold batch extent
+     * (e.g. DPSNet's per-sample aggregation over folded patches), so
+     * its output dynamism follows the switch input rather than
+     * becoming post-merge dynamic.
+     */
+    bool unfoldsBatch = false;
+
+    /** MAC count of the worst-case nest (0 for non-compute ops). */
+    std::int64_t macs() const;
+
+    /** Input activation tensor bytes at the worst-case extents. */
+    Bytes inputBytes() const;
+
+    /** Output activation tensor bytes at the worst-case extents. */
+    Bytes outputBytes() const;
+
+    /** Weight tensor bytes (0 for ops without weights). */
+    Bytes weightBytes() const;
+
+    /**
+     * Input/output bytes for a specific batch extent @p n (used for
+     * dynamic sub-batches at runtime).
+     */
+    Bytes inputBytesAt(std::int64_t n) const;
+    Bytes outputBytesAt(std::int64_t n) const;
+};
+
+} // namespace adyna::graph
+
+#endif // ADYNA_GRAPH_OP_HH

@@ -1,0 +1,280 @@
+#include "graph/parser.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace adyna::graph {
+
+namespace {
+
+/** Result of the epilogue-fusion rewrite. */
+struct FusedGraph
+{
+    Graph graph;
+    /** Per-new-op count of fused epilogue operators. */
+    std::vector<int> epilogueOps;
+    /** Per-new-op effective output dims (tail of the fused chain). */
+    std::vector<LoopDims> outDims;
+};
+
+/**
+ * Fuse linear chains of fusable operators into their compute
+ * producers. A fusable op joins its producer's cluster when the
+ * producer resolves to a compute op and the fusable op is the
+ * producer's only consumer.
+ */
+FusedGraph
+fuseEpilogues(const Graph &user, bool enabled)
+{
+    const std::vector<OpId> topo = user.topoOrder();
+
+    // Consumer counts in the original graph.
+    std::vector<int> consumers(user.size(), 0);
+    for (const OpNode &n : user.nodes())
+        for (OpId in : n.inputs)
+            ++consumers[in];
+
+    // root[i]: cluster representative of node i.
+    std::vector<OpId> root(user.size());
+    for (OpId id : topo) {
+        const OpNode &n = user.node(id);
+        root[id] = id;
+        if (!enabled || !isFusable(n.kind) || n.inputs.empty())
+            continue;
+        const OpId p = n.inputs[0];
+        if (isCompute(user.node(root[p]).kind) && consumers[p] == 1)
+            root[id] = root[p];
+    }
+
+    // The topologically last member of each cluster is the chain
+    // tail whose dims define the cluster's effective output.
+    std::vector<OpId> tail(user.size());
+    std::vector<int> members(user.size(), 0);
+    for (OpId id : topo) {
+        tail[root[id]] = id;
+        ++members[root[id]];
+    }
+
+    FusedGraph out{Graph(user.name()), {}, {}};
+    std::vector<OpId> newId(user.size(), kInvalidOp);
+    for (OpId id : topo) {
+        if (root[id] != id)
+            continue;
+        const OpNode &orig = user.node(id);
+        OpNode n;
+        n.name = orig.name;
+        n.kind = orig.kind;
+        n.dims = orig.dims;
+        n.stride = orig.stride;
+        n.dtypeBytes = orig.dtypeBytes;
+        n.declaredDynDim = orig.declaredDynDim;
+        n.policy = orig.policy;
+        n.unfoldsBatch = orig.unfoldsBatch;
+
+        // External inputs of the whole cluster, in discovery order,
+        // with duplicate edges collapsed.
+        std::vector<OpId> ins;
+        std::vector<int> branches;
+        auto addEdge = [&](OpId producer, int branch) {
+            const OpId mapped = newId[root[producer]];
+            ADYNA_ASSERT(mapped != kInvalidOp,
+                         "producer not yet emitted for op '", orig.name,
+                         "'");
+            for (std::size_t i = 0; i < ins.size(); ++i)
+                if (ins[i] == mapped && branches[i] == branch)
+                    return;
+            ins.push_back(mapped);
+            branches.push_back(branch);
+        };
+        for (OpId member : topo) {
+            if (root[member] != id)
+                continue;
+            const OpNode &m = user.node(member);
+            for (std::size_t i = 0; i < m.inputs.size(); ++i)
+                if (root[m.inputs[i]] != id)
+                    addEdge(m.inputs[i], m.inputBranch[i]);
+        }
+        n.inputs = std::move(ins);
+        n.inputBranch = std::move(branches);
+
+        const OpId nid = out.graph.addNode(std::move(n));
+        newId[id] = nid;
+        out.epilogueOps.push_back(members[id] - 1);
+        out.outDims.push_back(user.node(tail[id]).dims);
+    }
+    return out;
+}
+
+/** Annotation of an op lying on a concrete switch branch. */
+struct BranchAnn
+{
+    OpId switchOp;
+    int branch;
+
+    bool operator==(const BranchAnn &other) const = default;
+};
+
+} // namespace
+
+DynGraph
+parseModel(const Graph &user, const ParseOptions &opts)
+{
+    user.validate();
+    FusedGraph fused = fuseEpilogues(user, opts.fuseEpilogues);
+    const Graph &g = fused.graph;
+    const std::vector<OpId> topo = g.topoOrder();
+
+    // ---- pass A: propagate branch membership -----------------------
+    std::vector<std::optional<BranchAnn>> branchAnn(g.size());
+    std::map<OpId, OpId> mergeOf; // switch id -> merge id
+    for (OpId id : topo) {
+        const OpNode &n = g.node(id);
+        if (n.kind == OpKind::Input || n.kind == OpKind::Switch)
+            continue;
+
+        std::optional<BranchAnn> ann;
+        std::optional<OpId> mergedSwitch;
+        for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+            const OpId in = n.inputs[i];
+            const OpNode &p = g.node(in);
+            std::optional<BranchAnn> candidate;
+            if (p.kind == OpKind::Switch) {
+                if (n.inputBranch[i] < 0)
+                    ADYNA_FATAL("op '", n.name,
+                                "' consumes switch '", p.name,
+                                "' without naming a branch");
+                candidate = BranchAnn{in, n.inputBranch[i]};
+            } else if (branchAnn[in]) {
+                candidate = branchAnn[in];
+            }
+            if (!candidate)
+                continue;
+            if (ann && !(*ann == *candidate)) {
+                if (n.kind == OpKind::Merge &&
+                    ann->switchOp == candidate->switchOp) {
+                    mergedSwitch = ann->switchOp;
+                    continue; // joining branches of one switch: fine
+                }
+                ADYNA_FATAL("op '", n.name,
+                            "' is controlled by two switches/branches "
+                            "(switch ", ann->switchOp, " branch ",
+                            ann->branch, " vs switch ",
+                            candidate->switchOp, " branch ",
+                            candidate->branch, ")");
+            }
+            ann = candidate;
+        }
+
+        if (n.kind == OpKind::Merge) {
+            if (ann) {
+                mergeOf[ann->switchOp] = id;
+            }
+            branchAnn[id].reset(); // merge output leaves the branches
+        } else if (n.kind == OpKind::Sink) {
+            branchAnn[id] = ann; // terminal; keeps branch for hasSink
+        } else {
+            branchAnn[id] = ann;
+        }
+        if (mergedSwitch)
+            mergeOf[*mergedSwitch] = id;
+    }
+
+    // hasSink per switch: any sink annotated with one of its branches.
+    std::map<OpId, bool> hasSink;
+    for (OpId id : topo) {
+        const OpNode &n = g.node(id);
+        if (n.kind == OpKind::Sink && branchAnn[id])
+            hasSink[branchAnn[id]->switchOp] = true;
+    }
+
+    // ---- pass B: batch dynamism ------------------------------------
+    struct DynState
+    {
+        bool dynamic = false;
+        OpId owner = kInvalidOp;
+        int branch = -1;
+    };
+    std::vector<DynState> dyn(g.size());
+    for (OpId id : topo) {
+        const OpNode &n = g.node(id);
+        if (branchAnn[id]) {
+            dyn[id] = {true, branchAnn[id]->switchOp,
+                       branchAnn[id]->branch};
+            continue;
+        }
+        switch (n.kind) {
+          case OpKind::Input:
+            dyn[id] = {};
+            break;
+          case OpKind::Merge: {
+            // Which switch does this merge join?
+            OpId sw = kInvalidOp;
+            for (const auto &[s, m] : mergeOf)
+                if (m == id)
+                    sw = s;
+            if (sw == kInvalidOp) {
+                DynState inherited =
+                    n.inputs.empty() ? DynState{} : dyn[n.inputs[0]];
+                if (n.unfoldsBatch && inherited.dynamic) {
+                    // Unfold-merge fed through nested structures
+                    // (e.g. skip blocks inside a patch-select
+                    // region): restore the controlling switch's
+                    // input dynamism.
+                    dyn[id] = dyn[inherited.owner];
+                } else {
+                    // Plain concat; inherit from the first input.
+                    dyn[id] = inherited;
+                }
+            } else if (hasSink[sw] && !n.unfoldsBatch) {
+                dyn[id] = {true, sw, -1};
+            } else {
+                dyn[id] = dyn[sw]; // restore the switch input's state
+            }
+            break;
+          }
+          default:
+            dyn[id] = n.inputs.empty() ? DynState{} : dyn[n.inputs[0]];
+            break;
+        }
+    }
+
+    // ---- assemble DynOpInfo and SwitchInfo --------------------------
+    std::vector<DynOpInfo> info(g.size());
+    for (OpId id : topo) {
+        const OpNode &n = g.node(id);
+        DynOpInfo &di = info[id];
+        di.dynamic = dyn[id].dynamic;
+        di.ownerSwitch = dyn[id].owner;
+        di.branch = dyn[id].branch;
+        di.maxDyn = di.dynamic ? n.dims.n() : n.dims.n();
+        di.epilogueOps = fused.epilogueOps[id];
+        di.outDims = fused.outDims[id];
+    }
+
+    std::vector<SwitchInfo> switches;
+    for (OpId id : topo) {
+        const OpNode &n = g.node(id);
+        if (n.kind != OpKind::Switch)
+            continue;
+        SwitchInfo sw;
+        sw.switchOp = id;
+        sw.branches.resize(n.policy.numBranches);
+        for (OpId other : topo)
+            if (branchAnn[other] && branchAnn[other]->switchOp == id)
+                sw.branches[branchAnn[other]->branch].push_back(other);
+        const auto it = mergeOf.find(id);
+        sw.mergeOp = it == mergeOf.end() ? kInvalidOp : it->second;
+        sw.hasSink = hasSink[id];
+        switches.push_back(std::move(sw));
+    }
+
+    return DynGraph(std::move(fused.graph), std::move(info),
+                    std::move(switches));
+}
+
+} // namespace adyna::graph

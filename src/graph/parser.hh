@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The model parser (Section IV): lowers a user-level Graph into a
+ * DynGraph by (1) fusing element-wise / in-place epilogue operators
+ * into their producing compute operators (matching the hardware
+ * kernel template's fusion support, Section VI-B), (2) propagating
+ * dynamism from switch operators onto the batch dimension of every
+ * affected operator, and (3) enforcing the representation's
+ * structural constraints.
+ */
+
+#ifndef ADYNA_GRAPH_PARSER_HH
+#define ADYNA_GRAPH_PARSER_HH
+
+#include "graph/dyngraph.hh"
+#include "graph/graph.hh"
+
+namespace adyna::graph {
+
+/** Options controlling the parse. */
+struct ParseOptions
+{
+    /** Fuse epilogue chains into compute producers. */
+    bool fuseEpilogues = true;
+};
+
+/**
+ * Parse @p user into a dynamic operator graph.
+ *
+ * Constraints enforced (fatal() on violation, Section IV):
+ *  - every consumer of a switch output names a concrete branch;
+ *  - an operator may lie on at most one branch of one switch (only a
+ *    merge may join branches, and only branches of a single switch);
+ *  - an operator may be controlled by at most one switch (nested
+ *    switches hand over control at the inner switch).
+ */
+DynGraph parseModel(const Graph &user, const ParseOptions &opts = {});
+
+} // namespace adyna::graph
+
+#endif // ADYNA_GRAPH_PARSER_HH

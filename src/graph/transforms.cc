@@ -1,0 +1,156 @@
+#include "graph/transforms.hh"
+
+#include "common/logging.hh"
+
+namespace adyna::graph {
+
+OpId
+buildBranch(Graph &g, OpId sw, int branch, const BranchBuilder &body)
+{
+    ADYNA_ASSERT(g.node(sw).kind == OpKind::Switch,
+                 "buildBranch on non-switch op ", sw);
+    const std::size_t before = g.size();
+    const OpId tail = body(g, sw);
+    for (OpId id = static_cast<OpId>(before); id < g.size(); ++id) {
+        OpNode &n = g.node(id);
+        for (std::size_t i = 0; i < n.inputs.size(); ++i)
+            if (n.inputs[i] == sw && n.inputBranch[i] < 0)
+                n.inputBranch[i] = branch;
+    }
+    return tail;
+}
+
+OpId
+addEarlyExit(Graph &g, const std::string &name, OpId input,
+             std::int64_t gate_classes, double exit_prob, int gate_index)
+{
+    const OpNode &in = g.node(input);
+    // The exit head / gate classifier producing the routing mask.
+    const std::int64_t feat = in.dims.k();
+    OpId gate = g.addMatMul(name + ".gate", input, gate_classes, feat);
+
+    RoutingPolicy policy;
+    policy.kind = RoutingPolicy::Kind::EarlyExit;
+    policy.numBranches = 2;
+    policy.param = exit_prob;
+    policy.gateIndex = gate_index;
+
+    OpId sw = g.addSwitch(name + ".switch", input, policy, gate);
+    g.addSink(name + ".exit", sw, /*branch=*/0);
+    return sw;
+}
+
+OpId
+addLayerSkip(Graph &g, const std::string &name, OpId input,
+             double skip_prob, int gate_index, const BranchBuilder &block)
+{
+    const OpNode &in = g.node(input);
+    OpId gate = g.addMatMul(name + ".gate", input, 2, in.dims.k());
+
+    RoutingPolicy policy;
+    policy.kind = RoutingPolicy::Kind::LayerSkip;
+    policy.numBranches = 2;
+    policy.param = skip_prob;
+    policy.gateIndex = gate_index;
+
+    OpId sw = g.addSwitch(name + ".switch", input, policy, gate);
+
+    // Branch 1: backbone block.
+    OpId tail = buildBranch(g, sw, 1, block);
+
+    // Branch 0: shortcut straight to the merge.
+    OpId merge = g.addMerge(name + ".merge", {tail});
+    g.connectBranch(sw, 0, merge);
+    g.node(merge).dims = g.node(tail).dims;
+    return merge;
+}
+
+OpId
+addMoE(Graph &g, const std::string &name, OpId input, int num_experts,
+       int top_k, const std::vector<double> &expert_bias,
+       const BranchBuilder &expert, std::int64_t units_per_sample)
+{
+    ADYNA_ASSERT(num_experts >= 2, "MoE needs >= 2 experts");
+    ADYNA_ASSERT(top_k >= 1 && top_k <= num_experts,
+                 "bad top_k ", top_k, " for ", num_experts, " experts");
+    const OpNode &in = g.node(input);
+    OpId router =
+        g.addMatMul(name + ".router", input, num_experts, in.dims.k());
+
+    RoutingPolicy policy;
+    policy.kind = RoutingPolicy::Kind::TopKExperts;
+    policy.numBranches = num_experts;
+    policy.topK = top_k;
+    policy.branchBias = expert_bias;
+    policy.unitsPerSample = units_per_sample;
+
+    OpId sw = g.addSwitch(name + ".switch", input, policy, router);
+
+    std::vector<OpId> tails;
+    tails.reserve(num_experts);
+    for (int e = 0; e < num_experts; ++e)
+        tails.push_back(buildBranch(g, sw, e, expert));
+
+    OpId merge = g.addMerge(name + ".merge", tails);
+    g.node(merge).dims = g.node(tails.front()).dims;
+    return merge;
+}
+
+OpId
+addChannelPrunedConv(Graph &g, const std::string &name, OpId input,
+                     const LoopDims &conv_dims, int stride,
+                     int num_blocks, double keep_frac, int gate_index)
+{
+    ADYNA_ASSERT(num_blocks >= 2, "channel pruning needs >= 2 blocks");
+    ADYNA_ASSERT(conv_dims.c() % num_blocks == 0,
+                 "C = ", conv_dims.c(), " not divisible by ", num_blocks,
+                 " blocks");
+    const OpNode &in = g.node(input);
+    // FBS-style saliency predictor producing the channel mask.
+    OpId gate =
+        g.addMatMul(name + ".gate", input, conv_dims.c(), in.dims.k());
+
+    RoutingPolicy policy;
+    policy.kind = RoutingPolicy::Kind::ChannelBlocks;
+    policy.numBranches = num_blocks;
+    policy.param = keep_frac;
+    policy.gateIndex = gate_index;
+
+    OpId sw = g.addSwitch(name + ".switch", input, policy, gate);
+
+    const LoopDims blockDims =
+        conv_dims.with(Dim::C, conv_dims.c() / num_blocks);
+    std::vector<OpId> tails;
+    tails.reserve(num_blocks);
+    for (int b = 0; b < num_blocks; ++b) {
+        OpId conv = g.addConv(name + ".c" + std::to_string(b), sw,
+                              blockDims, stride);
+        g.connectBranch(sw, b, conv);
+        tails.push_back(conv);
+    }
+    OpId merge = g.addMerge(name + ".merge", tails);
+    g.node(merge).dims = conv_dims;
+    return merge;
+}
+
+OpId
+addPatchSelect(Graph &g, const std::string &name, OpId folded_input,
+               double keep_frac, int gate_index)
+{
+    const OpNode &in = g.node(folded_input);
+    // Patch scorer over the folded rows.
+    OpId scorer =
+        g.addMatMul(name + ".scorer", folded_input, 1, in.dims.k());
+
+    RoutingPolicy policy;
+    policy.kind = RoutingPolicy::Kind::PatchSelect;
+    policy.numBranches = 2;
+    policy.param = keep_frac;
+    policy.gateIndex = gate_index;
+
+    OpId sw = g.addSwitch(name + ".switch", folded_input, policy, scorer);
+    g.addSink(name + ".drop", sw, /*branch=*/1);
+    return sw;
+}
+
+} // namespace adyna::graph

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Graph construction transforms that realize the paper's Figure 5:
+ * lowering each DynNN dynamism category onto switch / merge / sink
+ * structures with all dynamism on the batch dimension.
+ *
+ * These helpers operate on a user-level Graph before parsing and are
+ * what the model zoo (src/models) uses to express early exiting,
+ * layer skipping, MoE routing, dynamic channel pruning, and patch
+ * selection.
+ */
+
+#ifndef ADYNA_GRAPH_TRANSFORMS_HH
+#define ADYNA_GRAPH_TRANSFORMS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace adyna::graph {
+
+/**
+ * Builds the operators of one branch body: receives the branch input
+ * id (the switch) and returns the branch tail id.
+ */
+using BranchBuilder = std::function<OpId(Graph &, OpId)>;
+
+/**
+ * Run @p body with @p sw as its input and tag every op it created
+ * that directly consumes @p sw as lying on @p branch.
+ * @return the branch tail id returned by the body.
+ */
+OpId buildBranch(Graph &g, OpId sw, int branch, const BranchBuilder &body);
+
+/**
+ * Early exiting (Figure 5(a)): a gate classifier computes the mask;
+ * exiting samples leave through a sink on branch 0.
+ *
+ * @param gate_classes output features of the gate / exit head.
+ * @param exit_prob marginal probability that a sample exits here.
+ * @param gate_index position of this gate along the model.
+ * @return the switch id; attach the continuing ops to branch 1 with
+ *         buildBranch(g, sw, 1, ...).
+ */
+OpId addEarlyExit(Graph &g, const std::string &name, OpId input,
+                  std::int64_t gate_classes, double exit_prob,
+                  int gate_index);
+
+/**
+ * Layer skipping (Figure 5(c)): a gate decides per sample whether to
+ * run the block (branch 1) or take the shortcut (branch 0); a merge
+ * rejoins the batch.
+ *
+ * @param skip_prob marginal probability that a sample skips the block.
+ * @return the merge output id (full batch again).
+ */
+OpId addLayerSkip(Graph &g, const std::string &name, OpId input,
+                  double skip_prob, int gate_index,
+                  const BranchBuilder &block);
+
+/**
+ * Mixture-of-Experts routing (Figure 5(b)): a router matmul computes
+ * expert scores; each sample activates top-k experts; a merge
+ * combines expert outputs.
+ *
+ * @param expert_bias optional per-expert popularity weights.
+ * @param units_per_sample rows per routed unit holder: tokens route
+ *        independently, so this is the token fold of the batch rows
+ *        (see RoutingPolicy::unitsPerSample).
+ * @return the merge output id.
+ */
+OpId addMoE(Graph &g, const std::string &name, OpId input,
+            int num_experts, int top_k,
+            const std::vector<double> &expert_bias,
+            const BranchBuilder &expert,
+            std::int64_t units_per_sample = 1);
+
+/**
+ * Dynamic channel pruning (Figure 5(b), FBSNet-style): splits a
+ * convolution with a dynamic input-channel dimension into
+ * @p num_blocks dense sub-operators along C, each a branch of a
+ * ChannelBlocks switch; a merge sums the partial outputs.
+ *
+ * @param conv_dims full (unpruned) dims of the convolution.
+ * @param keep_frac expected fraction of channel blocks each sample
+ *        activates.
+ * @return the merge output id.
+ */
+OpId addChannelPrunedConv(Graph &g, const std::string &name, OpId input,
+                          const LoopDims &conv_dims, int stride,
+                          int num_blocks, double keep_frac,
+                          int gate_index);
+
+/**
+ * Patch selection (Figure 5(d), DPSNet-style): the input batch is
+ * already patch-folded (N = samples x patches); a scorer network
+ * computes patch importances, unselected patches are discarded
+ * through a sink on branch 1, and the selected (dynamic) rows on
+ * branch 0 continue.
+ *
+ * @param keep_frac expected fraction of patches kept per sample.
+ * @return the switch id; attach the kept-patch ops to branch 0 with
+ *         buildBranch(g, sw, 0, ...).
+ */
+OpId addPatchSelect(Graph &g, const std::string &name, OpId folded_input,
+                    double keep_frac, int gate_index);
+
+} // namespace adyna::graph
+
+#endif // ADYNA_GRAPH_TRANSFORMS_HH

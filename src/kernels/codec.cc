@@ -1,0 +1,226 @@
+#include "kernels/codec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adyna::kernels {
+
+using costmodel::LoopOrder;
+using costmodel::Mapping;
+using costmodel::SpatialSplit;
+using graph::Dim;
+using graph::kNumDims;
+using graph::LoopDims;
+
+namespace {
+
+// Layout (all offsets in bytes):
+//   [0]      magic 0xAD
+//   [1]      format version
+//   [2]      tile-group size
+//   [3]      canonical loop-order id
+//   [4..7]   reserved
+//   [8..77]  blocking factors: 5 levels x 7 dims x u16 (LE)
+//   [78..95] iteration strides: 5 levels x 7 dims x 4-bit nibbles
+//   [96..113] loop-order slots: 5 levels x 7 dims x 4-bit nibbles
+//   [114..127] total dim extents: 7 x u16 (LE)
+constexpr std::size_t kOffFactors = 8;
+constexpr std::size_t kOffStrides = 78;
+constexpr std::size_t kOffOrders = 96;
+constexpr std::size_t kOffTotals = 114;
+constexpr int kNumLevels = 5;
+
+void
+putU16(KernelImage &img, std::size_t off, std::uint64_t v)
+{
+    ADYNA_ASSERT(v <= 0xffff, "kernel metadata field overflow: ", v);
+    img[off] = static_cast<std::uint8_t>(v & 0xff);
+    img[off + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+}
+
+std::uint16_t
+getU16(const KernelImage &img, std::size_t off)
+{
+    return static_cast<std::uint16_t>(img[off] |
+                                      (img[off + 1] << 8));
+}
+
+void
+putNibble(KernelImage &img, std::size_t base, int index,
+          std::uint8_t value)
+{
+    ADYNA_ASSERT(value <= 0xf, "nibble overflow: ", int{value});
+    const std::size_t byte = base + static_cast<std::size_t>(index / 2);
+    if (index % 2 == 0)
+        img[byte] =
+            static_cast<std::uint8_t>((img[byte] & 0xf0) | value);
+    else
+        img[byte] = static_cast<std::uint8_t>((img[byte] & 0x0f) |
+                                              (value << 4));
+}
+
+std::uint8_t
+getNibble(const KernelImage &img, std::size_t base, int index)
+{
+    const std::size_t byte = base + static_cast<std::size_t>(index / 2);
+    return index % 2 == 0
+               ? static_cast<std::uint8_t>(img[byte] & 0x0f)
+               : static_cast<std::uint8_t>(img[byte] >> 4);
+}
+
+std::size_t
+factorOff(int level, int dim)
+{
+    return kOffFactors +
+           static_cast<std::size_t>(level * static_cast<int>(kNumDims) +
+                                    dim) *
+               2;
+}
+
+int
+slotIndex(int level, int dim)
+{
+    return level * static_cast<int>(kNumDims) + dim;
+}
+
+} // namespace
+
+KernelImage
+encodeKernel(const Mapping &mapping, int stride,
+             const costmodel::TechParams &tech)
+{
+    KernelImage img{};
+    img[0] = 0xad;
+    img[1] = 1;
+    ADYNA_ASSERT(mapping.tiles >= 1 && mapping.tiles <= 255,
+                 "tile-group size out of range: ", mapping.tiles);
+    img[2] = static_cast<std::uint8_t>(mapping.tiles);
+    img[3] = static_cast<std::uint8_t>(mapping.order);
+
+    const LoopDims perTile = mapping.perTileDims();
+
+    // L0: PE-array block.
+    LoopDims arrayBlock;
+    arrayBlock[Dim::N] = 1;
+    arrayBlock[Dim::K] =
+        std::min<std::int64_t>(tech.peRows, perTile.k());
+    arrayBlock[Dim::C] =
+        std::min<std::int64_t>(tech.peCols, perTile.c());
+    arrayBlock[Dim::P] = 1;
+    arrayBlock[Dim::Q] = 1;
+    arrayBlock[Dim::R] = perTile.r();
+    arrayBlock[Dim::S] = perTile.s();
+
+    // L2: scratchpad block (clamped to per-tile extents).
+    LoopDims spad = mapping.spadBlock;
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+        const Dim dd = static_cast<Dim>(d);
+        spad[dd] = std::clamp<std::int64_t>(spad[dd], 1, perTile[dd]);
+    }
+
+    // L3: spatial split factors; L4: DRAM-level trip counts.
+    LoopDims spatial;
+    for (std::size_t d = 0; d < kNumDims; ++d)
+        spatial[static_cast<Dim>(d)] =
+            mapping.splitFactor(static_cast<Dim>(d));
+    LoopDims dram;
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+        const Dim dd = static_cast<Dim>(d);
+        dram[dd] = (perTile[dd] + spad[dd] - 1) / spad[dd];
+    }
+
+    const LoopDims *levels[kNumLevels] = {&arrayBlock, nullptr, &spad,
+                                          &spatial, &dram};
+    for (int level = 0; level < kNumLevels; ++level) {
+        for (int d = 0; d < static_cast<int>(kNumDims); ++d) {
+            const std::int64_t f =
+                levels[level] == nullptr
+                    ? 1
+                    : (*levels[level])[static_cast<Dim>(d)];
+            putU16(img, factorOff(level, d),
+                   static_cast<std::uint64_t>(f));
+        }
+    }
+
+    // Strides: the conv stride applies to the spatial output dims at
+    // the innermost level; everything else iterates by 1.
+    for (int level = 0; level < kNumLevels; ++level) {
+        for (int d = 0; d < static_cast<int>(kNumDims); ++d) {
+            std::uint8_t s = 1;
+            const Dim dd = static_cast<Dim>(d);
+            if (level == 0 && (dd == Dim::P || dd == Dim::Q))
+                s = static_cast<std::uint8_t>(
+                    std::min(stride, 15));
+            putNibble(img, kOffStrides, slotIndex(level, d), s);
+        }
+    }
+
+    // Loop-order slots: the canonical permutation, repeated per level.
+    const auto perm = costmodel::orderPermutation(mapping.order);
+    std::array<std::uint8_t, kNumDims> slotOf{};
+    for (std::size_t pos = 0; pos < kNumDims; ++pos)
+        slotOf[static_cast<std::size_t>(
+            static_cast<std::uint8_t>(perm[pos]))] =
+            static_cast<std::uint8_t>(pos);
+    for (int level = 0; level < kNumLevels; ++level)
+        for (int d = 0; d < static_cast<int>(kNumDims); ++d)
+            putNibble(img, kOffOrders, slotIndex(level, d),
+                      slotOf[static_cast<std::size_t>(d)]);
+
+    // Total extents.
+    for (int d = 0; d < static_cast<int>(kNumDims); ++d)
+        putU16(img, kOffTotals + static_cast<std::size_t>(d) * 2,
+               static_cast<std::uint64_t>(
+                   mapping.compiledDims[static_cast<Dim>(d)]));
+    return img;
+}
+
+Mapping
+decodeKernel(const KernelImage &image)
+{
+    ADYNA_ASSERT(image[0] == 0xad && image[1] == 1,
+                 "bad kernel image header");
+    Mapping m;
+    m.tiles = image[2];
+
+    // Reconstruct the loop order from the order-slot nibbles (the
+    // header byte is redundant and cross-checked here).
+    std::array<Dim, kNumDims> perm{};
+    for (int d = 0; d < static_cast<int>(kNumDims); ++d) {
+        const std::uint8_t pos =
+            getNibble(image, kOffOrders, slotIndex(/*level=*/4, d));
+        ADYNA_ASSERT(pos < kNumDims, "bad order slot ", int{pos});
+        perm[pos] = static_cast<Dim>(d);
+    }
+    bool matched = false;
+    for (int o = 0; o < costmodel::kNumLoopOrders; ++o) {
+        if (costmodel::orderPermutation(static_cast<LoopOrder>(o)) ==
+            perm) {
+            m.order = static_cast<LoopOrder>(o);
+            matched = true;
+            break;
+        }
+    }
+    ADYNA_ASSERT(matched, "order nibbles encode no canonical order");
+    ADYNA_ASSERT(static_cast<LoopOrder>(image[3]) == m.order,
+                 "order header/nibble mismatch");
+
+    for (int d = 0; d < static_cast<int>(kNumDims); ++d)
+        m.compiledDims[static_cast<Dim>(d)] =
+            getU16(image, kOffTotals + static_cast<std::size_t>(d) * 2);
+
+    for (int d = 0; d < static_cast<int>(kNumDims); ++d) {
+        const int f =
+            getU16(image, factorOff(/*level=*/3, d));
+        if (f > 1)
+            m.splits.push_back(
+                SpatialSplit{static_cast<Dim>(d), f});
+    }
+    for (int d = 0; d < static_cast<int>(kNumDims); ++d)
+        m.spadBlock[static_cast<Dim>(d)] =
+            getU16(image, factorOff(/*level=*/2, d));
+    return m;
+}
+
+} // namespace adyna::kernels

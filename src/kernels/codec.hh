@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The hardware template-kernel metadata format (Figure 8).
+ *
+ * A kernel is stored on-chip not as a program but as per-(dim, level)
+ * metadata interpreted by the tile's instruction-issuer FSM: a 16-bit
+ * blocking factor, a 4-bit iteration stride, and a 4-bit loop-order
+ * slot, for 7 data dimensions at 5 loop levels, plus the 16-bit total
+ * extent of each dimension. That is 7*5*3 + 7*2 = 119 bytes, padded
+ * with a small header to the paper's 128-byte kernel size.
+ *
+ * Level assignment used by this implementation:
+ *   L0 = PE-array block (innermost temporal),
+ *   L1 = reserved (all ones),
+ *   L2 = scratchpad block,
+ *   L3 = spatial split across the tile group,
+ *   L4 = DRAM-level block trip counts (order nibbles at this level
+ *        encode the canonical loop order).
+ */
+
+#ifndef ADYNA_KERNELS_CODEC_HH
+#define ADYNA_KERNELS_CODEC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "costmodel/mapping.hh"
+#include "costmodel/tech.hh"
+
+namespace adyna::kernels {
+
+/** Size of one encoded kernel, in bytes. */
+inline constexpr std::size_t kKernelBytes = 128;
+
+/** On-chip representation of one kernel. */
+using KernelImage = std::array<std::uint8_t, kKernelBytes>;
+
+/**
+ * Encode a mapping into the 128-byte metadata image.
+ * fatal() if any extent exceeds the 16-bit field.
+ */
+KernelImage encodeKernel(const costmodel::Mapping &mapping, int stride,
+                         const costmodel::TechParams &tech);
+
+/**
+ * Decode a metadata image back into a mapping. The decode is the
+ * hardware dispatcher's view: it reconstructs exactly the loop
+ * structure the instruction issuer iterates.
+ */
+costmodel::Mapping decodeKernel(const KernelImage &image);
+
+} // namespace adyna::kernels
+
+#endif // ADYNA_KERNELS_CODEC_HH

@@ -1,0 +1,111 @@
+#include "kernels/store.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adyna::kernels {
+
+void
+KernelStore::add(Kernel kernel)
+{
+    const auto it = std::lower_bound(
+        kernels_.begin(), kernels_.end(), kernel.value,
+        [](const Kernel &k, std::int64_t v) { return k.value < v; });
+    if (it != kernels_.end() && it->value == kernel.value)
+        *it = std::move(kernel);
+    else
+        kernels_.insert(it, std::move(kernel));
+}
+
+bool
+KernelStore::remove(std::int64_t value)
+{
+    const auto it = std::lower_bound(
+        kernels_.begin(), kernels_.end(), value,
+        [](const Kernel &k, std::int64_t v) { return k.value < v; });
+    if (it == kernels_.end() || it->value != value)
+        return false;
+    kernels_.erase(it);
+    return true;
+}
+
+void
+KernelStore::clear()
+{
+    kernels_.clear();
+}
+
+const Kernel &
+KernelStore::at(std::size_t i) const
+{
+    ADYNA_ASSERT(i < kernels_.size(), "kernel index out of range");
+    return kernels_[i];
+}
+
+std::vector<std::int64_t>
+KernelStore::values() const
+{
+    std::vector<std::int64_t> out;
+    out.reserve(kernels_.size());
+    for (const Kernel &k : kernels_)
+        out.push_back(k.value);
+    return out;
+}
+
+Dispatch
+KernelStore::dispatch(std::int64_t actual) const
+{
+    ADYNA_ASSERT(!kernels_.empty(), "dispatch on empty kernel store");
+    ADYNA_ASSERT(actual > 0, "dispatch needs a positive value, got ",
+                 actual);
+    const auto it = std::lower_bound(
+        kernels_.begin(), kernels_.end(), actual,
+        [](const Kernel &k, std::int64_t v) { return k.value < v; });
+    Dispatch d;
+    if (it != kernels_.end()) {
+        d.index = static_cast<std::size_t>(it - kernels_.begin());
+        d.passes = 1;
+        d.perPass = actual;
+        return d;
+    }
+    // Actual exceeds every kernel: run the largest one repeatedly.
+    d.index = kernels_.size() - 1;
+    const std::int64_t vmax = kernels_.back().value;
+    d.passes = (actual + vmax - 1) / vmax;
+    d.perPass = vmax;
+    return d;
+}
+
+std::vector<std::int64_t>
+uniformKernelValues(std::int64_t max_value, int count)
+{
+    ADYNA_ASSERT(max_value >= 1, "max kernel value must be >= 1");
+    ADYNA_ASSERT(count >= 1, "kernel count must be >= 1");
+    std::vector<std::int64_t> values;
+    if (max_value <= static_cast<std::int64_t>(count)) {
+        // Few distinct values: enumerate them all.
+        for (std::int64_t v = 1; v <= max_value; ++v)
+            values.push_back(v);
+        return values;
+    }
+    if (count == 1)
+        return {max_value};
+    for (int i = 0; i < count; ++i) {
+        const double frac =
+            count == 1 ? 1.0
+                       : static_cast<double>(i) / (count - 1);
+        const std::int64_t v = 1 + static_cast<std::int64_t>(
+                                       std::llround(
+                                           frac * static_cast<double>(
+                                                      max_value - 1)));
+        if (values.empty() || values.back() != v)
+            values.push_back(v);
+    }
+    if (values.back() != max_value)
+        values.push_back(max_value);
+    return values;
+}
+
+} // namespace adyna::kernels

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-operator multi-kernel stores and the hardware dispatch rule
+ * (Section VI-B): each tile keeps several kernels compiled for
+ * different dyn_dim values; at runtime the dispatcher selects the
+ * kernel with the smallest compiled value that is no less than the
+ * actual value. If the actual value exceeds every compiled value the
+ * largest kernel runs in multiple passes.
+ */
+
+#ifndef ADYNA_KERNELS_STORE_HH
+#define ADYNA_KERNELS_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "costmodel/mapping.hh"
+#include "costmodel/tech.hh"
+#include "kernels/codec.hh"
+
+namespace adyna::kernels {
+
+/** One compiled kernel: a mapping at a concrete dyn_dim value plus
+ * its encoded 128-byte on-chip metadata image (Figure 8). */
+struct Kernel
+{
+    std::int64_t value = 0; ///< the compiled dyn_dim (batch) value
+    costmodel::Mapping mapping;
+    KernelImage image{}; ///< what the tile actually stores
+};
+
+/** Result of a dispatch: which kernel, and in how many passes. */
+struct Dispatch
+{
+    /** Index of the selected kernel in the store. */
+    std::size_t index = 0;
+
+    /** Number of sequential passes (1 unless the actual value
+     * exceeds every compiled value). */
+    std::int64_t passes = 1;
+
+    /** Actual rows processed in each pass (last pass may be
+     * partial). */
+    std::int64_t perPass = 0;
+};
+
+/** Sorted set of kernels for one operator on one tile group. */
+class KernelStore
+{
+  public:
+    KernelStore() = default;
+
+    /** Add a kernel; keeps the store sorted by compiled value.
+     * Replaces an existing kernel with the same value. */
+    void add(Kernel kernel);
+
+    /** Remove the kernel compiled for @p value; false if absent. */
+    bool remove(std::int64_t value);
+
+    /** Drop all kernels. */
+    void clear();
+
+    std::size_t size() const { return kernels_.size(); }
+    bool empty() const { return kernels_.empty(); }
+
+    const Kernel &at(std::size_t i) const;
+    const std::vector<Kernel> &kernels() const { return kernels_; }
+
+    /** Sorted compiled values. */
+    std::vector<std::int64_t> values() const;
+
+    /** Total metadata bytes this store occupies on-chip. */
+    Bytes
+    metadataBytes() const
+    {
+        return static_cast<Bytes>(kernels_.size()) * kKernelBytes;
+    }
+
+    /**
+     * The hardware dispatch rule. @p actual must be positive and the
+     * store non-empty.
+     */
+    Dispatch dispatch(std::int64_t actual) const;
+
+  private:
+    std::vector<Kernel> kernels_; // sorted by value ascending
+};
+
+/**
+ * Initial kernel placement (Section VII): values uniformly spanned
+ * between 1 and @p max_value, inclusive of both endpoints, at most
+ * @p count values.
+ */
+std::vector<std::int64_t> uniformKernelValues(std::int64_t max_value,
+                                              int count);
+
+} // namespace adyna::kernels
+
+#endif // ADYNA_KERNELS_STORE_HH

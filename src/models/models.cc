@@ -1,0 +1,424 @@
+#include "models/models.hh"
+
+#include <functional>
+
+#include "common/logging.hh"
+#include "graph/transforms.hh"
+
+namespace adyna::models {
+
+using graph::Dim;
+using graph::Graph;
+using graph::LoopDims;
+using graph::OpKind;
+
+namespace {
+
+/**
+ * Two 3x3 convolutions with a residual add, the ResNet basic block.
+ * @return the tail (the residual add, fused into conv2 at parse).
+ */
+OpId
+basicBlock(Graph &g, const std::string &name, OpId input,
+           std::int64_t batch, std::int64_t channels, std::int64_t hw)
+{
+    OpId c1 = g.addConv(
+        name + ".conv1", input,
+        LoopDims::conv(batch, channels, channels, hw, hw, 3, 3));
+    OpId a1 = g.addFusable(name + ".relu1", OpKind::Act, {c1},
+                           LoopDims::conv(batch, channels, channels,
+                                          hw, hw, 1, 1));
+    OpId c2 = g.addConv(
+        name + ".conv2", a1,
+        LoopDims::conv(batch, channels, channels, hw, hw, 3, 3));
+    OpId add = g.addFusable(name + ".add", OpKind::Eltwise, {c2, input},
+                            LoopDims::conv(batch, channels, channels,
+                                           hw, hw, 1, 1));
+    return add;
+}
+
+/** Downsampling block: stride-2 conv doubling channels. */
+OpId
+downBlock(Graph &g, const std::string &name, OpId input,
+          std::int64_t batch, std::int64_t in_ch, std::int64_t out_ch,
+          std::int64_t out_hw)
+{
+    OpId c1 = g.addConv(
+        name + ".conv1", input,
+        LoopDims::conv(batch, out_ch, in_ch, out_hw, out_hw, 3, 3), 2);
+    OpId a1 = g.addFusable(name + ".relu1", OpKind::Act, {c1},
+                           LoopDims::conv(batch, out_ch, out_ch,
+                                          out_hw, out_hw, 1, 1));
+    OpId c2 = g.addConv(
+        name + ".conv2", a1,
+        LoopDims::conv(batch, out_ch, out_ch, out_hw, out_hw, 3, 3));
+    OpId a2 = g.addFusable(name + ".relu2", OpKind::Act, {c2},
+                           LoopDims::conv(batch, out_ch, out_ch,
+                                          out_hw, out_hw, 1, 1));
+    return a2;
+}
+
+/**
+ * Transformer encoder layer over token-folded rows. Attention is
+ * lowered to matmuls (QKV projections, two score/context matmuls
+ * with the sequence length as the contraction/output dim, and the
+ * output projection), followed by a dense FFN unless the caller
+ * supplies its own FFN builder.
+ */
+OpId
+transformerLayer(Graph &g, const std::string &name, OpId input,
+                 std::int64_t rows, std::int64_t hidden,
+                 std::int64_t seq, std::int64_t ffn_hidden,
+                 const std::function<OpId(Graph &, OpId)> &ffn = {})
+{
+    OpId q = g.addMatMul(name + ".q", input, hidden, hidden);
+    OpId k = g.addMatMul(name + ".k", input, hidden, hidden);
+    OpId v = g.addMatMul(name + ".v", input, hidden, hidden);
+    // Attention scores and context as row-folded matmuls; K and V
+    // are extra operands so their tensors route through the NoC.
+    OpId scores = g.addMatMul(name + ".scores", q, seq, hidden);
+    g.node(scores).inputs.push_back(k);
+    g.node(scores).inputBranch.push_back(-1);
+    OpId sm = g.addFusable(name + ".softmax", OpKind::Softmax, {scores},
+                           LoopDims::matmul(rows, seq, seq));
+    OpId ctx = g.addMatMul(name + ".context", sm, hidden, seq);
+    g.node(ctx).inputs.push_back(v);
+    g.node(ctx).inputBranch.push_back(-1);
+    OpId proj = g.addMatMul(name + ".proj", ctx, hidden, hidden);
+    OpId ln1 = g.addFusable(name + ".ln1", OpKind::Norm, {proj, input},
+                            LoopDims::matmul(rows, hidden, hidden));
+    if (ffn)
+        return ffn(g, ln1);
+    OpId up = g.addMatMul(name + ".ffn.up", ln1, ffn_hidden, hidden);
+    OpId act = g.addFusable(name + ".ffn.gelu", OpKind::Act, {up},
+                            LoopDims::matmul(rows, ffn_hidden,
+                                             ffn_hidden));
+    OpId down = g.addMatMul(name + ".ffn.down", act, hidden, ffn_hidden);
+    OpId ln2 = g.addFusable(name + ".ln2", OpKind::Norm, {down, ln1},
+                            LoopDims::matmul(rows, hidden, hidden));
+    return ln2;
+}
+
+trace::TraceConfig
+defaultTrace(std::int64_t batch)
+{
+    trace::TraceConfig cfg;
+    cfg.batchSize = batch;
+    return cfg;
+}
+
+} // namespace
+
+ModelBundle
+buildSkipNet(std::int64_t batch)
+{
+    Graph g("skipnet");
+    OpId in = g.addInput("image", LoopDims::conv(batch, 3, 3, 224, 224,
+                                                 1, 1));
+    // Stem: 7x7/2 conv + pool to 56x56.
+    OpId stem = g.addConv(
+        "stem", in, LoopDims::conv(batch, 64, 3, 112, 112, 7, 7), 2);
+    OpId pool = g.addFusable(
+        "stem.pool", OpKind::Pool, {stem},
+        LoopDims::conv(batch, 64, 64, 56, 56, 2, 2), 2);
+
+    struct Stage
+    {
+        std::int64_t channels;
+        std::int64_t hw;
+        double skipProb;
+    };
+    const Stage stages[4] = {{64, 56, 0.35},
+                             {128, 28, 0.50},
+                             {256, 14, 0.60},
+                             {512, 7, 0.70}};
+
+    OpId cur = pool;
+    int gate = 0;
+    std::int64_t prevCh = 64;
+    for (int s = 0; s < 4; ++s) {
+        const Stage &st = stages[s];
+        const std::string sname = "s" + std::to_string(s);
+        if (s > 0) {
+            cur = downBlock(g, sname + ".down", cur, batch, prevCh,
+                            st.channels, st.hw);
+        }
+        // Every residual block is gated (SkipNet gates each block
+        // and skips roughly half of them on ImageNet).
+        for (int blk = 0; blk < 2; ++blk) {
+            const std::string bname =
+                sname + ".b" + std::to_string(blk);
+            cur = graph::addLayerSkip(
+                g, bname + ".skip", cur, st.skipProb, gate++,
+                [&](Graph &gg, OpId sw) {
+                    return basicBlock(gg, bname + ".blk", sw, batch,
+                                      st.channels, st.hw);
+                });
+        }
+        prevCh = st.channels;
+    }
+
+    OpId gap = g.addFusable("gap", OpKind::Pool, {cur},
+                            LoopDims::conv(batch, 512, 512, 1, 1, 7, 7),
+                            7);
+    OpId fc = g.addMatMul("fc", gap, 1000, 512);
+    g.addOutput("logits", fc);
+
+    return {"SkipNet", std::move(g), defaultTrace(batch)};
+}
+
+ModelBundle
+buildPabee(std::int64_t batch)
+{
+    constexpr std::int64_t kSeq = 128;
+    constexpr std::int64_t kHidden = 768;
+    constexpr std::int64_t kFfn = 3072;
+    constexpr int kLayers = 12;
+    const std::int64_t rows = batch * kSeq;
+
+    // Marginal exit fractions per gate (of the original batch),
+    // calibrated to PABEE's ~1.6x average compute saving on GLUE.
+    const double exitFrac[kLayers - 1] = {0.02, 0.05, 0.09, 0.12,
+                                          0.14, 0.13, 0.11, 0.09,
+                                          0.07, 0.05, 0.04};
+
+    Graph g("pabee");
+    OpId in = g.addInput("tokens", LoopDims::matmul(rows, kHidden,
+                                                    kHidden));
+    OpId cur = g.addMatMul("embed", in, kHidden, kHidden);
+    OpId pendingSwitch = kInvalidOp;
+    for (int layer = 0; layer < kLayers; ++layer) {
+        const std::string name = "l" + std::to_string(layer);
+        const auto body = [&](Graph &gg, OpId inp) {
+            return transformerLayer(gg, name, inp, rows, kHidden, kSeq,
+                                    kFfn);
+        };
+        // Layers after a gate live on its "continue" branch.
+        cur = pendingSwitch == kInvalidOp
+                  ? body(g, cur)
+                  : graph::buildBranch(g, pendingSwitch, 1, body);
+        if (layer < kLayers - 1) {
+            pendingSwitch = graph::addEarlyExit(
+                g, name + ".exit", cur, 2, exitFrac[layer], layer);
+            // The exit gate decides per sequence over token rows.
+            g.node(pendingSwitch).policy.unitsPerSample = kSeq;
+        }
+    }
+    OpId head = g.addMatMul("head", cur, 2, kHidden);
+    g.addOutput("logits", head);
+
+    return {"PABEE", std::move(g), defaultTrace(batch)};
+}
+
+ModelBundle
+buildFbsNet(std::int64_t batch)
+{
+    Graph g("fbsnet");
+    OpId in = g.addInput("image", LoopDims::conv(batch, 3, 3, 224, 224,
+                                                 1, 1));
+    OpId cur = g.addConv(
+        "conv0", in, LoopDims::conv(batch, 64, 3, 112, 112, 7, 7), 2);
+
+    struct Layer
+    {
+        std::int64_t channels;
+        std::int64_t hw;
+        int stride;
+        double keep;
+    };
+    // Channel keep fractions ~0.5 give FBS's ~2x MAC reduction; the
+    // Zipf popularity in the trace generator leaves the last blocks
+    // rarely activated (exercising branch grouping).
+    const Layer layers[7] = {{64, 56, 2, 0.60},  {128, 56, 1, 0.55},
+                             {128, 28, 2, 0.50}, {256, 28, 1, 0.50},
+                             {256, 14, 2, 0.45}, {512, 14, 1, 0.45},
+                             {512, 7, 2, 0.40}};
+
+    std::int64_t prevCh = 64;
+    for (int i = 0; i < 7; ++i) {
+        const Layer &l = layers[i];
+        cur = graph::addChannelPrunedConv(
+            g, "cp" + std::to_string(i), cur,
+            LoopDims::conv(batch, l.channels, prevCh, l.hw, l.hw, 3, 3),
+            l.stride, /*num_blocks=*/8, l.keep, i);
+        prevCh = l.channels;
+    }
+
+    OpId gap = g.addFusable("gap", OpKind::Pool, {cur},
+                            LoopDims::conv(batch, 512, 512, 1, 1, 7, 7),
+                            7);
+    OpId fc = g.addMatMul("fc", gap, 1000, 512);
+    g.addOutput("logits", fc);
+
+    return {"FBSNet", std::move(g), defaultTrace(batch)};
+}
+
+ModelBundle
+buildTutelMoe(std::int64_t batch)
+{
+    constexpr std::int64_t kSeq = 196;
+    constexpr std::int64_t kHidden = 384;
+    constexpr std::int64_t kFfn = 1536;
+    constexpr int kExperts = 8;
+    const std::int64_t rows = batch * kSeq;
+
+    Graph g("tutel-moe");
+    OpId in = g.addInput("patches",
+                         LoopDims::matmul(rows, 768, 768));
+    OpId cur = g.addMatMul("embed", in, kHidden, 768);
+
+    // Skewed expert popularity (a few hot experts), as observed in
+    // production MoE traces.
+    const std::vector<double> bias{4.0, 2.5, 2.0, 1.5,
+                                   1.0, 0.8, 0.6, 0.4};
+
+    for (int block = 0; block < 4; ++block) {
+        const std::string name = "b" + std::to_string(block);
+        const bool moeBlock = block % 2 == 1;
+        if (!moeBlock) {
+            cur = transformerLayer(g, name, cur, rows, kHidden, kSeq,
+                                   kFfn);
+            continue;
+        }
+        cur = transformerLayer(
+            g, name, cur, rows, kHidden, kSeq, kFfn,
+            [&](Graph &gg, OpId ln1) {
+                // Tokens route independently: the router decides per
+                // row, and each image holds kSeq rows.
+                return graph::addMoE(
+                    gg, name + ".moe", ln1, kExperts, /*top_k=*/2,
+                    bias,
+                    [&](Graph &g2, OpId sw) {
+                        OpId up = g2.addMatMul(name + ".moe.up", sw,
+                                               kFfn, kHidden);
+                        OpId act = g2.addFusable(
+                            name + ".moe.gelu", OpKind::Act, {up},
+                            LoopDims::matmul(rows, kFfn, kFfn));
+                        return g2.addMatMul(name + ".moe.down", act,
+                                            kHidden, kFfn);
+                    },
+                    /*units_per_sample=*/kSeq);
+            });
+    }
+    OpId head = g.addMatMul("head", cur, 1000, kHidden);
+    g.addOutput("logits", head);
+
+    ModelBundle bundle{"Tutel-MoE", std::move(g), defaultTrace(batch)};
+    // Expert popularity drifts visibly across phases.
+    bundle.traceConfig.driftStrength = 0.5;
+    return bundle;
+}
+
+ModelBundle
+buildDpsNet(std::int64_t batch)
+{
+    constexpr std::int64_t kPatches = 64;
+    constexpr std::int64_t kHidden = 384;
+    constexpr std::int64_t kFfn = 1536;
+    const std::int64_t rows = batch * kPatches;
+
+    Graph g("dpsnet");
+    // Patch-folded input: 28x28x3 patches flattened to 2352.
+    OpId in = g.addInput("patches", LoopDims::matmul(rows, 2352, 2352));
+    // The scorer runs on cheap low-resolution features of every
+    // patch; the expensive embedding is only computed for the
+    // selected patches (Cordonnier et al.), so it sits inside the
+    // dynamic region.
+    OpId scoreFeat = g.addMatMul("score.feat", in, 64, 2352 / 16);
+    OpId scorer = g.addMatMul("select.scorer", scoreFeat, 1, 64);
+
+    graph::RoutingPolicy selPolicy;
+    selPolicy.kind = graph::RoutingPolicy::Kind::PatchSelect;
+    selPolicy.numBranches = 2;
+    selPolicy.param = 0.30; // expected kept-patch fraction
+    selPolicy.unitsPerSample = kPatches;
+    OpId sw = g.addSwitch("select.switch", in, selPolicy, scorer);
+    g.addSink("select.drop", sw, /*branch=*/1);
+
+    OpId body = graph::buildBranch(g, sw, 0, [&](Graph &gg, OpId s) {
+        OpId cur = gg.addMatMul("embed", s, kHidden, 2352);
+        for (int block = 0; block < 6; ++block) {
+            cur = transformerLayer(gg, "b" + std::to_string(block), cur,
+                                   rows, kHidden, kPatches, kFfn);
+        }
+        return cur;
+    });
+
+    OpId agg = g.addUnfoldMerge(
+        "aggregate", {body}, LoopDims::matmul(batch, kHidden, kHidden));
+    OpId head = g.addMatMul("head", agg, 1000, kHidden);
+    g.addOutput("logits", head);
+
+    ModelBundle bundle{"DPSNet", std::move(g), defaultTrace(batch)};
+    // Patch counts vary a lot between images (objects of arbitrary
+    // size/position), per Section VII.
+    bundle.traceConfig.patchSpread = 0.7;
+    return bundle;
+}
+
+ModelBundle
+buildAdaVit(std::int64_t batch)
+{
+    constexpr std::int64_t kPatches = 49;
+    constexpr std::int64_t kHidden = 384;
+    constexpr std::int64_t kFfn = 1536;
+    const std::int64_t rows = batch * kPatches;
+
+    Graph g("adavit");
+    OpId in = g.addInput("patches", LoopDims::matmul(rows, 768, 768));
+    OpId emb = g.addMatMul("embed", in, kHidden, 768);
+
+    // Dynamic region: keep ~60% of patches.
+    OpId sw = graph::addPatchSelect(g, "select", emb, 0.60, 0);
+    g.node(sw).policy.unitsPerSample = kPatches;
+
+    OpId body = graph::buildBranch(g, sw, 0, [&](Graph &gg, OpId s) {
+        OpId cur = s;
+        // Dynamic depth: every block can be skipped per sample. The
+        // rows a sample occupies after patch selection are tracked
+        // by the trace generator (Sample::rows).
+        for (int block = 0; block < 4; ++block) {
+            const std::string name = "b" + std::to_string(block);
+            cur = graph::addLayerSkip(
+                gg, name + ".skip", cur, 0.3, block + 1,
+                [&](Graph &g2, OpId sw2) {
+                    return transformerLayer(g2, name, sw2, rows,
+                                            kHidden, kPatches, kFfn);
+                });
+        }
+        return cur;
+    });
+
+    OpId agg = g.addUnfoldMerge(
+        "aggregate", {body}, LoopDims::matmul(batch, kHidden, kHidden));
+    OpId head = g.addMatMul("head", agg, 1000, kHidden);
+    g.addOutput("logits", head);
+
+    return {"AdaViT", std::move(g), defaultTrace(batch)};
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"skipnet", "pabee", "fbsnet", "tutel-moe", "dpsnet"};
+}
+
+ModelBundle
+buildByName(const std::string &name, std::int64_t batch)
+{
+    if (name == "skipnet")
+        return buildSkipNet(batch);
+    if (name == "pabee")
+        return buildPabee(batch);
+    if (name == "fbsnet")
+        return buildFbsNet(batch);
+    if (name == "tutel-moe")
+        return buildTutelMoe(batch);
+    if (name == "dpsnet")
+        return buildDpsNet(batch);
+    if (name == "adavit")
+        return buildAdaVit(batch);
+    ADYNA_FATAL("unknown workload '", name, "'");
+}
+
+} // namespace adyna::models

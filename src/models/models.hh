@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The DynNN model zoo (Table I of the paper), built programmatically
+ * on the unified switch/merge representation:
+ *
+ *   SkipNet   - ResNet-18 backbone with per-block layer skipping (CV)
+ *   PABEE     - BERT-base backbone with early exits after every
+ *               transformer layer (NLP)
+ *   FBSNet    - VGG-style CNN with dynamic channel pruning (CV)
+ *   Tutel-MoE - ViT backbone with top-2 mixture-of-experts FFNs (CV)
+ *   DPSNet    - ViT with differentiable patch selection; patches are
+ *               folded into the batch dimension, up to 8192 rows (CV)
+ *   AdaViT    - hybrid (dynamic depth + dynamic region) extension
+ *
+ * Gate marginals are calibrated to the statistics published for each
+ * model (SkipNet ~50% blocks skipped, PABEE ~1.6x compute saving,
+ * FBS ~2x MAC reduction at 0.5 channel keep, DPS ~25-40% patches
+ * kept); see DESIGN.md, substitutions.
+ */
+
+#ifndef ADYNA_MODELS_MODELS_HH
+#define ADYNA_MODELS_MODELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "trace/trace.hh"
+
+namespace adyna::models {
+
+/** A workload: its user-level graph plus the dynamism trace
+ * parameters that substitute for its dataset. */
+struct ModelBundle
+{
+    std::string name;
+    graph::Graph graph;
+    trace::TraceConfig traceConfig;
+};
+
+/** SkipNet: ResNet-18 with layer-skipping gates. */
+ModelBundle buildSkipNet(std::int64_t batch);
+
+/** PABEE: BERT-base (12 layers, hidden 768, seq 128) with early
+ * exits. */
+ModelBundle buildPabee(std::int64_t batch);
+
+/** FBSNet: 8-layer CNN with 8-way dynamic channel pruning. */
+ModelBundle buildFbsNet(std::int64_t batch);
+
+/** Tutel-MoE: 4-block ViT (hidden 384, seq 196) with two top-2
+ * 8-expert MoE FFN layers; experts fill the on-chip buffers. */
+ModelBundle buildTutelMoe(std::int64_t batch);
+
+/** DPSNet: patch-selection ViT; 64 patches per image folded into the
+ * batch dimension (8192 rows at batch 128). */
+ModelBundle buildDpsNet(std::int64_t batch);
+
+/** AdaViT: hybrid dynamic-depth + dynamic-region ViT (extension). */
+ModelBundle buildAdaVit(std::int64_t batch);
+
+/** Names of the five paper workloads, in Table I order. */
+std::vector<std::string> workloadNames();
+
+/** Build a workload by name ("skipnet", "pabee", "fbsnet",
+ * "tutel-moe", "dpsnet", "adavit"); fatal() on unknown names. */
+ModelBundle buildByName(const std::string &name, std::int64_t batch);
+
+} // namespace adyna::models
+
+#endif // ADYNA_MODELS_MODELS_HH

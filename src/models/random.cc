@@ -1,0 +1,164 @@
+#include "models/random.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "graph/transforms.hh"
+
+namespace adyna::models {
+
+using graph::Graph;
+using graph::LoopDims;
+using graph::OpKind;
+
+namespace {
+
+/** Round to the nearest positive multiple of 32 (PE-array friendly). */
+std::int64_t
+roundWidth(std::int64_t w)
+{
+    return std::max<std::int64_t>(32, (w + 16) / 32 * 32);
+}
+
+/** A dense feed-forward block: matmul -> activation -> matmul. */
+OpId
+denseBlock(Graph &g, const std::string &name, OpId input,
+           std::int64_t rows, std::int64_t width, std::int64_t hidden)
+{
+    OpId up = g.addMatMul(name + ".up", input, hidden, width);
+    OpId act = g.addFusable(name + ".act", OpKind::Act, {up},
+                            LoopDims::matmul(rows, hidden, hidden));
+    return g.addMatMul(name + ".down", act, width, hidden);
+}
+
+} // namespace
+
+ModelBundle
+buildRandomDynNN(const RandomModelParams &params, std::uint64_t seed)
+{
+    ADYNA_ASSERT(params.minBlocks >= 1 &&
+                     params.maxBlocks >= params.minBlocks,
+                 "bad block count range");
+    Rng rng(seed);
+
+    const std::int64_t width = roundWidth(
+        rng.uniformInt(params.minWidth, params.maxWidth));
+    const int blocks = static_cast<int>(
+        rng.uniformInt(params.minBlocks, params.maxBlocks));
+
+    // Optional patch folding: rows = batch x fold.
+    std::int64_t fold = 1;
+    const bool patchSelect =
+        params.allowPatchSelect && rng.bernoulli(0.35);
+    if (patchSelect)
+        fold = rng.uniformInt(4, 16);
+    const std::int64_t rows = params.batch * fold;
+
+    Graph g("random-dynnn-" + std::to_string(seed));
+    OpId in = g.addInput("in", LoopDims::matmul(rows, width, width));
+    OpId cur = g.addMatMul("embed", in, width, width);
+
+    int gateIndex = 0;
+
+    // Patch selection must be the outermost dynamism of its region.
+    OpId selectSwitch = kInvalidOp;
+    if (patchSelect) {
+        selectSwitch = graph::addPatchSelect(
+            g, "select", cur, rng.uniform(0.25, 0.75), gateIndex++);
+        g.node(selectSwitch).policy.unitsPerSample = fold;
+    }
+
+    // The backbone body (possibly inside the kept-patch branch).
+    const auto body = [&](Graph &gg, OpId start) {
+        OpId c = start;
+        // Early exits cannot nest inside another switch region in
+        // this generator (their sinks would make the outer merge
+        // semantics ambiguous), so only emit them at top level.
+        const bool exitsAllowed = !patchSelect;
+        double exitBudget = 0.6; // total marginal exit mass
+        for (int b = 0; b < blocks; ++b) {
+            const std::string name = "b" + std::to_string(b);
+            const std::int64_t hidden =
+                roundWidth(width * rng.uniformInt(1, 4));
+            if (!rng.bernoulli(params.dynamismProb)) {
+                c = denseBlock(gg, name, c, rows, width, hidden);
+                continue;
+            }
+            switch (rng.uniformInt(0, exitsAllowed ? 3 : 2)) {
+              case 0: { // layer skip
+                c = graph::addLayerSkip(
+                    gg, name + ".skip", c, rng.uniform(0.2, 0.7),
+                    gateIndex++, [&](Graph &g2, OpId sw) {
+                        return denseBlock(g2, name, sw, rows, width,
+                                          hidden);
+                    });
+                break;
+              }
+              case 1: { // mixture of experts
+                const int experts = static_cast<int>(
+                    rng.uniformInt(2, params.maxExperts));
+                const int topk = static_cast<int>(
+                    rng.uniformInt(1, std::min(2, experts)));
+                std::vector<double> bias;
+                for (int e = 0; e < experts; ++e)
+                    bias.push_back(rng.uniform(0.3, 3.0));
+                // Inside a patch-selected region the trace already
+                // tracks per-sample row counts (Sample::rows), so
+                // the token fold must not be applied again.
+                c = graph::addMoE(
+                    gg, name + ".moe", c, experts, topk, bias,
+                    [&](Graph &g2, OpId sw) {
+                        return denseBlock(g2, name + ".e", sw, rows,
+                                          width, hidden);
+                    },
+                    /*units_per_sample=*/patchSelect ? 1 : fold);
+                break;
+              }
+              case 2: { // channel pruning
+                const int nb = 1 << rng.uniformInt(1, 3); // 2/4/8
+                c = graph::addChannelPrunedConv(
+                    gg, name + ".cp", c,
+                    LoopDims::matmul(rows, width, width), 1, nb,
+                    rng.uniform(0.3, 0.8), gateIndex++);
+                break;
+              }
+              default: { // early exit
+                const double frac =
+                    std::min(exitBudget, rng.uniform(0.05, 0.25));
+                exitBudget -= frac;
+                OpId sw = graph::addEarlyExit(gg, name + ".exit", c,
+                                              2, frac, gateIndex++);
+                g.node(sw).policy.unitsPerSample = fold;
+                c = graph::buildBranch(
+                    gg, sw, 1, [&](Graph &g2, OpId s) {
+                        return denseBlock(g2, name, s, rows, width,
+                                          hidden);
+                    });
+                break;
+              }
+            }
+        }
+        return c;
+    };
+
+    OpId tail;
+    if (patchSelect) {
+        OpId kept = graph::buildBranch(g, selectSwitch, 0, body);
+        tail = g.addUnfoldMerge(
+            "aggregate", {kept},
+            LoopDims::matmul(params.batch, width, width));
+    } else {
+        tail = body(g, cur);
+    }
+    OpId head = g.addMatMul("head", tail, 10, width);
+    g.addOutput("out", head);
+
+    ModelBundle bundle;
+    bundle.name = g.name();
+    bundle.graph = std::move(g);
+    bundle.traceConfig.batchSize = params.batch;
+    return bundle;
+}
+
+} // namespace adyna::models

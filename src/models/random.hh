@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Random DynNN generation: builds structurally valid dynamic
+ * operator graphs with randomized backbones and randomized dynamism
+ * (early exits, layer skips, MoE layers, channel pruning, patch
+ * selection), for fuzz-testing the parser / scheduler / engine stack
+ * and for stress experiments beyond the five paper workloads.
+ */
+
+#ifndef ADYNA_MODELS_RANDOM_HH
+#define ADYNA_MODELS_RANDOM_HH
+
+#include <cstdint>
+
+#include "models/models.hh"
+
+namespace adyna::models {
+
+/** Knobs for the random model generator. */
+struct RandomModelParams
+{
+    /** Batch size (samples; patch folding multiplies rows). */
+    std::int64_t batch = 32;
+
+    /** Backbone blocks to generate. */
+    int minBlocks = 3;
+    int maxBlocks = 10;
+
+    /** Probability that a block carries some dynamism. */
+    double dynamismProb = 0.6;
+
+    /** Feature width bounds (rounded to multiples of 32). */
+    std::int64_t minWidth = 64;
+    std::int64_t maxWidth = 512;
+
+    /** Allow a patch-select prologue (folds rows by 4-16x). */
+    bool allowPatchSelect = true;
+
+    /** Maximum experts for generated MoE layers. */
+    int maxExperts = 6;
+};
+
+/**
+ * Build a random, structurally valid DynNN. Deterministic in
+ * (params, seed). The returned bundle's graph always passes
+ * Graph::validate() and parses into a DynGraph.
+ */
+ModelBundle buildRandomDynNN(const RandomModelParams &params,
+                             std::uint64_t seed);
+
+} // namespace adyna::models
+
+#endif // ADYNA_MODELS_RANDOM_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Routing-trace persistence: save a stream of BatchRouting decisions
+ * to a line-oriented text file and load it back. This is the bridge
+ * to *real* data -- a user can dump per-batch routing decisions from
+ * an actual DynNN deployment (what the paper's hardware profiler
+ * observes) and replay them through the simulator instead of the
+ * synthetic generator.
+ */
+
+#ifndef ADYNA_TRACE_REPLAY_HH
+#define ADYNA_TRACE_REPLAY_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace adyna::trace {
+
+/** Write @p batches in the adyna-trace v1 text format. */
+void saveTrace(std::ostream &os,
+               const std::vector<BatchRouting> &batches);
+
+/** Write a trace file; fatal() if the file cannot be opened. */
+void saveTraceFile(const std::string &path,
+                   const std::vector<BatchRouting> &batches);
+
+/** Parse a trace; fatal() on malformed input. */
+std::vector<BatchRouting> loadTrace(std::istream &is);
+
+/** Read a trace file; fatal() if the file cannot be opened. */
+std::vector<BatchRouting> loadTraceFile(const std::string &path);
+
+/**
+ * Capture @p batches batches from a generator (convenience for
+ * producing replayable fixtures).
+ */
+std::vector<BatchRouting> captureTrace(TraceGenerator &gen,
+                                       int batches);
+
+} // namespace adyna::trace
+
+#endif // ADYNA_TRACE_REPLAY_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Dynamism trace generation.
+ *
+ * This library substitutes for running trained DynNN checkpoints on
+ * real datasets (ImageNet / GLUE): it produces, per batch, the
+ * routing decisions at every switch operator of a DynGraph. Each
+ * sample carries a latent difficulty drawn from a (possibly
+ * drifting) Beta distribution; gate policies translate difficulty
+ * into exit / skip / expert / channel / patch decisions, which gives
+ * the cross-gate correlation (easy samples exit earlier and skip
+ * more) and the batch-to-batch variance that the paper's scheduling
+ * techniques exploit. See DESIGN.md, substitutions.
+ */
+
+#ifndef ADYNA_TRACE_TRACE_HH
+#define ADYNA_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "graph/dyngraph.hh"
+
+namespace adyna::trace {
+
+/** Routing outcome of one switch for one batch. */
+struct SwitchOutcome
+{
+    /** Samples routed to each branch (MoE top-k counts each sample
+     * once per activated expert, so the sum can exceed the input). */
+    std::vector<std::int64_t> branchCounts;
+
+    /** Samples still active after the switch region (exits and
+     * dropped patches removed). */
+    std::int64_t activeAfter = 0;
+
+    /** Samples that reached the switch. */
+    std::int64_t activeBefore = 0;
+};
+
+/** Routing decisions of one batch across all switches. */
+struct BatchRouting
+{
+    /** Outcome per switch op id. */
+    std::map<OpId, SwitchOutcome> outcomes;
+
+    /**
+     * The dyn_dim (batch) value a given dynamic operator observes in
+     * this batch: branch ops see their branch count, post-merge ops
+     * see the active-after count. Static ops see their full extent.
+     */
+    std::int64_t dynValue(const graph::DynGraph &dg, OpId op) const;
+};
+
+/** Parameters of the synthetic dynamism model. */
+struct TraceConfig
+{
+    /** Samples per batch (images / sequences, before patch folding). */
+    std::int64_t batchSize = 128;
+
+    /** Beta(alpha, beta) parameters of the sample difficulty prior. */
+    double difficultyAlpha = 2.0;
+    double difficultyBeta = 2.0;
+
+    /** Per-gate observation noise on difficulty (std dev). */
+    double gateNoise = 0.08;
+
+    /**
+     * Strength of non-stationary drift in [0, 1]: each phase rescales
+     * the gate marginals and redraws expert popularity. 0 disables
+     * drift (stationary distribution). Serving-time distribution
+     * shift is the premise of the paper's periodic re-sampling
+     * (Section VII, citing Brainstorm/FasterMoE observations).
+     */
+    double driftStrength = 0.30;
+
+    /** Batches per drift phase. */
+    int driftPeriod = 120;
+
+    /** Per-sample probability of an off-ranking channel pick
+     * (ChannelBlocks): tail blocks otherwise activate only for the
+     * hardest samples, producing the rarely-executed branches that
+     * motivate branch grouping. */
+    double channelSwapProb = 0.002;
+
+    /** Relative std dev of the per-image kept-patch count. */
+    double patchSpread = 0.5;
+};
+
+/**
+ * Generates routing decisions batch by batch for one DynGraph.
+ * Deterministic given (graph, config, seed).
+ */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const graph::DynGraph &dg, TraceConfig cfg,
+                   std::uint64_t seed);
+
+    /** Produce the routing for the next batch. */
+    BatchRouting next();
+
+    /** Number of batches generated so far. */
+    std::uint64_t batchesGenerated() const { return batches_; }
+
+    const TraceConfig &config() const { return cfg_; }
+
+    /**
+     * Convenience: generate @p batches batches on an independent
+     * probe stream (the main stream is not disturbed) and return the
+     * empirical dyn-value expectation per dynamic op (used for
+     * offline profiling in tests and in Adyna's initial schedule).
+     */
+    std::map<OpId, double> profileExpectations(int batches) const;
+
+    /** Latent per-sample state during one batch's routing. */
+    struct Sample
+    {
+        double difficulty = 0.5;
+        bool active = true;
+        /** Batch rows this sample currently occupies (changed by a
+         * patch-select gate: kept patches per image). */
+        std::int64_t rows = 1;
+    };
+
+  private:
+    /** Difficulty draw under the current drift phase. */
+    double drawDifficulty();
+
+    /** Advance drift phase state if the period elapsed. */
+    void maybeAdvancePhase();
+
+    /** Gate marginal under the current drift phase. */
+    double phaseFraction(double base) const;
+
+    void routeSwitch(const graph::SwitchInfo &sw,
+                     std::vector<Sample> &samples, BatchRouting &out);
+
+    const graph::DynGraph &dg_;
+    TraceConfig cfg_;
+    Rng rng_;
+    std::uint64_t seed_;
+    std::uint64_t batches_ = 0;
+
+    // Drift phase state.
+    double phaseScale_ = 1.0;
+    std::vector<double> phaseExpertTilt_;
+};
+
+} // namespace adyna::trace
+
+#endif // ADYNA_TRACE_TRACE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the baseline models: design presets, the analytic GPU
+ * model's penalty structure, and the real-time-scheduling sweep
+ * construction (Figure 12).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/designs.hh"
+#include "baselines/gpu.hh"
+#include "baselines/realtime.hh"
+#include "graph/parser.hh"
+#include "models/models.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::baselines;
+
+TEST(Designs, PresetsEncodeTableII)
+{
+    // F2 fast adjustment: M-tenant and Adyna, not M-tile.
+    EXPECT_TRUE(execPolicy(Design::MTenant).perBatchRepartition);
+    EXPECT_EQ(runOptions(Design::MTile, 100, 1).reconfigPeriod, 0);
+    EXPECT_EQ(runOptions(Design::Adyna, 100, 1).reconfigPeriod, 40);
+    // F3 pipelining: M-tile and Adyna, not M-tenant.
+    EXPECT_TRUE(execPolicy(Design::MTile).pipelining);
+    EXPECT_FALSE(execPolicy(Design::MTenant).pipelining);
+    EXPECT_TRUE(execPolicy(Design::MTenant).hostRouting);
+    // F4 multi-kernel selection: only M-tile lacks fitting.
+    EXPECT_FALSE(execPolicy(Design::MTile).kernelFitting);
+    EXPECT_TRUE(execPolicy(Design::Adyna).kernelFitting);
+    EXPECT_TRUE(execPolicy(Design::FullKernel).exactKernels);
+    // Scheduler sides.
+    EXPECT_TRUE(schedulerConfig(Design::MTile).worstCase);
+    EXPECT_FALSE(schedulerConfig(Design::AdynaStatic).tileSharing);
+    EXPECT_TRUE(schedulerConfig(Design::Adyna).tileSharing);
+    EXPECT_EQ(allDesigns().size(), 5u);
+    EXPECT_STREQ(designName(Design::AdynaStatic), "Adyna (static)");
+}
+
+TEST(Gpu, DeterministicAndPositive)
+{
+    const auto bundle = models::buildSkipNet(32);
+    const auto dg = graph::parseModel(bundle.graph);
+    const auto a = runGpu(dg, bundle.traceConfig, GpuParams{}, 10, 3);
+    const auto b = runGpu(dg, bundle.traceConfig, GpuParams{}, 10, 3);
+    EXPECT_GT(a.timeMs, 0.0);
+    EXPECT_DOUBLE_EQ(a.timeMs, b.timeMs);
+    EXPECT_EQ(a.design, "GPU");
+    EXPECT_EQ(a.batchEnds.size(), 10u);
+}
+
+TEST(Gpu, SyncPenaltyScalesWithGateCount)
+{
+    // Same compute, more switches -> more host-sync time.
+    const auto bundle = models::buildSkipNet(32);
+    const auto dg = graph::parseModel(bundle.graph);
+    GpuParams cheap;
+    cheap.hostSyncUs = 0.0;
+    GpuParams dear;
+    dear.hostSyncUs = 1000.0; // 1 ms per gate
+    const auto a = runGpu(dg, bundle.traceConfig, cheap, 5, 3);
+    const auto b = runGpu(dg, bundle.traceConfig, dear, 5, 3);
+    const double extraMs = b.timeMs - a.timeMs;
+    // 8 gates x 5 batches x 1 ms.
+    EXPECT_NEAR(extraMs, 40.0, 1.0);
+}
+
+TEST(Gpu, DynamicEfficiencyPenalizesDynamicOps)
+{
+    const auto bundle = models::buildDpsNet(32);
+    const auto dg = graph::parseModel(bundle.graph);
+    GpuParams fast;
+    fast.dynamicEfficiency = fast.computeEfficiency;
+    GpuParams slow;
+    slow.dynamicEfficiency = 0.05;
+    const auto a = runGpu(dg, bundle.traceConfig, fast, 5, 3);
+    const auto b = runGpu(dg, bundle.traceConfig, slow, 5, 3);
+    EXPECT_GT(b.timeMs, 1.5 * a.timeMs);
+}
+
+TEST(Realtime, SweepMatchesClosedForm)
+{
+    const auto bundle = models::buildSkipNet(32);
+    const auto dg = graph::parseModel(bundle.graph);
+
+    core::RunReport adyna;
+    adyna.timeMs = 100.0;
+    core::RunReport full;
+    full.timeMs = 87.0;
+
+    const std::vector<double> lat{0.0, 1e-4, 1e-3};
+    const auto sweep =
+        sweepRealtimeScheduling(dg, adyna, full, 10, lat);
+    ASSERT_EQ(sweep.points.size(), 3u);
+    EXPECT_EQ(sweep.schedEvents, dynamicOpsPerBatch(dg) * 10);
+    // Zero scheduling latency: pure full-kernel speedup.
+    EXPECT_NEAR(sweep.points[0].speedupVsAdyna, 100.0 / 87.0, 1e-9);
+    // Monotone decreasing in latency.
+    EXPECT_GT(sweep.points[0].speedupVsAdyna,
+              sweep.points[1].speedupVsAdyna);
+    EXPECT_GT(sweep.points[1].speedupVsAdyna,
+              sweep.points[2].speedupVsAdyna);
+    // Crossover solves T_opt + N * t = T_Adyna.
+    const double expect =
+        (100.0 - 87.0) / static_cast<double>(sweep.schedEvents);
+    EXPECT_NEAR(sweep.crossoverMs, expect, 1e-12);
+    // At the crossover, speedup is exactly 1.
+    const auto at = sweepRealtimeScheduling(
+        dg, adyna, full, 10, {sweep.crossoverMs});
+    EXPECT_NEAR(at.points[0].speedupVsAdyna, 1.0, 1e-9);
+}
+
+TEST(Realtime, DynamicOpsPerBatchCountsComputeOnly)
+{
+    const auto bundle = models::buildSkipNet(32);
+    const auto dg = graph::parseModel(bundle.graph);
+    const std::int64_t n = dynamicOpsPerBatch(dg);
+    // 8 gated blocks x (2 convs + next gate matmul is static? the
+    // gate reads the merge: static) => at least 16 dynamic convs.
+    EXPECT_GE(n, 16);
+    EXPECT_LT(n, static_cast<std::int64_t>(dg.graph().size()));
+}
+
+} // namespace

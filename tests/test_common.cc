@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism and
+ * distribution sanity, statistics containers, table rendering, and
+ * CLI parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/cli.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace {
+
+using namespace adyna;
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(2, 5);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(9, 9), 9);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights{1.0, 3.0};
+    int ones = 0;
+    for (int i = 0; i < 20000; ++i)
+        ones += rng.categorical(weights) == 1;
+    EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeight)
+{
+    Rng rng(17);
+    std::vector<double> weights{0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, BinomialSmallNExact)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.binomial(10, 0.4));
+    EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, BinomialLargeNApproximation)
+{
+    Rng rng(23);
+    RunningStats stats;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.binomial(1000, 0.25);
+        ASSERT_LE(v, 1000u);
+        stats.add(v);
+    }
+    EXPECT_NEAR(stats.mean(), 250.0, 3.0);
+}
+
+TEST(Rng, BinomialEdgeProbabilities)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 2);
+}
+
+// ------------------------------------------------------- RunningStats
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        a.add(i);
+        all.add(i);
+    }
+    for (int i = 50; i < 120; ++i) {
+        b.add(i * 0.5);
+        all.add(i * 0.5);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeIntoEmpty)
+{
+    RunningStats a, b;
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+// ------------------------------------------------------ FreqHistogram
+
+TEST(FreqHistogram, ExpectationAndVariance)
+{
+    FreqHistogram h;
+    h.add(2, 3); // three 2s
+    h.add(6, 1); // one 6
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.expectation(), 3.0);
+    EXPECT_DOUBLE_EQ(h.variance(), 3.0);
+    EXPECT_EQ(h.minValue(), 2);
+    EXPECT_EQ(h.maxValue(), 6);
+}
+
+TEST(FreqHistogram, EmptyDefaults)
+{
+    FreqHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.expectation(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(FreqHistogram, QuantileStepsThroughMass)
+{
+    FreqHistogram h;
+    h.add(1, 50);
+    h.add(10, 50);
+    EXPECT_EQ(h.quantile(0.0), 1);
+    EXPECT_EQ(h.quantile(0.5), 1);
+    EXPECT_EQ(h.quantile(0.51), 10);
+    EXPECT_EQ(h.quantile(1.0), 10);
+}
+
+TEST(FreqHistogram, MergeAddsCounts)
+{
+    FreqHistogram a, b;
+    a.add(1, 2);
+    b.add(1, 3);
+    b.add(5, 1);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 5u);
+    EXPECT_EQ(a.count(5), 1u);
+    EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(FreqHistogram, DecayHalvesAndDropsZeros)
+{
+    FreqHistogram h;
+    h.add(1, 100);
+    h.add(2, 1);
+    h.decay(0.5);
+    EXPECT_EQ(h.count(1), 50u);
+    // 0.5 rounds to 1 (llround of 0.5 is 1), still present.
+    EXPECT_EQ(h.count(2), 1u);
+    h.decay(0.0);
+    EXPECT_TRUE(h.empty());
+}
+
+TEST(FreqHistogram, SortedPairsAscending)
+{
+    FreqHistogram h;
+    h.add(9);
+    h.add(1);
+    h.add(5);
+    const auto pairs = h.sorted();
+    ASSERT_EQ(pairs.size(), 3u);
+    EXPECT_EQ(pairs[0].first, 1);
+    EXPECT_EQ(pairs[2].first, 9);
+}
+
+TEST(Geomean, KnownValue)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+// ---------------------------------------------------------- TextTable
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t("Demo");
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Both value cells start at the same column.
+    std::istringstream is(s);
+    std::string line;
+    std::size_t col1 = 0, col2 = 0;
+    while (std::getline(is, line)) {
+        if (line.rfind("a ", 0) == 0)
+            col1 = line.find('1');
+        if (line.rfind("longer", 0) == 0)
+            col2 = line.find("22");
+    }
+    EXPECT_EQ(col1, col2);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::mult(1.7, 2), "1.70x");
+    EXPECT_EQ(TextTable::pct(0.873, 1), "87.3%");
+}
+
+// ------------------------------------------------------------ CliArgs
+
+TEST(CliArgs, ParsesAllForms)
+{
+    const char *argv[] = {"prog", "pos1", "--batches", "200",
+                          "--seed=7", "--x", "1.5", "--verbose"};
+    CliArgs args(8, argv);
+    EXPECT_EQ(args.getInt("batches", 0), 200);
+    EXPECT_EQ(args.getInt("seed", 0), 7);
+    EXPECT_TRUE(args.getBool("verbose", false));
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 0.0), 1.5);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+    EXPECT_EQ(args.getString("missing", "dflt"), "dflt");
+    EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, BooleanExplicitValues)
+{
+    const char *argv[] = {"prog", "--a=true", "--b=false", "--c=0"};
+    CliArgs args(4, argv);
+    EXPECT_TRUE(args.getBool("a", false));
+    EXPECT_FALSE(args.getBool("b", true));
+    EXPECT_FALSE(args.getBool("c", true));
+}
+
+} // namespace

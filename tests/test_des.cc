@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: event ordering, FIFO
+ * tie-breaking, run-until semantics, and the bandwidth / serial
+ * resource reservation models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+#include "des/resource.hh"
+#include "des/simulator.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::des;
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+    EXPECT_EQ(sim.eventsProcessed(), 3u);
+}
+
+TEST(Simulator, SameTickFifoOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(7, [&order, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1, [&] {
+        ++fired;
+        sim.scheduleIn(5, [&] { ++fired; });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 6u);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(20, [&] { ++fired; });
+    sim.schedule(21, [&] { ++fired; });
+    sim.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.step());
+    sim.schedule(0, [] {});
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(BandwidthResource, ServiceTimeCeils)
+{
+    BandwidthResource link(4.0); // 4 bytes per tick
+    EXPECT_EQ(link.serviceTime(0), 0u);
+    EXPECT_EQ(link.serviceTime(4), 1u);
+    EXPECT_EQ(link.serviceTime(5), 2u);
+    EXPECT_EQ(link.serviceTime(8), 2u);
+}
+
+TEST(BandwidthResource, BackToBackReservationsQueue)
+{
+    BandwidthResource link(10.0);
+    const auto r1 = link.acquire(0, 100); // 10 ticks
+    EXPECT_EQ(r1.start, 0u);
+    EXPECT_EQ(r1.end, 10u);
+    const auto r2 = link.acquire(0, 50); // queued behind r1
+    EXPECT_EQ(r2.start, 10u);
+    EXPECT_EQ(r2.end, 15u);
+    EXPECT_EQ(link.busyUntil(), 15u);
+    EXPECT_EQ(link.bytesServed(), 150u);
+}
+
+TEST(BandwidthResource, LateRequestStartsAtRequestTime)
+{
+    BandwidthResource link(10.0);
+    link.acquire(0, 100);
+    const auto r = link.acquire(50, 10);
+    EXPECT_EQ(r.start, 50u);
+    EXPECT_EQ(r.end, 51u);
+    // Idle gap is not counted as busy.
+    EXPECT_EQ(link.busyTicks(), 11u);
+}
+
+TEST(BandwidthResource, ResetClearsState)
+{
+    BandwidthResource link(10.0);
+    link.acquire(0, 100);
+    link.reset();
+    EXPECT_EQ(link.busyUntil(), 0u);
+    EXPECT_EQ(link.bytesServed(), 0u);
+    EXPECT_EQ(link.busyTicks(), 0u);
+}
+
+TEST(SerialResource, SerializesOverlappingWork)
+{
+    SerialResource server;
+    const auto a = server.acquire(0, 10);
+    const auto b = server.acquire(5, 10);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(b.start, 10u);
+    EXPECT_EQ(b.end, 20u);
+    EXPECT_EQ(server.busyTicks(), 20u);
+}
+
+TEST(SerialResource, ZeroDurationIsInstant)
+{
+    SerialResource server;
+    const auto a = server.acquire(3, 0);
+    EXPECT_EQ(a.start, 3u);
+    EXPECT_EQ(a.end, 3u);
+}
+
+} // namespace
+
+TEST(GapBandwidthResource, FillsEarliestGap)
+{
+    GapBandwidthResource ch(10.0);
+    // Reserve [100, 110) first.
+    const auto late = ch.acquire(100, 100);
+    EXPECT_EQ(late.start, 100u);
+    // An earlier request fits before it.
+    const auto early = ch.acquire(0, 100);
+    EXPECT_EQ(early.start, 0u);
+    EXPECT_EQ(early.end, 10u);
+    // A large request does not fit in the [10, 100) gap? It does:
+    // 900 bytes = 90 ticks exactly.
+    const auto mid = ch.acquire(0, 900);
+    EXPECT_EQ(mid.start, 10u);
+    EXPECT_EQ(mid.end, 100u);
+    // Now everything up to 110 is busy: next goes after.
+    const auto next = ch.acquire(0, 10);
+    EXPECT_EQ(next.start, 110u);
+}
+
+TEST(GapBandwidthResource, RespectsEarliest)
+{
+    GapBandwidthResource ch(10.0);
+    const auto a = ch.acquire(50, 100);
+    EXPECT_EQ(a.start, 50u);
+    // earliest inside an existing reservation: starts at its end.
+    const auto b = ch.acquire(55, 10);
+    EXPECT_EQ(b.start, 60u);
+}
+
+TEST(GapBandwidthResource, TooSmallGapIsSkipped)
+{
+    GapBandwidthResource ch(1.0);
+    (void)ch.acquire(0, 10);   // [0, 10)
+    (void)ch.acquire(15, 10);  // [15, 25)
+    // 8 ticks do not fit in the 5-tick gap [10, 15).
+    const auto c = ch.acquire(0, 8);
+    EXPECT_EQ(c.start, 25u);
+    // 5 ticks do.
+    const auto d = ch.acquire(0, 5);
+    EXPECT_EQ(d.start, 10u);
+}
+
+TEST(GapBandwidthResource, AccountingAndReset)
+{
+    GapBandwidthResource ch(2.0);
+    (void)ch.acquire(0, 10);
+    (void)ch.acquire(100, 6);
+    EXPECT_EQ(ch.bytesServed(), 16u);
+    EXPECT_EQ(ch.busyTicks(), 5u + 3u);
+    ch.reset();
+    EXPECT_EQ(ch.bytesServed(), 0u);
+    const auto a = ch.acquire(0, 2);
+    EXPECT_EQ(a.start, 0u);
+}
+
+TEST(GapBandwidthResource, ManyRandomReservationsStayDisjoint)
+{
+    GapBandwidthResource ch(1.0);
+    Rng rng(99);
+    std::vector<Reservation> granted;
+    for (int i = 0; i < 200; ++i) {
+        const Tick t = static_cast<Tick>(rng.uniformInt(0, 5000));
+        const Bytes b = static_cast<Bytes>(rng.uniformInt(1, 40));
+        const auto r = ch.acquire(t, b);
+        EXPECT_GE(r.start, t);
+        granted.push_back(r);
+    }
+    std::sort(granted.begin(), granted.end(),
+              [](const Reservation &a, const Reservation &b) {
+                  return a.start < b.start;
+              });
+    for (std::size_t i = 1; i < granted.size(); ++i)
+        EXPECT_LE(granted[i - 1].end, granted[i].start);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fuzz tests: randomly generated DynNNs pushed through the whole
+ * stack -- parse, trace generation, scheduling, and simulation on
+ * every design point -- asserting structural invariants and sane
+ * metrics rather than specific numbers. Each seed is a distinct
+ * model topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/designs.hh"
+#include "graph/parser.hh"
+#include "models/random.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::graph;
+using namespace adyna::models;
+
+class RandomModels : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    ModelBundle
+    bundle() const
+    {
+        RandomModelParams params;
+        params.batch = 16;
+        return buildRandomDynNN(params, GetParam());
+    }
+};
+
+TEST_P(RandomModels, BuildsValidatesAndParses)
+{
+    const ModelBundle b = bundle();
+    b.graph.validate();
+    const DynGraph dg = parseModel(b.graph);
+    EXPECT_GT(dg.graph().size(), 3u);
+    // Every switch has the declared number of branch slots.
+    for (const SwitchInfo &sw : dg.switches()) {
+        const auto &node = dg.graph().node(sw.switchOp);
+        EXPECT_EQ(sw.numBranches(), node.policy.numBranches);
+    }
+    // Dynamic ops always know their controlling switch.
+    for (OpId op : dg.dynamicOps()) {
+        EXPECT_NE(dg.info(op).ownerSwitch, kInvalidOp);
+        EXPECT_GT(dg.maxDyn(op), 0);
+    }
+}
+
+TEST_P(RandomModels, TraceValuesStayInBounds)
+{
+    const ModelBundle b = bundle();
+    const DynGraph dg = parseModel(b.graph);
+    trace::TraceGenerator gen(dg, b.traceConfig, GetParam() * 31 + 7);
+    for (int i = 0; i < 12; ++i) {
+        const auto r = gen.next();
+        for (OpId op : dg.dynamicOps()) {
+            const auto v = r.dynValue(dg, op);
+            EXPECT_GE(v, 0) << dg.graph().node(op).name;
+            EXPECT_LE(v, dg.maxDyn(op)) << dg.graph().node(op).name;
+        }
+    }
+}
+
+TEST_P(RandomModels, SimulatesOnEveryDesign)
+{
+    const ModelBundle b = bundle();
+    const DynGraph dg = parseModel(b.graph);
+    const arch::HwConfig hw;
+    double fullKernelMs = 0.0;
+    for (auto design : baselines::allDesigns()) {
+        auto sys = baselines::makeSystem(dg, b.traceConfig, hw, design,
+                                         /*batches=*/12,
+                                         /*seed=*/GetParam());
+        const auto rep = sys.run();
+        EXPECT_GT(rep.cycles, 0u) << rep.design;
+        EXPECT_GT(rep.peUtilization, 0.0) << rep.design;
+        EXPECT_LE(rep.peUtilization, 1.0) << rep.design;
+        EXPECT_GE(rep.issuedMacs, rep.usefulMacs) << rep.design;
+        EXPECT_EQ(rep.batchEnds.size(), 12u) << rep.design;
+        if (design == baselines::Design::FullKernel)
+            fullKernelMs = rep.timeMs;
+    }
+    EXPECT_GT(fullKernelMs, 0.0);
+}
+
+TEST_P(RandomModels, DeterministicInSeed)
+{
+    RandomModelParams params;
+    params.batch = 16;
+    const ModelBundle a = buildRandomDynNN(params, GetParam());
+    const ModelBundle c = buildRandomDynNN(params, GetParam());
+    ASSERT_EQ(a.graph.size(), c.graph.size());
+    for (std::size_t i = 0; i < a.graph.size(); ++i) {
+        const auto &na = a.graph.node(static_cast<OpId>(i));
+        const auto &nc = c.graph.node(static_cast<OpId>(i));
+        EXPECT_EQ(na.name, nc.name);
+        EXPECT_EQ(na.dims, nc.dims);
+        EXPECT_EQ(na.inputs, nc.inputs);
+    }
+    // Different seeds produce different topologies (almost surely).
+    const ModelBundle d = buildRandomDynNN(params, GetParam() + 1000);
+    EXPECT_TRUE(d.graph.size() != a.graph.size() ||
+                d.graph.node(1).dims != a.graph.node(1).dims);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModels,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+} // namespace

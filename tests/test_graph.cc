@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Unit tests for the graph library: loop dims, operator footprints,
+ * graph construction and validation, epilogue fusion, the Figure-5
+ * transforms, and dynamism propagation rules of Section IV.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/dot.hh"
+#include "graph/dyngraph.hh"
+#include "graph/graph.hh"
+#include "graph/parser.hh"
+#include "graph/transforms.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::graph;
+
+// ----------------------------------------------------------- LoopDims
+
+TEST(LoopDims, ConvMacs)
+{
+    const auto d = LoopDims::conv(8, 64, 32, 14, 14, 3, 3);
+    EXPECT_EQ(d.macs(), 8LL * 64 * 32 * 14 * 14 * 3 * 3);
+}
+
+TEST(LoopDims, MatmulIsDegenerateConv)
+{
+    const auto d = LoopDims::matmul(128, 768, 768);
+    EXPECT_EQ(d.p(), 1);
+    EXPECT_EQ(d.r(), 1);
+    EXPECT_EQ(d.macs(), 128LL * 768 * 768);
+}
+
+TEST(LoopDims, WithReplacesOneExtent)
+{
+    const auto d = LoopDims::matmul(128, 10, 20).with(Dim::N, 5);
+    EXPECT_EQ(d.n(), 5);
+    EXPECT_EQ(d.k(), 10);
+}
+
+TEST(LoopDims, ValidRejectsNonPositive)
+{
+    auto d = LoopDims::matmul(1, 1, 1);
+    EXPECT_TRUE(d.valid());
+    d[Dim::C] = 0;
+    EXPECT_FALSE(d.valid());
+}
+
+TEST(LoopDims, StrNamesAllDims)
+{
+    const auto s = LoopDims::conv(1, 2, 3, 4, 5, 6, 7).str();
+    EXPECT_EQ(s, "[N1 K2 C3 P4 Q5 R6 S7]");
+}
+
+// ------------------------------------------------------------- OpNode
+
+TEST(OpNode, ConvFootprints)
+{
+    OpNode n;
+    n.kind = OpKind::Conv2d;
+    n.dims = LoopDims::conv(4, 64, 32, 14, 14, 3, 3);
+    n.stride = 1;
+    // Input spatial = 16x16 at stride 1 with 3x3 filter.
+    EXPECT_EQ(n.inputBytes(), Bytes{4} * 32 * 16 * 16 * 2);
+    EXPECT_EQ(n.outputBytes(), Bytes{4} * 64 * 14 * 14 * 2);
+    EXPECT_EQ(n.weightBytes(), Bytes{64} * 32 * 3 * 3 * 2);
+    EXPECT_EQ(n.macs(), 4LL * 64 * 32 * 14 * 14 * 3 * 3);
+}
+
+TEST(OpNode, StridedConvInputFootprint)
+{
+    OpNode n;
+    n.kind = OpKind::Conv2d;
+    n.dims = LoopDims::conv(1, 8, 8, 7, 7, 3, 3);
+    n.stride = 2;
+    // IH = (7-1)*2 + 3 = 15.
+    EXPECT_EQ(n.inputBytes(), Bytes{1} * 8 * 15 * 15 * 2);
+}
+
+TEST(OpNode, NonComputeHasNoWeightsOrMacs)
+{
+    OpNode n;
+    n.kind = OpKind::Eltwise;
+    n.dims = LoopDims::matmul(8, 64, 64);
+    EXPECT_EQ(n.weightBytes(), 0u);
+    EXPECT_EQ(n.macs(), 0);
+}
+
+TEST(OpKindPredicates, Classification)
+{
+    EXPECT_TRUE(isCompute(OpKind::Conv2d));
+    EXPECT_TRUE(isCompute(OpKind::MatMul));
+    EXPECT_FALSE(isCompute(OpKind::Act));
+    EXPECT_TRUE(isFusable(OpKind::Act));
+    EXPECT_TRUE(isFusable(OpKind::Pool));
+    EXPECT_FALSE(isFusable(OpKind::Switch));
+    EXPECT_TRUE(isRouting(OpKind::Switch));
+    EXPECT_TRUE(isRouting(OpKind::Merge));
+    EXPECT_TRUE(isRouting(OpKind::Sink));
+    EXPECT_FALSE(isRouting(OpKind::MatMul));
+}
+
+// -------------------------------------------------------------- Graph
+
+Graph
+linearGraph()
+{
+    Graph g("linear");
+    OpId in = g.addInput("in", LoopDims::conv(8, 3, 3, 32, 32, 1, 1));
+    OpId c1 = g.addConv("c1", in, LoopDims::conv(8, 16, 3, 32, 32, 3, 3));
+    OpId a1 = g.addFusable("relu1", OpKind::Act, {c1},
+                           LoopDims::conv(8, 16, 16, 32, 32, 1, 1));
+    OpId c2 = g.addConv("c2", a1, LoopDims::conv(8, 32, 16, 32, 32, 3, 3));
+    g.addOutput("out", c2);
+    return g;
+}
+
+TEST(Graph, TopoOrderRespectsEdges)
+{
+    const Graph g = linearGraph();
+    const auto topo = g.topoOrder();
+    ASSERT_EQ(topo.size(), g.size());
+    std::vector<std::size_t> pos(g.size());
+    for (std::size_t i = 0; i < topo.size(); ++i)
+        pos[topo[i]] = i;
+    for (const OpNode &n : g.nodes())
+        for (OpId in : n.inputs)
+            EXPECT_LT(pos[in], pos[n.id]);
+}
+
+TEST(Graph, SuccessorsInverseOfInputs)
+{
+    const Graph g = linearGraph();
+    const auto succ = g.successors(0);
+    ASSERT_EQ(succ.size(), 1u);
+    EXPECT_EQ(g.node(succ[0]).name, "c1");
+}
+
+TEST(Graph, TotalsAccumulate)
+{
+    const Graph g = linearGraph();
+    EXPECT_GT(g.totalMacs(), 0);
+    EXPECT_EQ(g.totalWeightBytes(),
+              Bytes{16} * 3 * 3 * 3 * 2 + Bytes{32} * 16 * 3 * 3 * 2);
+}
+
+TEST(Graph, ValidatePassesOnWellFormed)
+{
+    linearGraph().validate();
+}
+
+TEST(GraphDeathTest, CycleIsFatal)
+{
+    Graph g("cyclic");
+    OpId in = g.addInput("in", LoopDims::matmul(1, 4, 4));
+    OpId a = g.addMatMul("a", in, 4, 4);
+    OpId b = g.addMatMul("b", a, 4, 4);
+    g.node(a).inputs.push_back(b);
+    g.node(a).inputBranch.push_back(-1);
+    EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1), "cycle");
+}
+
+TEST(GraphDeathTest, BadDimsAreFatal)
+{
+    Graph g("bad");
+    OpId in = g.addInput("in", LoopDims::matmul(1, 4, 4));
+    OpId a = g.addMatMul("a", in, 4, 4);
+    g.node(a).dims[Dim::K] = 0;
+    EXPECT_EXIT(g.validate(), ::testing::ExitedWithCode(1),
+                "non-positive");
+}
+
+// ----------------------------------------------------- parser: fusion
+
+TEST(Parser, FusesLinearEpilogueChain)
+{
+    const Graph g = linearGraph();
+    const DynGraph dg = parseModel(g);
+    // relu1 disappears into c1.
+    EXPECT_EQ(dg.graph().size(), g.size() - 1);
+    bool found = false;
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.name == "c1") {
+            found = true;
+            EXPECT_EQ(dg.info(n.id).epilogueOps, 1);
+        }
+        EXPECT_NE(n.name, "relu1");
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Parser, FusionCanBeDisabled)
+{
+    ParseOptions opts;
+    opts.fuseEpilogues = false;
+    const Graph g = linearGraph();
+    const DynGraph dg = parseModel(g, opts);
+    EXPECT_EQ(dg.graph().size(), g.size());
+}
+
+TEST(Parser, PoolFusionUpdatesOutputDims)
+{
+    Graph g("pool");
+    OpId in = g.addInput("in", LoopDims::conv(8, 3, 3, 32, 32, 1, 1));
+    OpId c1 = g.addConv("c1", in, LoopDims::conv(8, 16, 3, 32, 32, 3, 3));
+    OpId p1 = g.addFusable("pool", OpKind::Pool, {c1},
+                           LoopDims::conv(8, 16, 16, 16, 16, 2, 2), 2);
+    g.addOutput("out", p1);
+    const DynGraph dg = parseModel(g);
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.name == "c1") {
+            // Compute dims unchanged; effective output halved.
+            EXPECT_EQ(n.dims.p(), 32);
+            EXPECT_EQ(dg.info(n.id).outDims.p(), 16);
+        }
+    }
+}
+
+TEST(Parser, SharedProducerNotFused)
+{
+    Graph g("shared");
+    OpId in = g.addInput("in", LoopDims::matmul(8, 16, 16));
+    OpId m = g.addMatMul("m", in, 16, 16);
+    // Two consumers of m: the Act cannot be fused.
+    OpId a = g.addFusable("act", OpKind::Act, {m},
+                          LoopDims::matmul(8, 16, 16));
+    OpId m2 = g.addMatMul("m2", m, 16, 16);
+    g.addOutput("o1", a);
+    g.addOutput("o2", m2);
+    const DynGraph dg = parseModel(g);
+    EXPECT_EQ(dg.graph().size(), g.size());
+}
+
+TEST(Parser, ResidualAddFusedKeepsSecondInput)
+{
+    Graph g("residual");
+    OpId in = g.addInput("in", LoopDims::matmul(8, 16, 16));
+    OpId m1 = g.addMatMul("m1", in, 16, 16);
+    OpId m2 = g.addMatMul("m2", m1, 16, 16);
+    OpId add = g.addFusable("add", OpKind::Eltwise, {m2, m1},
+                            LoopDims::matmul(8, 16, 16));
+    g.addOutput("out", add);
+    const DynGraph dg = parseModel(g);
+    // add fuses into m2? m1 has two consumers (m2 and add) so add's
+    // producer chain via inputs[0] = m2 (single consumer) fuses.
+    bool foundM2 = false;
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.name == "m2") {
+            foundM2 = true;
+            EXPECT_EQ(dg.info(n.id).epilogueOps, 1);
+            // The residual operand m1 must remain an input.
+            bool hasM1 = false;
+            for (OpId i : n.inputs)
+                hasM1 |= dg.graph().node(i).name == "m1";
+            EXPECT_TRUE(hasM1);
+        }
+    }
+    EXPECT_TRUE(foundM2);
+}
+
+// ------------------------------------------- transforms and dynamism
+
+TEST(Transforms, EarlyExitMarksContinuationDynamic)
+{
+    Graph g("ee");
+    OpId in = g.addInput("in", LoopDims::matmul(128, 64, 64));
+    OpId l1 = g.addMatMul("l1", in, 64, 64);
+    OpId sw = addEarlyExit(g, "gate0", l1, 2, 0.3, 0);
+    OpId l2 = buildBranch(g, sw, 1, [](Graph &gg, OpId s) {
+        return gg.addMatMul("l2", s, 64, 64);
+    });
+    g.addOutput("out", l2);
+
+    const DynGraph dg = parseModel(g);
+    ASSERT_EQ(dg.switches().size(), 1u);
+    const SwitchInfo &si = dg.switches()[0];
+    EXPECT_TRUE(si.hasSink);
+    EXPECT_EQ(si.mergeOp, kInvalidOp);
+
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.name == "l2") {
+            EXPECT_TRUE(dg.isDynamic(n.id));
+            EXPECT_EQ(dg.info(n.id).branch, 1);
+            EXPECT_EQ(dg.info(n.id).maxDyn, 128);
+        }
+        if (n.name == "l1") {
+            EXPECT_FALSE(dg.isDynamic(n.id));
+        }
+        if (n.name == "gate0.gate") {
+            EXPECT_FALSE(dg.isDynamic(n.id));
+        }
+    }
+}
+
+TEST(Transforms, ChainedEarlyExitsNestOwnership)
+{
+    Graph g("pabee-ish");
+    OpId in = g.addInput("in", LoopDims::matmul(64, 32, 32));
+    OpId cur = g.addMatMul("l0", in, 32, 32);
+    OpId sw0 = addEarlyExit(g, "gate0", cur, 2, 0.2, 0);
+    OpId l1 = buildBranch(g, sw0, 1, [](Graph &gg, OpId s) {
+        return gg.addMatMul("l1", s, 32, 32);
+    });
+    OpId sw1 = addEarlyExit(g, "gate1", l1, 2, 0.2, 1);
+    OpId l2 = buildBranch(g, sw1, 1, [](Graph &gg, OpId s) {
+        return gg.addMatMul("l2", s, 32, 32);
+    });
+    g.addOutput("out", l2);
+
+    const DynGraph dg = parseModel(g);
+    EXPECT_EQ(dg.switches().size(), 2u);
+    OpId sw0id = dg.switches()[0].switchOp;
+    OpId sw1id = dg.switches()[1].switchOp;
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.name == "l1") {
+            EXPECT_TRUE(dg.isDynamic(n.id));
+            EXPECT_EQ(dg.info(n.id).ownerSwitch, sw0id);
+        }
+        if (n.name == "l2") {
+            EXPECT_TRUE(dg.isDynamic(n.id));
+            EXPECT_EQ(dg.info(n.id).ownerSwitch, sw1id);
+        }
+        // The second gate's classifier reads the dynamic tensor.
+        if (n.name == "gate1.gate") {
+            EXPECT_TRUE(dg.isDynamic(n.id));
+            EXPECT_EQ(dg.info(n.id).ownerSwitch, sw0id);
+        }
+    }
+}
+
+TEST(Transforms, LayerSkipMergeRestoresStaticBatch)
+{
+    Graph g("skip");
+    OpId in = g.addInput("in", LoopDims::conv(32, 16, 16, 8, 8, 1, 1));
+    OpId merge =
+        addLayerSkip(g, "blk0", in, 0.4, 0, [](Graph &gg, OpId s) {
+            return gg.addConv("blk0.conv", s,
+                              LoopDims::conv(32, 16, 16, 8, 8, 3, 3));
+        });
+    OpId tailConv = g.addConv(
+        "tail", merge, LoopDims::conv(32, 16, 16, 8, 8, 3, 3));
+    g.addOutput("out", tailConv);
+
+    const DynGraph dg = parseModel(g);
+    ASSERT_EQ(dg.switches().size(), 1u);
+    const SwitchInfo &si = dg.switches()[0];
+    EXPECT_FALSE(si.hasSink);
+    EXPECT_NE(si.mergeOp, kInvalidOp);
+    ASSERT_EQ(si.branches.size(), 2u);
+    EXPECT_TRUE(si.branches[0].empty()); // shortcut has no ops
+    EXPECT_EQ(si.branches[1].size(), 1u);
+
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.name == "blk0.conv") {
+            EXPECT_TRUE(dg.isDynamic(n.id));
+            EXPECT_EQ(dg.info(n.id).branch, 1);
+        }
+        // After the merge the full batch is back: static.
+        if (n.name == "tail") {
+            EXPECT_FALSE(dg.isDynamic(n.id));
+        }
+    }
+}
+
+TEST(Transforms, MoEBranchesAreDynamicMergeStatic)
+{
+    Graph g("moe");
+    OpId in = g.addInput("in", LoopDims::matmul(128, 256, 256));
+    OpId tok = g.addMatMul("proj", in, 256, 256);
+    OpId merge = addMoE(g, "moe0", tok, 4, 1, {},
+                        [](Graph &gg, OpId s) {
+                            OpId up = gg.addMatMul("up", s, 512, 256);
+                            return gg.addMatMul("down", up, 256, 512);
+                        });
+    g.addOutput("out", merge);
+
+    const DynGraph dg = parseModel(g);
+    ASSERT_EQ(dg.switches().size(), 1u);
+    const SwitchInfo &si = dg.switches()[0];
+    EXPECT_EQ(si.numBranches(), 4);
+    EXPECT_FALSE(si.hasSink);
+    for (int b = 0; b < 4; ++b)
+        EXPECT_EQ(si.branches[b].size(), 2u);
+    EXPECT_FALSE(dg.isDynamic(merge == kInvalidOp ? 0 : si.mergeOp));
+}
+
+TEST(Transforms, ChannelPrunedConvSplitsAlongC)
+{
+    Graph g("fbs");
+    OpId in = g.addInput("in", LoopDims::conv(16, 64, 64, 14, 14, 1, 1));
+    OpId merge = addChannelPrunedConv(
+        g, "cp0", in, LoopDims::conv(16, 128, 64, 14, 14, 3, 3), 1, 4,
+        0.5, 0);
+    g.addOutput("out", merge);
+
+    const DynGraph dg = parseModel(g);
+    ASSERT_EQ(dg.switches().size(), 1u);
+    const SwitchInfo &si = dg.switches()[0];
+    EXPECT_EQ(si.numBranches(), 4);
+    int blockConvs = 0;
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.kind == OpKind::Conv2d && n.name.rfind("cp0.c", 0) == 0) {
+            ++blockConvs;
+            EXPECT_EQ(n.dims.c(), 16); // 64 / 4
+            EXPECT_TRUE(dg.isDynamic(n.id));
+        }
+    }
+    EXPECT_EQ(blockConvs, 4);
+}
+
+TEST(Transforms, PatchSelectKeepsDynamicUnfoldRestores)
+{
+    const std::int64_t folded = 32 * 16; // 32 samples x 16 patches
+    Graph g("dps");
+    OpId in = g.addInput("in", LoopDims::matmul(folded, 192, 192));
+    OpId emb = g.addMatMul("embed", in, 192, 192);
+    OpId sw = addPatchSelect(g, "select", emb, 0.25, 0);
+    OpId body = buildBranch(g, sw, 0, [&](Graph &gg, OpId s) {
+        return gg.addMatMul("vit.block", s, 192, 192);
+    });
+    OpId agg = g.addUnfoldMerge("aggregate", {body},
+                                LoopDims::matmul(32, 192, 192));
+    OpId head = g.addMatMul("head", agg, 10, 192);
+    g.addOutput("out", head);
+
+    const DynGraph dg = parseModel(g);
+    ASSERT_EQ(dg.switches().size(), 1u);
+    EXPECT_TRUE(dg.switches()[0].hasSink);
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.name == "vit.block") {
+            EXPECT_TRUE(dg.isDynamic(n.id));
+            EXPECT_EQ(dg.info(n.id).maxDyn, folded);
+        }
+        // The unfold merge restores per-sample rows: static again.
+        if (n.name == "head") {
+            EXPECT_FALSE(dg.isDynamic(n.id));
+        }
+    }
+}
+
+TEST(Transforms, SinkAfterSwitchWithoutMergeGivesPostDynamism)
+{
+    // Early exit whose continuation runs to the output: everything
+    // after the gate is dynamic.
+    Graph g("tail-dyn");
+    OpId in = g.addInput("in", LoopDims::matmul(64, 32, 32));
+    OpId l0 = g.addMatMul("l0", in, 32, 32);
+    OpId sw = addEarlyExit(g, "g0", l0, 2, 0.5, 0);
+    OpId l1 = buildBranch(g, sw, 1, [](Graph &gg, OpId s) {
+        return gg.addMatMul("l1", s, 32, 32);
+    });
+    OpId l2 = g.addMatMul("l2", l1, 32, 32);
+    g.addOutput("out", l2);
+    const DynGraph dg = parseModel(g);
+    for (const OpNode &n : dg.graph().nodes()) {
+        if (n.name == "l2") {
+            EXPECT_TRUE(dg.isDynamic(n.id));
+        }
+    }
+}
+
+TEST(ParserDeathTest, SwitchConsumerWithoutBranchIsFatal)
+{
+    Graph g("bad-switch");
+    OpId in = g.addInput("in", LoopDims::matmul(8, 4, 4));
+    RoutingPolicy p;
+    p.numBranches = 2;
+    OpId sw = g.addSwitch("sw", in, p);
+    g.addMatMul("consumer", sw, 4, 4); // no branch named
+    EXPECT_EXIT(parseModel(g), ::testing::ExitedWithCode(1),
+                "without naming a branch");
+}
+
+TEST(ParserDeathTest, OpControlledByTwoSwitchesIsFatal)
+{
+    Graph g("two-switches");
+    OpId in = g.addInput("in", LoopDims::matmul(8, 4, 4));
+    RoutingPolicy p;
+    p.numBranches = 2;
+    OpId sw1 = g.addSwitch("sw1", in, p);
+    OpId sw2 = g.addSwitch("sw2", in, p);
+    OpId bad = g.addMatMul("bad", sw1, 4, 4);
+    g.connectBranch(sw1, 0, bad);
+    g.connectBranch(sw2, 0, bad);
+    g.addOutput("out", bad);
+    EXPECT_EXIT(parseModel(g), ::testing::ExitedWithCode(1),
+                "two switches");
+}
+
+// ------------------------------------------------------ DynGraph misc
+
+TEST(DynGraph, DynamicOpsAndComputeOpsListed)
+{
+    Graph g("lists");
+    OpId in = g.addInput("in", LoopDims::matmul(64, 32, 32));
+    OpId l0 = g.addMatMul("l0", in, 32, 32);
+    OpId sw = addEarlyExit(g, "g0", l0, 2, 0.5, 0);
+    OpId l1 = buildBranch(g, sw, 1, [](Graph &gg, OpId s) {
+        return gg.addMatMul("l1", s, 32, 32);
+    });
+    g.addOutput("out", l1);
+    const DynGraph dg = parseModel(g);
+    EXPECT_FALSE(dg.dynamicOps().empty());
+    // l0, gate, l1 are compute.
+    EXPECT_EQ(dg.computeOps().size(), 3u);
+}
+
+TEST(DynGraph, ExpectedMacsScalesWithBatch)
+{
+    Graph g("exp");
+    OpId in = g.addInput("in", LoopDims::matmul(100, 32, 32));
+    OpId l0 = g.addMatMul("l0", in, 32, 32);
+    g.addOutput("out", l0);
+    const DynGraph dg = parseModel(g);
+    const double full = static_cast<double>(dg.worstCaseMacs());
+    OpId l0id = dg.computeOps()[0];
+    const double half = dg.expectedMacs({{l0id, 50.0}});
+    EXPECT_DOUBLE_EQ(half, full / 2.0);
+}
+
+TEST(DynGraph, SummaryMentionsDynOps)
+{
+    Graph g("sum");
+    OpId in = g.addInput("in", LoopDims::matmul(64, 32, 32));
+    OpId l0 = g.addMatMul("l0", in, 32, 32);
+    OpId sw = addEarlyExit(g, "g0", l0, 2, 0.5, 0);
+    OpId l1 = buildBranch(g, sw, 1, [](Graph &gg, OpId s) {
+        return gg.addMatMul("l1", s, 32, 32);
+    });
+    g.addOutput("out", l1);
+    const DynGraph dg = parseModel(g);
+    const std::string s = dg.summary();
+    EXPECT_NE(s.find("dyn(max=64"), std::string::npos);
+}
+
+TEST(Dot, ContainsNodesAndBranchLabels)
+{
+    Graph g("dot");
+    OpId in = g.addInput("in", LoopDims::matmul(8, 4, 4));
+    OpId l0 = g.addMatMul("l0", in, 4, 4);
+    OpId sw = addEarlyExit(g, "g0", l0, 2, 0.5, 0);
+    OpId l1 = buildBranch(g, sw, 1, [](Graph &gg, OpId s) {
+        return gg.addMatMul("l1", s, 4, 4);
+    });
+    g.addOutput("out", l1);
+    const std::string dot = toDot(g);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("b1"), std::string::npos);
+
+    const DynGraph dg = parseModel(g);
+    const std::string ddot = toDot(dg);
+    EXPECT_NE(ddot.find("lightgray"), std::string::npos);
+}
+
+} // namespace

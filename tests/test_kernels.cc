@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the kernel machinery: the 128-byte template-kernel
+ * codec round trip, the kernel store's dispatch rule, multi-pass
+ * fallback, and the uniform initial placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "costmodel/mapper.hh"
+#include "kernels/codec.hh"
+#include "kernels/store.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::costmodel;
+using namespace adyna::kernels;
+using namespace adyna::graph;
+
+OpNode
+matmulOp(std::int64_t n, std::int64_t k, std::int64_t c)
+{
+    OpNode op;
+    op.kind = OpKind::MatMul;
+    op.dims = LoopDims::matmul(n, k, c);
+    return op;
+}
+
+// --------------------------------------------------------------- codec
+
+TEST(Codec, ImageIs128Bytes)
+{
+    EXPECT_EQ(kKernelBytes, 128u);
+    EXPECT_EQ(sizeof(KernelImage), 128u);
+}
+
+TEST(Codec, RoundTripPreservesMapping)
+{
+    TechParams tech;
+    Mapper mapper(tech);
+    const OpNode op = matmulOp(128, 512, 256);
+    const Mapping m = mapper.search(op, 96, 6);
+    const KernelImage img = encodeKernel(m, 1, tech);
+    const Mapping back = decodeKernel(img);
+    EXPECT_EQ(back.compiledDims, m.compiledDims);
+    EXPECT_EQ(back.tiles, m.tiles);
+    EXPECT_EQ(back.order, m.order);
+    EXPECT_EQ(back.splitFactor(Dim::N), m.splitFactor(Dim::N));
+    EXPECT_EQ(back.splitFactor(Dim::K), m.splitFactor(Dim::K));
+    EXPECT_EQ(back.splitFactor(Dim::P), m.splitFactor(Dim::P));
+}
+
+TEST(Codec, RoundTripConvWithStride)
+{
+    TechParams tech;
+    Mapper mapper(tech);
+    OpNode op;
+    op.kind = OpKind::Conv2d;
+    op.dims = LoopDims::conv(32, 128, 64, 28, 28, 3, 3);
+    op.stride = 2;
+    const Mapping m = mapper.search(op, 32, 4);
+    const KernelImage img = encodeKernel(m, op.stride, tech);
+    const Mapping back = decodeKernel(img);
+    EXPECT_EQ(back.compiledDims, m.compiledDims);
+    // Decoded spad block clamps to per-tile extents but must keep
+    // the same DRAM trip structure.
+    const auto perTile = m.perTileDims();
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+        const Dim dd = static_cast<Dim>(d);
+        const std::int64_t expect =
+            std::clamp<std::int64_t>(m.spadBlock[dd], 1, perTile[dd]);
+        EXPECT_EQ(back.spadBlock[dd], expect);
+    }
+}
+
+TEST(Codec, AllCanonicalOrdersRoundTrip)
+{
+    TechParams tech;
+    for (int o = 0; o < kNumLoopOrders; ++o) {
+        Mapping m;
+        m.compiledDims = LoopDims::matmul(64, 64, 64);
+        m.tiles = 2;
+        m.splits = {SpatialSplit{Dim::K, 2}};
+        m.spadBlock = m.perTileDims();
+        m.order = static_cast<LoopOrder>(o);
+        const Mapping back = decodeKernel(encodeKernel(m, 1, tech));
+        EXPECT_EQ(back.order, m.order);
+    }
+}
+
+TEST(CodecDeathTest, OversizedExtentIsFatal)
+{
+    TechParams tech;
+    Mapping m;
+    m.compiledDims = LoopDims::matmul(100000, 4, 4); // > 16 bit
+    m.tiles = 1;
+    m.spadBlock = m.compiledDims;
+    EXPECT_DEATH((void)encodeKernel(m, 1, tech), "overflow");
+}
+
+// --------------------------------------------------------------- store
+
+Kernel
+kernelFor(std::int64_t v)
+{
+    Kernel k;
+    k.value = v;
+    k.mapping.compiledDims = LoopDims::matmul(v, 64, 64);
+    k.mapping.tiles = 1;
+    k.mapping.spadBlock = k.mapping.compiledDims;
+    return k;
+}
+
+TEST(KernelStore, KeepsSortedAndDeduplicates)
+{
+    KernelStore store;
+    store.add(kernelFor(64));
+    store.add(kernelFor(16));
+    store.add(kernelFor(128));
+    store.add(kernelFor(64)); // replace
+    EXPECT_EQ(store.size(), 3u);
+    EXPECT_EQ(store.values(),
+              (std::vector<std::int64_t>{16, 64, 128}));
+    EXPECT_EQ(store.metadataBytes(), Bytes{3} * 128);
+}
+
+TEST(KernelStore, DispatchPicksSmallestNoLess)
+{
+    KernelStore store;
+    for (std::int64_t v : {16, 64, 128})
+        store.add(kernelFor(v));
+    EXPECT_EQ(store.dispatch(10).index, 0u);
+    EXPECT_EQ(store.dispatch(16).index, 0u);
+    EXPECT_EQ(store.dispatch(17).index, 1u);
+    EXPECT_EQ(store.dispatch(128).index, 2u);
+    EXPECT_EQ(store.dispatch(64).passes, 1);
+}
+
+TEST(KernelStore, DispatchBeyondMaxRunsMultiplePasses)
+{
+    KernelStore store;
+    store.add(kernelFor(50));
+    const Dispatch d = store.dispatch(120);
+    EXPECT_EQ(d.index, 0u);
+    EXPECT_EQ(d.passes, 3);
+    EXPECT_EQ(d.perPass, 50);
+}
+
+TEST(KernelStore, RemoveByValue)
+{
+    KernelStore store;
+    store.add(kernelFor(16));
+    store.add(kernelFor(64));
+    EXPECT_TRUE(store.remove(16));
+    EXPECT_FALSE(store.remove(16));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.dispatch(1).index, 0u);
+}
+
+TEST(KernelStoreDeathTest, DispatchOnEmptyPanics)
+{
+    KernelStore store;
+    EXPECT_DEATH((void)store.dispatch(1), "empty");
+}
+
+// ----------------------------------------------------- uniform values
+
+TEST(UniformKernelValues, SpansFullRange)
+{
+    const auto v = uniformKernelValues(128, 8);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v.front(), 1);
+    EXPECT_EQ(v.back(), 128);
+    EXPECT_LE(v.size(), 9u);
+    for (std::size_t i = 1; i < v.size(); ++i)
+        EXPECT_LT(v[i - 1], v[i]);
+}
+
+TEST(UniformKernelValues, SmallDomainEnumerates)
+{
+    const auto v = uniformKernelValues(5, 32);
+    EXPECT_EQ(v, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(UniformKernelValues, SingleKernelIsMax)
+{
+    const auto v = uniformKernelValues(128, 1);
+    EXPECT_EQ(v, (std::vector<std::int64_t>{128}));
+}
+
+} // namespace

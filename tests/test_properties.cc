@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps over operator shapes,
+ * dyn values, seeds, and policies asserting the invariants the
+ * simulator and scheduler rely on (monotonicity, conservation,
+ * bounds), rather than specific numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/designs.hh"
+#include "core/sampling.hh"
+#include "costmodel/cost.hh"
+#include "costmodel/mapper.hh"
+#include "graph/parser.hh"
+#include "kernels/codec.hh"
+#include "kernels/store.hh"
+#include "models/models.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::costmodel;
+using namespace adyna::graph;
+
+// ---------------------------------------------- cost-model invariants
+
+struct ShapeCase
+{
+    std::int64_t n, k, c, p, q, r, s;
+    int stride;
+};
+
+class CostProps : public ::testing::TestWithParam<ShapeCase>
+{
+  protected:
+    OpNode
+    op() const
+    {
+        const ShapeCase sc = GetParam();
+        OpNode o;
+        o.kind = sc.r > 1 || sc.p > 1 ? OpKind::Conv2d : OpKind::MatMul;
+        o.dims = LoopDims::conv(sc.n, sc.k, sc.c, sc.p, sc.q, sc.r,
+                                sc.s);
+        o.stride = sc.stride;
+        return o;
+    }
+};
+
+TEST_P(CostProps, CyclesMonotoneInActualValue)
+{
+    TechParams tech;
+    Mapper mapper(tech);
+    const OpNode o = op();
+    const Mapping m = mapper.search(o, o.dims.n(), 4);
+    Cycles prev = 0;
+    for (std::int64_t v = 0; v <= o.dims.n();
+         v += std::max<std::int64_t>(1, o.dims.n() / 7)) {
+        const auto cost = evalKernel(o, m, v, true, tech);
+        EXPECT_GE(cost.cycles, prev);
+        prev = cost.cycles;
+    }
+}
+
+TEST_P(CostProps, FittingNeverCostsMoreThanWorstCase)
+{
+    TechParams tech;
+    Mapper mapper(tech);
+    const OpNode o = op();
+    const Mapping m = mapper.search(o, o.dims.n(), 6);
+    for (std::int64_t v : {std::int64_t{1}, o.dims.n() / 3,
+                           o.dims.n()}) {
+        if (v < 1)
+            continue;
+        const auto fit = evalKernel(o, m, v, true, tech);
+        const auto unfit = evalKernel(o, m, v, false, tech);
+        EXPECT_LE(fit.cycles, unfit.cycles);
+        EXPECT_LE(fit.issuedMacs, unfit.issuedMacs);
+        EXPECT_EQ(fit.usefulMacs, unfit.usefulMacs);
+        EXPECT_GE(fit.issuedMacs, fit.usefulMacs);
+    }
+}
+
+TEST_P(CostProps, CyclesRespectArrayThroughputBound)
+{
+    TechParams tech;
+    Mapper mapper(tech);
+    const OpNode o = op();
+    for (int tiles : {1, 4, 9}) {
+        const auto [m, cost] = mapper.searchWithCost(o, o.dims.n(),
+                                                     tiles);
+        // Makespan cannot beat perfect MAC throughput on the group.
+        const double ideal =
+            static_cast<double>(o.dims.macs()) /
+            (static_cast<double>(tiles) * tech.macsPerCycle());
+        EXPECT_GE(static_cast<double>(cost.cycles) * tiles *
+                      tech.macsPerCycle(),
+                  static_cast<double>(cost.usefulMacs) * 0.999)
+            << m.str();
+        EXPECT_GE(cost.cycles, static_cast<Cycles>(ideal / tiles));
+    }
+}
+
+TEST_P(CostProps, TrafficIncludesCompulsoryPass)
+{
+    const OpNode o = op();
+    if (!isCompute(o.kind))
+        return;
+    LoopDims block = o.dims;
+    block[Dim::N] = std::max<std::int64_t>(1, o.dims.n() / 4);
+    block[Dim::P] = std::max<std::int64_t>(1, o.dims.p() / 2);
+    const auto t =
+        blockedTraffic(o.dims, block, LoopOrder::NOuter, o.stride, 2);
+    EXPECT_GE(t.weights, o.weightBytes());
+    EXPECT_GE(t.outputWrites, o.outputBytes());
+    // Input includes at least the halo-free volume.
+    EXPECT_GE(t.inputs,
+              static_cast<Bytes>(o.dims.n() * o.dims.c() * o.dims.p() *
+                                 o.dims.q() * 2));
+}
+
+TEST_P(CostProps, CodecRoundTripAcrossShapes)
+{
+    TechParams tech;
+    Mapper mapper(tech);
+    const OpNode o = op();
+    for (int tiles : {1, 3, 8}) {
+        const Mapping m = mapper.search(o, o.dims.n(), tiles);
+        const auto back =
+            kernels::decodeKernel(kernels::encodeKernel(m, o.stride,
+                                                        tech));
+        EXPECT_EQ(back.compiledDims, m.compiledDims);
+        EXPECT_EQ(back.tiles, m.tiles);
+        EXPECT_EQ(back.order, m.order);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CostProps,
+    ::testing::Values(ShapeCase{128, 64, 64, 56, 56, 3, 3, 1},
+                      ShapeCase{128, 512, 512, 7, 7, 3, 3, 1},
+                      ShapeCase{64, 64, 3, 112, 112, 7, 7, 2},
+                      ShapeCase{2048, 768, 768, 1, 1, 1, 1, 1},
+                      ShapeCase{8192, 384, 1536, 1, 1, 1, 1, 1},
+                      ShapeCase{16, 1000, 512, 1, 1, 1, 1, 1},
+                      ShapeCase{128, 256, 128, 14, 14, 3, 3, 2}));
+
+// --------------------------------------------------- dispatch sweeps
+
+class DispatchProps : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(DispatchProps, CoversEveryActualValue)
+{
+    const std::int64_t maxV = GetParam();
+    kernels::KernelStore store;
+    for (std::int64_t v : kernels::uniformKernelValues(maxV, 16)) {
+        kernels::Kernel k;
+        k.value = v;
+        store.add(std::move(k));
+    }
+    for (std::int64_t v = 1; v <= maxV;
+         v += std::max<std::int64_t>(1, maxV / 97)) {
+        const auto d = store.dispatch(v);
+        const std::int64_t kv = store.at(d.index).value;
+        // Either a covering kernel, or multi-pass with full passes.
+        EXPECT_GE(kv * d.passes, v);
+        if (d.passes == 1) {
+            EXPECT_GE(kv, v);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, DispatchProps,
+                         ::testing::Values(7, 64, 128, 1000, 8192));
+
+// --------------------------------------------- sampling conservation
+
+class SamplingProps : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SamplingProps, ResampleKeepsInvariants)
+{
+    Rng rng(GetParam());
+    const std::int64_t maxV = 1 + rng.uniformInt(16, 8192);
+    auto vals = kernels::uniformKernelValues(maxV, 24);
+    std::vector<double> freq(vals.size());
+    for (double &f : freq)
+        f = rng.uniform(0.0, 100.0);
+    const auto out = core::resampleKernelValues(
+        vals, freq, static_cast<int>(vals.size()));
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back(), maxV); // worst case always covered
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_GE(out[i], 1);
+        if (i) {
+            EXPECT_LT(out[i - 1], out[i]);
+        }
+    }
+    // Redistribution conserves mass for the final set.
+    const auto redist = core::redistributeFrequencies(vals, freq, out);
+    double a = 0, b = 0;
+    for (double f : freq)
+        a += f;
+    for (double f : redist)
+        b += f;
+    EXPECT_NEAR(a, b, 1e-6 * std::max(1.0, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplingProps,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u));
+
+// ------------------------------------------- trace conservation sweep
+
+class TraceProps
+    : public ::testing::TestWithParam<std::tuple<std::string,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(TraceProps, DynValuesBoundedForAllWorkloadsAndSeeds)
+{
+    const auto [name, seed] = GetParam();
+    const auto bundle = models::buildByName(name, 32);
+    const DynGraph dg = parseModel(bundle.graph);
+    trace::TraceConfig cfg = bundle.traceConfig;
+    cfg.batchSize = 32;
+    trace::TraceGenerator gen(dg, cfg, seed);
+    for (int b = 0; b < 25; ++b) {
+        const auto r = gen.next();
+        for (OpId op : dg.dynamicOps()) {
+            const auto v = r.dynValue(dg, op);
+            EXPECT_GE(v, 0);
+            EXPECT_LE(v, dg.maxDyn(op));
+        }
+        for (const auto &[sw, oc] : r.outcomes) {
+            EXPECT_GE(oc.activeBefore, oc.activeAfter);
+            for (std::int64_t c : oc.branchCounts)
+                EXPECT_GE(c, 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceProps,
+    ::testing::Combine(::testing::Values("skipnet", "pabee", "fbsnet",
+                                         "tutel-moe", "dpsnet",
+                                         "adavit"),
+                       ::testing::Values(1u, 17u, 99u)),
+    [](const auto &ti) {
+        std::string n = std::get<0>(ti.param);
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n + "_s" + std::to_string(std::get<1>(ti.param));
+    });
+
+// ---------------------------------------------- system-level scaling
+
+TEST(SystemProps, TimeScalesRoughlyLinearlyWithBatches)
+{
+    const auto bundle = models::buildSkipNet(32);
+    const DynGraph dg = parseModel(bundle.graph);
+    const arch::HwConfig hw;
+    auto timeFor = [&](int batches) {
+        auto sys = baselines::makeSystem(dg, bundle.traceConfig, hw,
+                                         baselines::Design::Adyna,
+                                         batches, 3);
+        return sys.run().timeMs;
+    };
+    const double t40 = timeFor(40);
+    const double t120 = timeFor(120);
+    EXPECT_GT(t120, 2.0 * t40);
+    EXPECT_LT(t120, 4.0 * t40);
+}
+
+TEST(SystemProps, EnergyNeverNegativeAndAdditive)
+{
+    const auto bundle = models::buildFbsNet(32);
+    const DynGraph dg = parseModel(bundle.graph);
+    const arch::HwConfig hw;
+    for (auto d : baselines::allDesigns()) {
+        auto sys = baselines::makeSystem(dg, bundle.traceConfig, hw, d,
+                                         20, 4);
+        const auto rep = sys.run();
+        EXPECT_GE(rep.energy.pe, 0.0);
+        EXPECT_GE(rep.energy.sram, 0.0);
+        EXPECT_GE(rep.energy.hbm, 0.0);
+        EXPECT_GE(rep.energy.noc, 0.0);
+        EXPECT_NEAR(rep.energy.total(),
+                    rep.energy.pe + rep.energy.sram + rep.energy.hbm +
+                        rep.energy.noc,
+                    1e-3);
+    }
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the multi-kernel sampling algorithms (Section VII,
+ * Algorithms 1 and 2): frequency redistribution conservation,
+ * punishment/saving move selection, convergence, and the bucketing
+ * of raw value histograms onto kernel sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/sampling.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::core;
+
+double
+sum(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+// ------------------------------------------- redistributeFrequencies
+
+TEST(Redistribute, ConservesTotalMass)
+{
+    const std::vector<std::int64_t> vals{10, 20, 30, 40};
+    const std::vector<double> freq{5, 10, 15, 20};
+    const std::vector<std::int64_t> newVals{10, 25, 40};
+    const auto out = redistributeFrequencies(vals, freq, newVals);
+    ASSERT_EQ(out.size(), newVals.size());
+    EXPECT_NEAR(sum(out), sum(freq), 1e-9);
+}
+
+TEST(Redistribute, IdentityWhenSetsMatch)
+{
+    const std::vector<std::int64_t> vals{10, 20, 30};
+    const std::vector<double> freq{1, 2, 3};
+    const auto out = redistributeFrequencies(vals, freq, vals);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        EXPECT_NEAR(out[i], freq[i], 1e-9);
+}
+
+TEST(Redistribute, UniformSplitInsideRange)
+{
+    // Mass 8 on range (10, 20]; a new sample at 15 takes half.
+    const std::vector<std::int64_t> vals{10, 20};
+    const std::vector<double> freq{4, 8};
+    const std::vector<std::int64_t> newVals{10, 15, 20};
+    const auto out = redistributeFrequencies(vals, freq, newVals);
+    EXPECT_NEAR(out[0], 4.0, 1e-9);
+    EXPECT_NEAR(out[1], 4.0, 1e-9);
+    EXPECT_NEAR(out[2], 4.0, 1e-9);
+}
+
+TEST(Redistribute, MassBelowSmallestGoesToFirst)
+{
+    const std::vector<std::int64_t> vals{5, 20};
+    const std::vector<double> freq{7, 1};
+    const std::vector<std::int64_t> newVals{10, 20};
+    const auto out = redistributeFrequencies(vals, freq, newVals);
+    // The (0,5] mass is served by the 10-kernel.
+    EXPECT_NEAR(out[0], 7.0 + 1.0 * (10.0 - 5.0) / 15.0, 1e-9);
+    EXPECT_NEAR(sum(out), 8.0, 1e-9);
+}
+
+TEST(Redistribute, EmptyRangeMassFallsUpward)
+{
+    // No new sample inside (10, 20]: its mass must not vanish.
+    const std::vector<std::int64_t> vals{10, 20, 40};
+    const std::vector<double> freq{1, 6, 1};
+    const std::vector<std::int64_t> newVals{10, 40};
+    const auto out = redistributeFrequencies(vals, freq, newVals);
+    EXPECT_NEAR(sum(out), 8.0, 1e-9);
+    EXPECT_NEAR(out[1], 7.0, 1e-9); // 6 from (10,20] + 1 own
+}
+
+// ------------------------------------------------- resampleKernelValues
+
+TEST(Resample, MovesSamplesTowardMass)
+{
+    // All the mass sits in (30, 40]; sparse elsewhere.
+    std::vector<std::int64_t> vals{10, 20, 30, 40};
+    std::vector<double> freq{0.0, 0.0, 0.0, 100.0};
+    const auto out = resampleKernelValues(vals, freq, 8);
+    // The max value is always kept.
+    EXPECT_EQ(out.back(), 40);
+    // At least one new sample inside (30, 40).
+    bool inside = false;
+    for (std::int64_t v : out)
+        inside |= v > 30 && v < 40;
+    EXPECT_TRUE(inside);
+    // Sorted and unique.
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_LT(out[i - 1], out[i]);
+}
+
+TEST(Resample, KeepsSizeConstant)
+{
+    std::vector<std::int64_t> vals{8, 16, 24, 32, 40};
+    std::vector<double> freq{1, 1, 50, 1, 1};
+    const auto out = resampleKernelValues(vals, freq, 16);
+    EXPECT_EQ(out.size(), vals.size());
+}
+
+TEST(Resample, UniformDistributionIsStable)
+{
+    // Already-balanced samples: no move should be profitable enough
+    // to run away; output stays a valid sorted cover of the range.
+    std::vector<std::int64_t> vals{32, 64, 96, 128};
+    std::vector<double> freq{25, 25, 25, 25};
+    const auto out = resampleKernelValues(vals, freq, 16);
+    EXPECT_EQ(out.back(), 128);
+    EXPECT_GE(out.size(), 3u);
+}
+
+TEST(Resample, TinySetsPassThrough)
+{
+    std::vector<std::int64_t> vals{64, 128};
+    std::vector<double> freq{1, 1};
+    EXPECT_EQ(resampleKernelValues(vals, freq, 4), vals);
+}
+
+TEST(Resample, NeverRemovesMaxValue)
+{
+    std::vector<std::int64_t> vals{10, 64, 128};
+    std::vector<double> freq{100, 100, 0}; // max has no mass
+    const auto out = resampleKernelValues(vals, freq, 8);
+    EXPECT_EQ(out.back(), 128);
+}
+
+TEST(Resample, ReducesExpectedMismatchOnSkewedLoad)
+{
+    // Quantitative check of the objective: expected (v_k - v) loss
+    // under the true distribution must not increase.
+    const std::int64_t maxV = 1024;
+    std::vector<std::int64_t> vals;
+    for (int i = 1; i <= 8; ++i)
+        vals.push_back(maxV * i / 8);
+    // True distribution: concentrated around 600.
+    auto massAt = [](std::int64_t v) {
+        return v >= 550 && v <= 650 ? 1.0 : 0.0;
+    };
+    auto loss = [&](const std::vector<std::int64_t> &ks) {
+        double total = 0.0;
+        for (std::int64_t v = 1; v <= maxV; ++v) {
+            const auto it =
+                std::lower_bound(ks.begin(), ks.end(), v);
+            total += massAt(v) * static_cast<double>(*it - v);
+        }
+        return total;
+    };
+    std::vector<double> freq(vals.size(), 0.0);
+    for (std::int64_t v = 1; v <= maxV; ++v) {
+        const auto it = std::lower_bound(vals.begin(), vals.end(), v);
+        freq[static_cast<std::size_t>(it - vals.begin())] += massAt(v);
+    }
+    const auto out = resampleKernelValues(vals, freq, 16);
+    EXPECT_LE(loss(out), loss(vals));
+    EXPECT_LT(loss(out), 0.8 * loss(vals)); // strictly better here
+}
+
+// ------------------------------------------------- bucketFrequencies
+
+TEST(Bucket, MapsValuesToCoveringKernel)
+{
+    FreqHistogram h;
+    h.add(5, 3);   // -> kernel 10
+    h.add(10, 2);  // -> kernel 10
+    h.add(11, 4);  // -> kernel 20
+    h.add(99, 1);  // above max -> kernel 20
+    const auto freq = bucketFrequencies(h, {10, 20});
+    ASSERT_EQ(freq.size(), 2u);
+    EXPECT_DOUBLE_EQ(freq[0], 5.0);
+    EXPECT_DOUBLE_EQ(freq[1], 5.0);
+}
+
+TEST(Bucket, EmptyInputs)
+{
+    FreqHistogram h;
+    EXPECT_TRUE(bucketFrequencies(h, {}).empty());
+    const auto freq = bucketFrequencies(h, {10});
+    ASSERT_EQ(freq.size(), 1u);
+    EXPECT_DOUBLE_EQ(freq[0], 0.0);
+}
+
+} // namespace
