@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hw_sweep.dir/abl_hw_sweep.cc.o"
+  "CMakeFiles/abl_hw_sweep.dir/abl_hw_sweep.cc.o.d"
+  "abl_hw_sweep"
+  "abl_hw_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hw_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hybrid_adavit.dir/abl_hybrid_adavit.cc.o"
+  "CMakeFiles/abl_hybrid_adavit.dir/abl_hybrid_adavit.cc.o.d"
+  "abl_hybrid_adavit"
+  "abl_hybrid_adavit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hybrid_adavit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_kernel_budget.dir/abl_kernel_budget.cc.o"
+  "CMakeFiles/abl_kernel_budget.dir/abl_kernel_budget.cc.o.d"
+  "abl_kernel_budget"
+  "abl_kernel_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kernel_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

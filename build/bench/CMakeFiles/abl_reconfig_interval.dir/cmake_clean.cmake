@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reconfig_interval.dir/abl_reconfig_interval.cc.o"
+  "CMakeFiles/abl_reconfig_interval.dir/abl_reconfig_interval.cc.o.d"
+  "abl_reconfig_interval"
+  "abl_reconfig_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reconfig_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_runtime_opts.dir/abl_runtime_opts.cc.o"
+  "CMakeFiles/abl_runtime_opts.dir/abl_runtime_opts.cc.o.d"
+  "abl_runtime_opts"
+  "abl_runtime_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_runtime_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

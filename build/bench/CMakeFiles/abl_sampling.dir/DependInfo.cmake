@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_sampling.cc" "bench/CMakeFiles/abl_sampling.dir/abl_sampling.cc.o" "gcc" "bench/CMakeFiles/abl_sampling.dir/abl_sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/adyna_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adyna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/adyna_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/adyna_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/adyna_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/adyna_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/adyna_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/adyna_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adyna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adyna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sampling.dir/abl_sampling.cc.o"
+  "CMakeFiles/abl_sampling.dir/abl_sampling.cc.o.d"
+  "abl_sampling"
+  "abl_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

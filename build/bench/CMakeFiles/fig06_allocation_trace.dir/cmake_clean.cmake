@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_allocation_trace.dir/fig06_allocation_trace.cc.o"
+  "CMakeFiles/fig06_allocation_trace.dir/fig06_allocation_trace.cc.o.d"
+  "fig06_allocation_trace"
+  "fig06_allocation_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_allocation_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_overall_perf.dir/fig09_overall_perf.cc.o"
+  "CMakeFiles/fig09_overall_perf.dir/fig09_overall_perf.cc.o.d"
+  "fig09_overall_perf"
+  "fig09_overall_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_overall_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_energy.dir/fig11_energy.cc.o"
+  "CMakeFiles/fig11_energy.dir/fig11_energy.cc.o.d"
+  "fig11_energy"
+  "fig11_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_realtime_sched.dir/fig12_realtime_sched.cc.o"
+  "CMakeFiles/fig12_realtime_sched.dir/fig12_realtime_sched.cc.o.d"
+  "fig12_realtime_sched"
+  "fig12_realtime_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_realtime_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_exit_nlp.dir/early_exit_nlp.cc.o"
+  "CMakeFiles/early_exit_nlp.dir/early_exit_nlp.cc.o.d"
+  "early_exit_nlp"
+  "early_exit_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_exit_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/chip.cc" "src/arch/CMakeFiles/adyna_arch.dir/chip.cc.o" "gcc" "src/arch/CMakeFiles/adyna_arch.dir/chip.cc.o.d"
+  "/root/repo/src/arch/hbm.cc" "src/arch/CMakeFiles/adyna_arch.dir/hbm.cc.o" "gcc" "src/arch/CMakeFiles/adyna_arch.dir/hbm.cc.o.d"
+  "/root/repo/src/arch/noc.cc" "src/arch/CMakeFiles/adyna_arch.dir/noc.cc.o" "gcc" "src/arch/CMakeFiles/adyna_arch.dir/noc.cc.o.d"
+  "/root/repo/src/arch/profiler.cc" "src/arch/CMakeFiles/adyna_arch.dir/profiler.cc.o" "gcc" "src/arch/CMakeFiles/adyna_arch.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adyna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/adyna_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/adyna_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adyna_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

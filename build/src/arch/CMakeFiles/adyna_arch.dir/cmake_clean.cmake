@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_arch.dir/chip.cc.o"
+  "CMakeFiles/adyna_arch.dir/chip.cc.o.d"
+  "CMakeFiles/adyna_arch.dir/hbm.cc.o"
+  "CMakeFiles/adyna_arch.dir/hbm.cc.o.d"
+  "CMakeFiles/adyna_arch.dir/noc.cc.o"
+  "CMakeFiles/adyna_arch.dir/noc.cc.o.d"
+  "CMakeFiles/adyna_arch.dir/profiler.cc.o"
+  "CMakeFiles/adyna_arch.dir/profiler.cc.o.d"
+  "libadyna_arch.a"
+  "libadyna_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

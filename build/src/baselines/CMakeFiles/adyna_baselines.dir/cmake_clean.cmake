@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_baselines.dir/designs.cc.o"
+  "CMakeFiles/adyna_baselines.dir/designs.cc.o.d"
+  "CMakeFiles/adyna_baselines.dir/gpu.cc.o"
+  "CMakeFiles/adyna_baselines.dir/gpu.cc.o.d"
+  "CMakeFiles/adyna_baselines.dir/realtime.cc.o"
+  "CMakeFiles/adyna_baselines.dir/realtime.cc.o.d"
+  "libadyna_baselines.a"
+  "libadyna_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_common.dir/cli.cc.o"
+  "CMakeFiles/adyna_common.dir/cli.cc.o.d"
+  "CMakeFiles/adyna_common.dir/logging.cc.o"
+  "CMakeFiles/adyna_common.dir/logging.cc.o.d"
+  "CMakeFiles/adyna_common.dir/rng.cc.o"
+  "CMakeFiles/adyna_common.dir/rng.cc.o.d"
+  "CMakeFiles/adyna_common.dir/stats.cc.o"
+  "CMakeFiles/adyna_common.dir/stats.cc.o.d"
+  "CMakeFiles/adyna_common.dir/table.cc.o"
+  "CMakeFiles/adyna_common.dir/table.cc.o.d"
+  "libadyna_common.a"
+  "libadyna_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/adyna_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/adyna_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/report_io.cc" "src/core/CMakeFiles/adyna_core.dir/report_io.cc.o" "gcc" "src/core/CMakeFiles/adyna_core.dir/report_io.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/adyna_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/adyna_core.dir/sampling.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/adyna_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/adyna_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/adyna_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/adyna_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/adyna_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/adyna_core.dir/system.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/core/CMakeFiles/adyna_core.dir/validate.cc.o" "gcc" "src/core/CMakeFiles/adyna_core.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adyna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adyna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/adyna_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/adyna_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/adyna_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/adyna_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/adyna_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

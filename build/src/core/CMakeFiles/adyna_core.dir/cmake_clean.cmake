@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_core.dir/engine.cc.o"
+  "CMakeFiles/adyna_core.dir/engine.cc.o.d"
+  "CMakeFiles/adyna_core.dir/report_io.cc.o"
+  "CMakeFiles/adyna_core.dir/report_io.cc.o.d"
+  "CMakeFiles/adyna_core.dir/sampling.cc.o"
+  "CMakeFiles/adyna_core.dir/sampling.cc.o.d"
+  "CMakeFiles/adyna_core.dir/schedule.cc.o"
+  "CMakeFiles/adyna_core.dir/schedule.cc.o.d"
+  "CMakeFiles/adyna_core.dir/scheduler.cc.o"
+  "CMakeFiles/adyna_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/adyna_core.dir/system.cc.o"
+  "CMakeFiles/adyna_core.dir/system.cc.o.d"
+  "CMakeFiles/adyna_core.dir/validate.cc.o"
+  "CMakeFiles/adyna_core.dir/validate.cc.o.d"
+  "libadyna_core.a"
+  "libadyna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/area.cc" "src/costmodel/CMakeFiles/adyna_costmodel.dir/area.cc.o" "gcc" "src/costmodel/CMakeFiles/adyna_costmodel.dir/area.cc.o.d"
+  "/root/repo/src/costmodel/cost.cc" "src/costmodel/CMakeFiles/adyna_costmodel.dir/cost.cc.o" "gcc" "src/costmodel/CMakeFiles/adyna_costmodel.dir/cost.cc.o.d"
+  "/root/repo/src/costmodel/mapper.cc" "src/costmodel/CMakeFiles/adyna_costmodel.dir/mapper.cc.o" "gcc" "src/costmodel/CMakeFiles/adyna_costmodel.dir/mapper.cc.o.d"
+  "/root/repo/src/costmodel/mapping.cc" "src/costmodel/CMakeFiles/adyna_costmodel.dir/mapping.cc.o" "gcc" "src/costmodel/CMakeFiles/adyna_costmodel.dir/mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adyna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adyna_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

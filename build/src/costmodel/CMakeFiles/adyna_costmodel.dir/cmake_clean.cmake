@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_costmodel.dir/area.cc.o"
+  "CMakeFiles/adyna_costmodel.dir/area.cc.o.d"
+  "CMakeFiles/adyna_costmodel.dir/cost.cc.o"
+  "CMakeFiles/adyna_costmodel.dir/cost.cc.o.d"
+  "CMakeFiles/adyna_costmodel.dir/mapper.cc.o"
+  "CMakeFiles/adyna_costmodel.dir/mapper.cc.o.d"
+  "CMakeFiles/adyna_costmodel.dir/mapping.cc.o"
+  "CMakeFiles/adyna_costmodel.dir/mapping.cc.o.d"
+  "libadyna_costmodel.a"
+  "libadyna_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

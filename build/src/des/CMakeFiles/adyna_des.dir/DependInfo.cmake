@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/resource.cc" "src/des/CMakeFiles/adyna_des.dir/resource.cc.o" "gcc" "src/des/CMakeFiles/adyna_des.dir/resource.cc.o.d"
+  "/root/repo/src/des/simulator.cc" "src/des/CMakeFiles/adyna_des.dir/simulator.cc.o" "gcc" "src/des/CMakeFiles/adyna_des.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adyna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

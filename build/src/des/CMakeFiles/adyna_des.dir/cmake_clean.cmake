@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_des.dir/resource.cc.o"
+  "CMakeFiles/adyna_des.dir/resource.cc.o.d"
+  "CMakeFiles/adyna_des.dir/simulator.cc.o"
+  "CMakeFiles/adyna_des.dir/simulator.cc.o.d"
+  "libadyna_des.a"
+  "libadyna_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_graph.dir/dims.cc.o"
+  "CMakeFiles/adyna_graph.dir/dims.cc.o.d"
+  "CMakeFiles/adyna_graph.dir/dot.cc.o"
+  "CMakeFiles/adyna_graph.dir/dot.cc.o.d"
+  "CMakeFiles/adyna_graph.dir/dyngraph.cc.o"
+  "CMakeFiles/adyna_graph.dir/dyngraph.cc.o.d"
+  "CMakeFiles/adyna_graph.dir/graph.cc.o"
+  "CMakeFiles/adyna_graph.dir/graph.cc.o.d"
+  "CMakeFiles/adyna_graph.dir/op.cc.o"
+  "CMakeFiles/adyna_graph.dir/op.cc.o.d"
+  "CMakeFiles/adyna_graph.dir/parser.cc.o"
+  "CMakeFiles/adyna_graph.dir/parser.cc.o.d"
+  "CMakeFiles/adyna_graph.dir/transforms.cc.o"
+  "CMakeFiles/adyna_graph.dir/transforms.cc.o.d"
+  "libadyna_graph.a"
+  "libadyna_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

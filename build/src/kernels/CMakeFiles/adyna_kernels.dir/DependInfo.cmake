@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/codec.cc" "src/kernels/CMakeFiles/adyna_kernels.dir/codec.cc.o" "gcc" "src/kernels/CMakeFiles/adyna_kernels.dir/codec.cc.o.d"
+  "/root/repo/src/kernels/store.cc" "src/kernels/CMakeFiles/adyna_kernels.dir/store.cc.o" "gcc" "src/kernels/CMakeFiles/adyna_kernels.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adyna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adyna_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/adyna_costmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_kernels.dir/codec.cc.o"
+  "CMakeFiles/adyna_kernels.dir/codec.cc.o.d"
+  "CMakeFiles/adyna_kernels.dir/store.cc.o"
+  "CMakeFiles/adyna_kernels.dir/store.cc.o.d"
+  "libadyna_kernels.a"
+  "libadyna_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadyna_kernels.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_models.dir/models.cc.o"
+  "CMakeFiles/adyna_models.dir/models.cc.o.d"
+  "CMakeFiles/adyna_models.dir/random.cc.o"
+  "CMakeFiles/adyna_models.dir/random.cc.o.d"
+  "libadyna_models.a"
+  "libadyna_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adyna_trace.dir/replay.cc.o"
+  "CMakeFiles/adyna_trace.dir/replay.cc.o.d"
+  "CMakeFiles/adyna_trace.dir/trace.cc.o"
+  "CMakeFiles/adyna_trace.dir/trace.cc.o.d"
+  "libadyna_trace.a"
+  "libadyna_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adyna_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_opts.dir/test_runtime_opts.cc.o"
+  "CMakeFiles/test_runtime_opts.dir/test_runtime_opts.cc.o.d"
+  "test_runtime_opts"
+  "test_runtime_opts.pdb"
+  "test_runtime_opts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

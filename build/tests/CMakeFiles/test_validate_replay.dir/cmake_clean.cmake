@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validate_replay.dir/test_validate_replay.cc.o"
+  "CMakeFiles/test_validate_replay.dir/test_validate_replay.cc.o.d"
+  "test_validate_replay"
+  "test_validate_replay.pdb"
+  "test_validate_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validate_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
