@@ -34,10 +34,17 @@ main(int argc, char **argv)
     TextTable t("All designs on AdaViT");
     t.header({"design", "time (ms)", "vs M-tile", "PE util",
               "energy (J)"});
+    const auto designs = baselines::allDesigns();
+    Sweep sweep(p, hw);
+    const auto reports =
+        sweep.map(designs.size(), [&](std::size_t i) {
+            return sweep.run(w, designs[i], hw);
+        });
+    sweep.printCacheStats();
     double mtileMs = 0.0;
-    for (Design d : baselines::allDesigns()) {
-        const auto rep = runDesign(w, d, p, hw);
-        if (d == Design::MTile)
+    for (std::size_t di = 0; di < designs.size(); ++di) {
+        const auto &rep = reports[di];
+        if (designs[di] == Design::MTile)
             mtileMs = rep.timeMs;
         t.row({rep.design, TextTable::num(rep.timeMs, 1),
                TextTable::mult(mtileMs / rep.timeMs),

@@ -39,16 +39,17 @@ main(int argc, char **argv)
         header.push_back(n);
     t.header(header);
 
-    std::map<std::string, double> fullMs;
-    for (const auto &n : names) {
-        const Workload w = makeWorkload(n, p.batchSize);
-        fullMs[n] = runDesign(w, Design::FullKernel, p, hw).timeMs;
-    }
+    Sweep sweep(p, hw);
 
-    for (int budget : budgets) {
-        std::vector<std::string> cells{std::to_string(budget)};
-        for (const auto &n : names) {
-            const Workload w = makeWorkload(n, p.batchSize);
+    // Task layout: [0, names) = full-kernel references, then one
+    // task per (budget, workload) pair.
+    const auto times = sweep.map(
+        names.size() * (1 + budgets.size()), [&](std::size_t i) {
+            const Workload w = makeWorkload(names[i % names.size()],
+                                            p.batchSize);
+            if (i < names.size())
+                return sweep.run(w, Design::FullKernel, hw).timeMs;
+            const int budget = budgets[i / names.size() - 1];
             trace::TraceConfig cfg = w.bundle.traceConfig;
             cfg.batchSize = p.batchSize;
             auto sched = baselines::schedulerConfig(Design::Adyna);
@@ -59,9 +60,16 @@ main(int argc, char **argv)
                 baselines::runOptions(Design::Adyna, p.batches,
                                       p.seed),
                 "Adyna");
-            const auto rep = sys.run();
-            cells.push_back(
-                TextTable::num(rep.timeMs / fullMs[n], 3));
+            sys.setSharedMapper(sweep.sharedMapper());
+            return sys.run().timeMs;
+        });
+    sweep.printCacheStats();
+
+    for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
+        std::vector<std::string> cells{std::to_string(budgets[bi])};
+        for (std::size_t ni = 0; ni < names.size(); ++ni) {
+            const double ms = times[(bi + 1) * names.size() + ni];
+            cells.push_back(TextTable::num(ms / times[ni], 3));
         }
         t.row(cells);
     }

@@ -33,10 +33,12 @@ main(int argc, char **argv)
     header.push_back("geomean vs 40");
     t.header(header);
 
-    std::map<int, std::map<std::string, double>> ms;
-    for (int period : periods) {
-        for (const auto &n : names) {
-            const Workload w = makeWorkload(n, p.batchSize);
+    Sweep sweep(p, hw);
+    const auto flat = sweep.map(
+        periods.size() * names.size(), [&](std::size_t i) {
+            const int period = periods[i / names.size()];
+            const Workload w = makeWorkload(names[i % names.size()],
+                                            p.batchSize);
             trace::TraceConfig cfg = w.bundle.traceConfig;
             cfg.batchSize = p.batchSize;
             auto opts = baselines::runOptions(Design::Adyna,
@@ -46,9 +48,16 @@ main(int argc, char **argv)
                              baselines::schedulerConfig(Design::Adyna),
                              baselines::execPolicy(Design::Adyna),
                              opts, "Adyna");
-            ms[period][n] = sys.run().timeMs;
-        }
-    }
+            sys.setSharedMapper(sweep.sharedMapper());
+            return sys.run().timeMs;
+        });
+    sweep.printCacheStats();
+
+    std::map<int, std::map<std::string, double>> ms;
+    for (std::size_t pi = 0; pi < periods.size(); ++pi)
+        for (std::size_t ni = 0; ni < names.size(); ++ni)
+            ms[periods[pi]][names[ni]] =
+                flat[pi * names.size() + ni];
     for (int period : periods) {
         std::vector<std::string> cells{
             period == 0 ? std::string("never")

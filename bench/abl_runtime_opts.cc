@@ -33,31 +33,47 @@ main(int argc, char **argv)
         header.push_back(n);
     t.header(header);
 
+    Sweep sweep(p, hw);
+    // Task index = ((sharing * 2) + grouping) * names + workload.
+    const auto flat =
+        sweep.map(4 * names.size(), [&](std::size_t i) {
+            const bool sharing = i / names.size() / 2 != 0;
+            const bool grouping = i / names.size() % 2 != 0;
+            const Workload w = makeWorkload(names[i % names.size()],
+                                            p.batchSize);
+            trace::TraceConfig cfg = w.bundle.traceConfig;
+            cfg.batchSize = p.batchSize;
+            auto sched = baselines::schedulerConfig(Design::Adyna);
+            sched.tileSharing = sharing;
+            sched.branchGrouping = grouping;
+            auto pol = baselines::execPolicy(Design::Adyna);
+            pol.tileSharing = sharing;
+            core::System sys(
+                w.dg, cfg, hw, sched, pol,
+                baselines::runOptions(Design::Adyna, p.batches,
+                                      p.seed),
+                "Adyna");
+            sys.setSharedMapper(sweep.sharedMapper());
+            return sys.run().timeMs;
+        });
+    sweep.printCacheStats();
+
     std::map<std::string, double> baseMs;
     for (int sharing = 0; sharing <= 1; ++sharing) {
         for (int grouping = 0; grouping <= 1; ++grouping) {
             std::vector<std::string> cells{sharing ? "on" : "off",
                                            grouping ? "on" : "off"};
-            for (const auto &n : names) {
-                const Workload w = makeWorkload(n, p.batchSize);
-                trace::TraceConfig cfg = w.bundle.traceConfig;
-                cfg.batchSize = p.batchSize;
-                auto sched =
-                    baselines::schedulerConfig(Design::Adyna);
-                sched.tileSharing = sharing;
-                sched.branchGrouping = grouping;
-                auto pol = baselines::execPolicy(Design::Adyna);
-                pol.tileSharing = sharing;
-                core::System sys(
-                    w.dg, cfg, hw, sched, pol,
-                    baselines::runOptions(Design::Adyna, p.batches,
-                                          p.seed),
-                    "Adyna");
-                const double ms = sys.run().timeMs;
+            for (std::size_t ni = 0; ni < names.size(); ++ni) {
+                const double ms =
+                    flat[static_cast<std::size_t>(sharing * 2 +
+                                                  grouping) *
+                             names.size() +
+                         ni];
                 if (!sharing && !grouping)
-                    baseMs[n] = ms;
+                    baseMs[names[ni]] = ms;
                 cells.push_back(TextTable::num(ms, 1) + " (" +
-                                TextTable::mult(baseMs[n] / ms) +
+                                TextTable::mult(baseMs[names[ni]] /
+                                                ms) +
                                 ")");
             }
             t.row(cells);

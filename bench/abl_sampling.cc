@@ -47,24 +47,34 @@ main(int argc, char **argv)
                                 {"initial profile only", 40, false},
                                 {"periodic re-sampling", 40, true}};
 
-    std::map<int, std::map<std::string, double>> ms;
-    for (int pi = 0; pi < 3; ++pi) {
-        for (const auto &n : names) {
-            const Workload w = makeWorkload(n, p.batchSize);
+    Sweep sweep(p, hw);
+    const auto flat =
+        sweep.map(3 * names.size(), [&](std::size_t i) {
+            const Policy &policy = policies[i / names.size()];
+            const Workload w = makeWorkload(names[i % names.size()],
+                                            p.batchSize);
             trace::TraceConfig cfg = w.bundle.traceConfig;
             cfg.batchSize = p.batchSize;
             auto sched = baselines::schedulerConfig(Design::Adyna);
             sched.kernelBudgetPerOp = 8;
             auto opts = baselines::runOptions(Design::Adyna,
                                               p.batches, p.seed);
-            opts.profileBatches = policies[pi].profileBatches;
-            opts.resampleKernels = policies[pi].periodic;
+            opts.profileBatches = policy.profileBatches;
+            opts.resampleKernels = policy.periodic;
             core::System sys(w.dg, cfg, hw, sched,
                              baselines::execPolicy(Design::Adyna),
                              opts, "Adyna");
-            ms[pi][n] = sys.run().timeMs;
-        }
-    }
+            sys.setSharedMapper(sweep.sharedMapper());
+            return sys.run().timeMs;
+        });
+    sweep.printCacheStats();
+
+    std::map<int, std::map<std::string, double>> ms;
+    for (int pi = 0; pi < 3; ++pi)
+        for (std::size_t ni = 0; ni < names.size(); ++ni)
+            ms[pi][names[ni]] =
+                flat[static_cast<std::size_t>(pi) * names.size() +
+                     ni];
     for (int pi = 0; pi < 3; ++pi) {
         std::vector<std::string> cells{policies[pi].name};
         std::vector<double> slow;

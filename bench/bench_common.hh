@@ -18,8 +18,10 @@
 #include "baselines/designs.hh"
 #include "baselines/gpu.hh"
 #include "common/cli.hh"
+#include "common/parallel.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "costmodel/mapper.hh"
 #include "graph/parser.hh"
 #include "models/models.hh"
 
@@ -32,6 +34,19 @@ struct BenchParams
     std::int64_t batchSize = 128;
     std::uint64_t seed = 7;
 
+    /** Worker threads for the sweep (--jobs N, default hardware
+     * concurrency; 1 = the exact serial seed behaviour). */
+    int jobs = 1;
+
+    /** Share one mapping-search memo cache across the sweep's runs
+     * (--shared-mapper=0 to disable). Results are unaffected. */
+    bool sharedMapper = true;
+
+    /** Print mapper-cache statistics to stderr after the sweep
+     * (--cache-stats). Kept off stdout so bench tables stay
+     * byte-identical across --jobs settings. */
+    bool cacheStats = false;
+
     static BenchParams
     fromArgs(const CliArgs &args)
     {
@@ -39,6 +54,12 @@ struct BenchParams
         p.batches = static_cast<int>(args.getInt("batches", 200));
         p.batchSize = args.getInt("batch", 128);
         p.seed = static_cast<std::uint64_t>(args.getInt("seed", 7));
+        p.jobs = static_cast<int>(
+            args.getInt("jobs", ThreadPool::defaultJobs()));
+        if (p.jobs < 1)
+            p.jobs = 1;
+        p.sharedMapper = args.getBool("shared-mapper", true);
+        p.cacheStats = args.getBool("cache-stats", false);
         return p;
     }
 };
@@ -60,6 +81,11 @@ printBanner(const std::string &title, const arch::HwConfig &hw,
     std::printf("batches=%d batch-size=%ld seed=%llu\n\n", p.batches,
                 static_cast<long>(p.batchSize),
                 static_cast<unsigned long long>(p.seed));
+    // Harness configuration goes to stderr: stdout must remain
+    // byte-identical for any --jobs value.
+    std::fprintf(stderr,
+                 "[adyna] sweep harness: jobs=%d shared-mapper=%s\n",
+                 p.jobs, p.sharedMapper ? "on" : "off");
 }
 
 /** One workload ready to simulate. */
@@ -89,15 +115,19 @@ makeAllWorkloads(std::int64_t batch_size)
     return out;
 }
 
-/** Run one accelerator design on one workload. */
+/** Run one accelerator design on one workload. @p shared_mapper,
+ * when non-null, memoizes mapping searches across runs (must match
+ * hw.tech). */
 inline core::RunReport
 runDesign(const Workload &w, baselines::Design design,
-          const BenchParams &p, const arch::HwConfig &hw)
+          const BenchParams &p, const arch::HwConfig &hw,
+          costmodel::Mapper *shared_mapper = nullptr)
 {
     trace::TraceConfig cfg = w.bundle.traceConfig;
     cfg.batchSize = p.batchSize;
     auto sys = baselines::makeSystem(w.dg, cfg, hw, design, p.batches,
                                      p.seed);
+    sys.setSharedMapper(shared_mapper);
     return sys.run();
 }
 
@@ -110,6 +140,77 @@ runGpuBaseline(const Workload &w, const BenchParams &p)
     return baselines::runGpu(w.dg, cfg, baselines::GpuParams{},
                              p.batches, p.seed);
 }
+
+/**
+ * The parallel sweep harness: a thread pool sized by --jobs plus one
+ * mapping-search cache shared by every run of the sweep (for a fixed
+ * HwConfig). Benches enumerate their independent (workload, design)
+ * runs as tasks, `map` executes them concurrently, and results come
+ * back in input order so the printed tables are deterministic and
+ * byte-identical to the serial --jobs 1 sweep.
+ */
+class Sweep
+{
+  public:
+    Sweep(const BenchParams &p, const arch::HwConfig &hw)
+        : p_(p), pool_(p.jobs), mapper_(hw.tech)
+    {
+    }
+
+    /** Run fn(0..n-1) concurrently; results in input order. */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn &&fn)
+        -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>>
+    {
+        return pool_.parallelMap(n, std::forward<Fn>(fn));
+    }
+
+    /** The sweep-wide shared mapper (null when --shared-mapper=0). */
+    costmodel::Mapper *
+    sharedMapper()
+    {
+        return p_.sharedMapper ? &mapper_ : nullptr;
+    }
+
+    /** runDesign through the shared mapper. */
+    core::RunReport
+    run(const Workload &w, baselines::Design d, const arch::HwConfig &hw)
+    {
+        return runDesign(w, d, p_, hw, sharedMapper());
+    }
+
+    /** runDesign with per-task params (batch-size sweeps etc.). */
+    core::RunReport
+    run(const Workload &w, baselines::Design d, const BenchParams &bp,
+        const arch::HwConfig &hw)
+    {
+        return runDesign(w, d, bp, hw, sharedMapper());
+    }
+
+    /** Mapper cache effectiveness to stderr (--cache-stats). */
+    void
+    printCacheStats() const
+    {
+        if (!p_.cacheStats)
+            return;
+        const std::uint64_t h = mapper_.hits();
+        const std::uint64_t m = mapper_.misses();
+        std::fprintf(stderr,
+                     "[adyna] shared mapper cache: %llu hits / %llu "
+                     "misses (%.1f%% hit rate)\n",
+                     static_cast<unsigned long long>(h),
+                     static_cast<unsigned long long>(m),
+                     h + m ? 100.0 * static_cast<double>(h) /
+                                 static_cast<double>(h + m)
+                           : 0.0);
+    }
+
+  private:
+    BenchParams p_;
+    ThreadPool pool_;
+    costmodel::Mapper mapper_;
+};
 
 } // namespace adyna::bench
 

@@ -27,18 +27,38 @@ main(int argc, char **argv)
     const auto workloads = makeAllWorkloads(p.batchSize);
     const auto designs = baselines::allDesigns();
 
+    // Enumerate the independent (workload, design) runs in the
+    // serial iteration order, execute them on the pool, and
+    // aggregate in input order: output is byte-identical for any
+    // --jobs value.
+    struct Task
+    {
+        std::size_t wi;
+        Design d;
+        bool gpu;
+    };
+    std::vector<Task> tasks;
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        for (Design d : designs)
+            tasks.push_back({wi, d, false});
+        tasks.push_back({wi, Design::Adyna, true});
+    }
+
+    Sweep sweep(p, hw);
+    const std::vector<core::RunReport> reports =
+        sweep.map(tasks.size(), [&](std::size_t i) {
+            const Task &t = tasks[i];
+            return t.gpu ? runGpuBaseline(workloads[t.wi], p)
+                         : sweep.run(workloads[t.wi], t.d, hw);
+        });
+    sweep.printCacheStats();
+
     // design name -> workload -> time (ms)
     std::map<std::string, std::map<std::string, double>> times;
-    std::vector<core::RunReport> reports;
-    for (const Workload &w : workloads) {
-        for (Design d : designs) {
-            const auto rep = runDesign(w, d, p, hw);
-            times[rep.design][w.name] = rep.timeMs;
-            reports.push_back(rep);
-        }
-        const auto gpu = runGpuBaseline(w, p);
-        times["GPU"][w.name] = gpu.timeMs;
-        reports.push_back(gpu);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto &rep = reports[i];
+        times[tasks[i].gpu ? "GPU" : rep.design]
+             [workloads[tasks[i].wi].name] = rep.timeMs;
     }
 
     // Optional machine-readable dumps for plotting pipelines.

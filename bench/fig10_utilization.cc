@@ -28,7 +28,6 @@ main(int argc, char **argv)
                                       Design::AdynaStatic,
                                       Design::Adyna};
 
-    std::map<std::string, core::RunReport> reps;
     TextTable pe("PE utilization (issued MACs / peak; redundant "
                  "worst-case work counts as busy)");
     TextTable bw("DRAM bandwidth utilization");
@@ -39,12 +38,21 @@ main(int argc, char **argv)
     pe.header(header);
     bw.header(header);
 
-    for (Design d : designs) {
+    Sweep sweep(p, hw);
+    const auto reports =
+        sweep.map(designs.size() * workloads.size(), [&](std::size_t i) {
+            return sweep.run(workloads[i % workloads.size()],
+                             designs[i / workloads.size()], hw);
+        });
+    sweep.printCacheStats();
+
+    for (std::size_t di = 0; di < designs.size(); ++di) {
+        const Design d = designs[di];
         std::vector<std::string> peRow{baselines::designName(d)};
         std::vector<std::string> bwRow{baselines::designName(d)};
         double peSum = 0.0, bwSum = 0.0;
-        for (const Workload &w : workloads) {
-            const auto rep = runDesign(w, d, p, hw);
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            const auto &rep = reports[di * workloads.size() + wi];
             peRow.push_back(TextTable::pct(rep.peUtilization));
             bwRow.push_back(TextTable::pct(rep.hbmUtilization));
             peSum += rep.peUtilization;

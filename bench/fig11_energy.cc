@@ -32,11 +32,22 @@ main(int argc, char **argv)
                 "N=M-tenant, S=Adyna static, A=Adyna)");
     t.header({"workload", "design", "HBM", "SRAM", "PE", "NoC",
               "total", "vs M-tile"});
-    for (const Workload &w : workloads) {
+
+    Sweep sweep(p, hw);
+    const auto reports =
+        sweep.map(workloads.size() * designs.size(), [&](std::size_t i) {
+            return sweep.run(workloads[i / designs.size()],
+                             designs[i % designs.size()].first, hw);
+        });
+    sweep.printCacheStats();
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = workloads[wi];
         double mtileTotal = 0.0;
         bool first = true;
-        for (const auto &[d, tag] : designs) {
-            const auto rep = runDesign(w, d, p, hw);
+        for (std::size_t di = 0; di < designs.size(); ++di) {
+            const auto &tag = designs[di].second;
+            const auto &rep = reports[wi * designs.size() + di];
             const auto &e = rep.energy;
             const double total = e.total() * 1e-12;
             if (first)

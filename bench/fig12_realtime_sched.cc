@@ -37,13 +37,16 @@ main(int argc, char **argv)
         header.push_back(w.name);
     t.header(header);
 
-    std::vector<baselines::RealtimeSweep> sweeps;
-    for (const Workload &w : workloads) {
-        const auto adyna = runDesign(w, Design::Adyna, p, hw);
-        const auto full = runDesign(w, Design::FullKernel, p, hw);
-        sweeps.push_back(baselines::sweepRealtimeScheduling(
-            w.dg, adyna, full, p.batches, latenciesMs));
-    }
+    Sweep sweep(p, hw);
+    const std::vector<baselines::RealtimeSweep> sweeps =
+        sweep.map(workloads.size(), [&](std::size_t i) {
+            const Workload &w = workloads[i];
+            const auto adyna = sweep.run(w, Design::Adyna, hw);
+            const auto full = sweep.run(w, Design::FullKernel, hw);
+            return baselines::sweepRealtimeScheduling(
+                w.dg, adyna, full, p.batches, latenciesMs);
+        });
+    sweep.printCacheStats();
     for (std::size_t i = 0; i < latenciesMs.size(); ++i) {
         std::vector<std::string> cells{
             TextTable::num(latenciesMs[i], 5)};

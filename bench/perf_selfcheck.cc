@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Harness self-check: times the full workload x design sweep three
+ * ways -- (A) the seed configuration (serial, per-run mapper, legacy
+ * per-period segment planner), (B) serial with the schedule-plan
+ * cache and the sweep-shared mapper, and (C) the same plus the
+ * --jobs thread pool -- verifies that all three produce identical
+ * reports, and writes a machine-readable `BENCH_sweep.json` so the
+ * perf trajectory is trackable across PRs.
+ *
+ * Speedup expectations: B/A isolates the caching win (also on 1-core
+ * hosts); C/A is the headline harness speedup (>= 2x on a 4-core
+ * host).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hh"
+#include "core/report_io.hh"
+
+using namespace adyna;
+using namespace adyna::bench;
+using baselines::Design;
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct SweepResult
+{
+    std::vector<core::RunReport> reports;
+    double wallMs = 0.0;
+    std::uint64_t mapperHits = 0;
+    std::uint64_t mapperMisses = 0;
+};
+
+/** Run the full workload x design matrix under one configuration. */
+SweepResult
+runSweep(const std::vector<Workload> &workloads,
+         const std::vector<Design> &designs, const BenchParams &p,
+         const arch::HwConfig &hw, int jobs, bool plan_cache,
+         bool share_mapper)
+{
+    ThreadPool pool(jobs);
+    costmodel::Mapper shared(hw.tech);
+
+    struct Task
+    {
+        std::size_t wi;
+        Design d;
+    };
+    std::vector<Task> tasks;
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi)
+        for (Design d : designs)
+            tasks.push_back({wi, d});
+
+    SweepResult out;
+    const double t0 = nowMs();
+    out.reports = pool.parallelMap(tasks.size(), [&](std::size_t i) {
+        const Workload &w = workloads[tasks[i].wi];
+        trace::TraceConfig cfg = w.bundle.traceConfig;
+        cfg.batchSize = p.batchSize;
+        auto pol = baselines::execPolicy(tasks[i].d);
+        pol.planCache = plan_cache;
+        core::System sys(w.dg, cfg, hw,
+                         baselines::schedulerConfig(tasks[i].d), pol,
+                         baselines::runOptions(tasks[i].d, p.batches,
+                                               p.seed),
+                         baselines::designName(tasks[i].d));
+        if (share_mapper)
+            sys.setSharedMapper(&shared);
+        return sys.run();
+    });
+    out.wallMs = nowMs() - t0;
+    out.mapperHits = shared.hits();
+    out.mapperMisses = shared.misses();
+    return out;
+}
+
+/** Simulation outputs (not cache counters) must match exactly. */
+bool
+reportsIdentical(const std::vector<core::RunReport> &a,
+                 const std::vector<core::RunReport> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (core::toJson(a[i], /*include_batches=*/true) !=
+            core::toJson(b[i], /*include_batches=*/true))
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    BenchParams p = BenchParams::fromArgs(args);
+    if (!args.has("batches"))
+        p.batches = 120;
+    const arch::HwConfig hw;
+    printBanner("=== Harness self-check: sweep wall-clock and "
+                "equivalence ===",
+                hw, p);
+
+    const auto workloads = makeAllWorkloads(p.batchSize);
+    const auto designs = baselines::allDesigns();
+    std::printf("Sweep: %zu workloads x %zu designs = %zu runs, "
+                "%d batches each\n\n",
+                workloads.size(), designs.size(),
+                workloads.size() * designs.size(), p.batches);
+
+    const auto base = runSweep(workloads, designs, p, hw, 1,
+                               /*plan_cache=*/false,
+                               /*share_mapper=*/false);
+    const auto cached = runSweep(workloads, designs, p, hw, 1,
+                                 /*plan_cache=*/true,
+                                 /*share_mapper=*/true);
+    const auto parallel = runSweep(workloads, designs, p, hw, p.jobs,
+                                   /*plan_cache=*/true,
+                                   /*share_mapper=*/true);
+
+    const bool eqCached = reportsIdentical(base.reports,
+                                           cached.reports);
+    const bool eqParallel = reportsIdentical(base.reports,
+                                             parallel.reports);
+
+    TextTable t("End-to-end sweep wall-clock");
+    t.header({"configuration", "wall (ms)", "speedup",
+              "reports identical"});
+    t.row({"A: seed (serial, uncached)", TextTable::num(base.wallMs, 0),
+           "1.00x", "-"});
+    t.row({"B: serial + plan cache + shared mapper",
+           TextTable::num(cached.wallMs, 0),
+           TextTable::mult(base.wallMs / cached.wallMs),
+           eqCached ? "yes" : "NO"});
+    t.row({"C: --jobs " + std::to_string(p.jobs) + " + caches",
+           TextTable::num(parallel.wallMs, 0),
+           TextTable::mult(base.wallMs / parallel.wallMs),
+           eqParallel ? "yes" : "NO"});
+    t.print(std::cout);
+
+    const auto hitRate = [](std::uint64_t h, std::uint64_t m) {
+        return h + m ? 100.0 * static_cast<double>(h) /
+                           static_cast<double>(h + m)
+                     : 0.0;
+    };
+    std::printf("\nShared mapper cache: %llu hits / %llu misses "
+                "(%.1f%% hit rate) on the serial cached sweep\n",
+                static_cast<unsigned long long>(cached.mapperHits),
+                static_cast<unsigned long long>(cached.mapperMisses),
+                hitRate(cached.mapperHits, cached.mapperMisses));
+
+    const std::string jsonPath =
+        args.getString("json", "BENCH_sweep.json");
+    {
+        std::ofstream out(jsonPath);
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\n"
+            "  \"bench\": \"perf_selfcheck\",\n"
+            "  \"jobs\": %d,\n"
+            "  \"batches\": %d,\n"
+            "  \"batch_size\": %ld,\n"
+            "  \"runs\": %zu,\n"
+            "  \"serial_uncached_ms\": %.3f,\n"
+            "  \"serial_cached_ms\": %.3f,\n"
+            "  \"parallel_cached_ms\": %.3f,\n"
+            "  \"speedup_cache\": %.3f,\n"
+            "  \"speedup_total\": %.3f,\n"
+            "  \"mapper_hits\": %llu,\n"
+            "  \"mapper_misses\": %llu,\n"
+            "  \"reports_identical\": %s\n"
+            "}\n",
+            p.jobs, p.batches, static_cast<long>(p.batchSize),
+            workloads.size() * designs.size(), base.wallMs,
+            cached.wallMs, parallel.wallMs,
+            base.wallMs / cached.wallMs,
+            base.wallMs / parallel.wallMs,
+            static_cast<unsigned long long>(cached.mapperHits),
+            static_cast<unsigned long long>(cached.mapperMisses),
+            eqCached && eqParallel ? "true" : "false");
+        out << buf;
+    }
+    std::printf("Wrote %s\n", jsonPath.c_str());
+
+    if (!eqCached || !eqParallel) {
+        std::printf("\nFAIL: optimized sweep reports diverge from "
+                    "the seed path\n");
+        return 1;
+    }
+    std::printf("\nPASS: cached and parallel sweeps are "
+                "report-identical to the seed path\n");
+    return 0;
+}

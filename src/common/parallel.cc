@@ -1,0 +1,140 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+
+namespace adyna {
+
+namespace {
+
+/** Set while the current thread is executing a pool task; nested
+ * parallelFor calls detect it and run inline. */
+thread_local bool tlsInTask = false;
+
+struct TaskScope
+{
+    bool saved;
+    TaskScope() : saved(tlsInTask) { tlsInTask = true; }
+    ~TaskScope() { tlsInTask = saved; }
+};
+
+} // namespace
+
+int
+ThreadPool::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int jobs)
+    : jobs_(std::max(1, jobs == 0 ? defaultJobs() : jobs))
+{
+    workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+    for (int i = 0; i < jobs_ - 1; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerMain()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_)
+            return;
+        seen = epoch_;
+        lk.unlock();
+        runTasks();
+        lk.lock();
+    }
+}
+
+void
+ThreadPool::runTasks()
+{
+    TaskScope scope;
+    for (;;) {
+        std::size_t i;
+        const std::function<void(std::size_t)> *fn;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (next_ >= n_)
+                return;
+            i = next_++;
+            fn = fn_;
+        }
+        std::exception_ptr err;
+        try {
+            (*fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        bool last = false;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (err && (!error_ || i < errorIndex_)) {
+                error_ = err;
+                errorIndex_ = i;
+            }
+            last = --pending_ == 0;
+        }
+        if (last)
+            doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    // Serial pool, nested call from inside a task, or a trivial
+    // job: run inline, in index order, first exception wins.
+    if (jobs_ == 1 || tlsInTask || n == 1) {
+        TaskScope scope;
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submitMutex_);
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        fn_ = &fn;
+        n_ = n;
+        next_ = 0;
+        pending_ = n;
+        error_ = nullptr;
+        errorIndex_ = 0;
+        ++epoch_;
+    }
+    cv_.notify_all();
+    runTasks(); // the submitting thread works too
+
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        doneCv_.wait(lk, [&] { return pending_ == 0; });
+        fn_ = nullptr;
+        err = error_;
+        error_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace adyna

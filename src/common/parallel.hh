@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A small fixed-size thread pool for embarrassingly parallel sweeps
+ * (one simulation run per task). parallelFor(n, fn) executes fn(i)
+ * for every i in [0, n) and blocks until all are done; with jobs=1
+ * the loop runs inline on the calling thread, bit-identical to a
+ * plain for loop. Exceptions thrown by tasks are captured and the
+ * one with the LOWEST index is rethrown after the loop drains, so
+ * error behaviour does not depend on the worker count. Nested
+ * parallelFor calls (from inside a task) degrade to inline serial
+ * execution instead of deadlocking on the pool.
+ */
+
+#ifndef ADYNA_COMMON_PARALLEL_HH
+#define ADYNA_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace adyna {
+
+/** Fixed-size worker pool with a fork-join parallelFor. */
+class ThreadPool
+{
+  public:
+    /** @p jobs worker slots including the calling thread; 0 picks
+     * defaultJobs(). The pool spawns jobs-1 OS threads. */
+    explicit ThreadPool(int jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker slots (>= 1). */
+    int jobs() const { return jobs_; }
+
+    /** Hardware concurrency, at least 1. */
+    static int defaultJobs();
+
+    /**
+     * Run fn(0) .. fn(n-1), each exactly once, and wait for all of
+     * them. The calling thread participates. Rethrows the pending
+     * exception of the lowest failing index, if any.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** parallelFor collecting fn(i) into a vector in index order.
+     * The result type must be default-constructible. */
+    template <typename Fn>
+    auto parallelMap(std::size_t n, Fn &&fn)
+        -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>>
+    {
+        using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+        std::vector<R> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    void workerMain();
+    void runTasks();
+
+    const int jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex m_;
+    std::condition_variable cv_;     ///< wakes workers on a new job
+    std::condition_variable doneCv_; ///< wakes the submitter
+    bool stop_ = false;
+    std::uint64_t epoch_ = 0; ///< bumped per submitted job
+
+    // Active job state (valid while pending_ > 0).
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t n_ = 0;
+    std::size_t next_ = 0;    ///< next unclaimed index
+    std::size_t pending_ = 0; ///< tasks not yet finished
+    std::exception_ptr error_;
+    std::size_t errorIndex_ = 0;
+
+    /** Serializes concurrent top-level parallelFor calls. */
+    std::mutex submitMutex_;
+};
+
+} // namespace adyna
+
+#endif // ADYNA_COMMON_PARALLEL_HH

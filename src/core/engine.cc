@@ -60,11 +60,37 @@ perRowWork(const OpNode &node, const costmodel::TechParams &tech)
 
 Engine::Engine(const graph::DynGraph &dg, arch::HwConfig hw,
                costmodel::Mapper &mapper, ExecPolicy policy)
-    : dg_(dg), hw_(std::move(hw)), mapper_(mapper), policy_(policy)
+    : dg_(dg), hw_(std::move(hw)), mapper_(mapper), policy_(policy),
+      scratchVisited_(dg.graph().size(), 0)
 {
     if (policy_.perBatchRepartition)
         ADYNA_ASSERT(policy_.exactKernels,
                      "per-batch repartition requires exact kernels");
+    buildProducerIndex();
+}
+
+void
+Engine::buildProducerIndex()
+{
+    const std::size_t n = dg_.graph().size();
+    pindex_.producers.resize(n);
+    pindex_.consumers.resize(n);
+    pindex_.feedsOutput.assign(n, 0);
+
+    std::vector<char> &visited = scratchVisited_;
+    for (OpId op = 0; op < n; ++op) {
+        std::fill(visited.begin(), visited.end(), 0);
+        resolveProducers(op, false, pindex_.producers[op], visited);
+        for (const auto &[pid, crossed] : pindex_.producers[op]) {
+            (void)crossed;
+            pindex_.consumers[pid].push_back(op);
+        }
+    }
+    for (OpId outId : dg_.graph().outputIds())
+        for (const auto &[pid, crossed] : pindex_.producers[outId]) {
+            (void)crossed;
+            pindex_.feedsOutput[pid] = 1;
+        }
 }
 
 void
@@ -90,17 +116,23 @@ Engine::resolveProducers(OpId op, bool crossed,
 }
 
 std::vector<Engine::StagePlan>
-Engine::planSegment(const Schedule &schedule,
-                    std::size_t seg_index) const
+Engine::planSegmentLegacy(const Schedule &schedule,
+                          std::size_t seg_index) const
 {
     const Segment &seg = schedule.segments[seg_index];
     std::vector<StagePlan> plans(seg.stages.size());
 
+    std::vector<char> &visited = scratchVisited_;
+    const auto resolve =
+        [&](OpId op, std::vector<std::pair<OpId, bool>> &out) {
+            std::fill(visited.begin(), visited.end(), 0);
+            resolveProducers(op, false, out, visited);
+        };
+
     for (std::size_t si = 0; si < seg.stages.size(); ++si) {
         const OpId op = seg.stages[si].op;
         std::vector<std::pair<OpId, bool>> producers;
-        std::vector<char> visited(dg_.graph().size(), 0);
-        resolveProducers(op, false, producers, visited);
+        resolve(op, producers);
         for (const auto &[pid, crossed] : producers) {
             Edge e;
             e.producerOp = pid;
@@ -131,8 +163,7 @@ Engine::planSegment(const Schedule &schedule,
                 continue;
             for (const StageAssign &st : schedule.segments[s2].stages) {
                 std::vector<std::pair<OpId, bool>> producers;
-                std::vector<char> visited(dg_.graph().size(), 0);
-                resolveProducers(st.op, false, producers, visited);
+                resolve(st.op, producers);
                 for (const auto &[pid, crossed] : producers) {
                     (void)crossed;
                     if (pid == op) {
@@ -148,8 +179,7 @@ Engine::planSegment(const Schedule &schedule,
             if (plans[si].writesOut)
                 break;
             std::vector<std::pair<OpId, bool>> producers;
-            std::vector<char> visited(dg_.graph().size(), 0);
-            resolveProducers(outId, false, producers, visited);
+            resolve(outId, producers);
             for (const auto &[pid, crossed] : producers) {
                 (void)crossed;
                 if (pid == op)
@@ -158,6 +188,86 @@ Engine::planSegment(const Schedule &schedule,
         }
     }
     return plans;
+}
+
+std::vector<Engine::StagePlan>
+Engine::planSegmentIndexed(const Schedule &schedule,
+                           std::size_t seg_index,
+                           const std::vector<int> &seg_of) const
+{
+    const Segment &seg = schedule.segments[seg_index];
+    std::vector<StagePlan> plans(seg.stages.size());
+
+    for (std::size_t si = 0; si < seg.stages.size(); ++si) {
+        const OpId op = seg.stages[si].op;
+        for (const auto &[pid, crossed] : pindex_.producers[op]) {
+            Edge e;
+            e.producerOp = pid;
+            e.producerStage = seg.stageOf(pid);
+            e.crossesRouting = crossed;
+            const OpNode &pnode = dg_.graph().node(pid);
+            const graph::LoopDims outDims =
+                pnode.kind == OpKind::Input ? pnode.dims
+                                            : dg_.info(pid).outDims;
+            e.perRowBytes = perRowOutBytes(pnode, outDims);
+            plans[si].edges.push_back(e);
+        }
+
+        // Write-out: any consumer scheduled in ANOTHER segment, or a
+        // graph output, resolves to this stage (one reverse-index
+        // walk replaces the legacy all-segments rescan).
+        if (!policy_.pipelining) {
+            plans[si].writesOut = true;
+            continue;
+        }
+        if (pindex_.feedsOutput[op]) {
+            plans[si].writesOut = true;
+            continue;
+        }
+        for (OpId consumer : pindex_.consumers[op]) {
+            const int s2 = seg_of[consumer];
+            if (s2 >= 0 && s2 != static_cast<int>(seg_index)) {
+                plans[si].writesOut = true;
+                break;
+            }
+        }
+    }
+    return plans;
+}
+
+const std::vector<std::vector<Engine::StagePlan>> &
+Engine::cachedPlans(const Schedule &schedule)
+{
+    PlanKey key;
+    key.reserve(schedule.segments.size());
+    for (const Segment &seg : schedule.segments) {
+        std::vector<OpId> ops;
+        ops.reserve(seg.stages.size());
+        for (const StageAssign &st : seg.stages)
+            ops.push_back(st.op);
+        key.push_back(std::move(ops));
+    }
+
+    const auto it = planCache_.find(key);
+    if (it != planCache_.end())
+        return it->second;
+
+    // A run sees at most one new schedule per reconfiguration; the
+    // bound only guards against a pathological caller.
+    if (planCache_.size() > 256)
+        planCache_.clear();
+
+    std::vector<int> segOf(dg_.graph().size(), -1);
+    for (std::size_t s = 0; s < key.size(); ++s)
+        for (OpId op : key[s])
+            segOf[op] = static_cast<int>(s);
+
+    std::vector<std::vector<StagePlan>> plans;
+    plans.reserve(schedule.segments.size());
+    for (std::size_t s = 0; s < schedule.segments.size(); ++s)
+        plans.push_back(planSegmentIndexed(schedule, s, segOf));
+    return planCache_.emplace(std::move(key), std::move(plans))
+        .first->second;
 }
 
 PeriodResult
@@ -182,12 +292,19 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                 profiler->recordBranchLoads(sw, oc.branchCounts);
     }
 
+    const std::vector<std::vector<StagePlan>> *allPlans =
+        policy_.planCache ? &cachedPlans(schedule) : nullptr;
+
     Tick segBarrier = barrier;
     for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
         const Segment &seg = schedule.segments[s];
         if (seg.stages.empty())
             continue;
-        const auto plans = planSegment(schedule, s);
+        std::vector<StagePlan> legacyPlans;
+        if (!allPlans)
+            legacyPlans = planSegmentLegacy(schedule, s);
+        const std::vector<StagePlan> &plans =
+            allPlans ? (*allPlans)[s] : legacyPlans;
 
         // Load resident weights at segment activation.
         if (seg.residentWeightBytes > 0) {

@@ -55,6 +55,16 @@ struct ExecPolicy
 
     /** Honor the schedule's tile-sharing pairs at runtime. */
     bool tileSharing = true;
+
+    /**
+     * Memoize per-schedule segment plans (producer edges + write-out
+     * flags) so they are computed once per schedule instead of once
+     * per period, using a precomputed reverse producer index instead
+     * of the quadratic consumer scan. Behaviour-preserving; disable
+     * to force the legacy per-period planner (used by the
+     * equivalence tests).
+     */
+    bool planCache = true;
 };
 
 /** Outcome of executing a group of batches. */
@@ -113,20 +123,68 @@ class Engine
         bool writesOut = false;
     };
 
+    /**
+     * Graph-structural producer/consumer relationships, independent
+     * of any schedule. Built once per engine; turns the legacy
+     * planner's repeated DFS walks into table lookups.
+     */
+    struct ProducerIndex
+    {
+        /** Resolved (producer, crossesRouting) pairs per op, in the
+         * legacy DFS discovery order. */
+        std::vector<std::vector<std::pair<OpId, bool>>> producers;
+
+        /** Ops that list the key op among their resolved producers
+         * (compute consumers only; the reverse of `producers`). */
+        std::vector<std::vector<OpId>> consumers;
+
+        /** The op is a resolved producer of some graph output. */
+        std::vector<char> feedsOutput;
+    };
+
     /** Resolve the compute/input producers of @p op through routing
      * nodes. */
     void resolveProducers(OpId op, bool crossed,
                           std::vector<std::pair<OpId, bool>> &out,
                           std::vector<char> &visited) const;
 
-    std::vector<StagePlan> planSegment(const Schedule &schedule,
-                                       std::size_t seg_index) const;
+    void buildProducerIndex();
+
+    /** The seed per-period planner: per-stage DFS producer
+     * resolution plus an all-segments consumer scan. Kept as the
+     * reference path for ExecPolicy::planCache == false. */
+    std::vector<StagePlan> planSegmentLegacy(const Schedule &schedule,
+                                             std::size_t seg_index) const;
+
+    /** Index-based planner: identical output to planSegmentLegacy in
+     * one linear pass. @p seg_of maps op -> segment index (-1 when
+     * unscheduled). */
+    std::vector<StagePlan>
+    planSegmentIndexed(const Schedule &schedule, std::size_t seg_index,
+                       const std::vector<int> &seg_of) const;
+
+    /** All segments' plans for @p schedule, memoized by the
+     * schedule's segment/stage-op layout. */
+    const std::vector<std::vector<StagePlan>> &
+    cachedPlans(const Schedule &schedule);
 
     const graph::DynGraph &dg_;
     arch::HwConfig hw_; // by value: small, and callers may pass
                         // temporaries
     costmodel::Mapper &mapper_;
     ExecPolicy policy_;
+
+    ProducerIndex pindex_;
+
+    /** Plan-relevant schedule identity: stage ops per segment, in
+     * order (edges depend on stage order, write-out flags on the
+     * op->segment partition; both are captured here). */
+    using PlanKey = std::vector<std::vector<OpId>>;
+    std::map<PlanKey, std::vector<std::vector<StagePlan>>> planCache_;
+
+    /** Scratch visited buffer for resolveProducers (reused across
+     * calls instead of reallocating per resolution). */
+    mutable std::vector<char> scratchVisited_;
 
     /** Last M-tenant partition (per-batch repartition hysteresis). */
     std::vector<int> repartCount_;

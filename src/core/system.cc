@@ -1,6 +1,7 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.hh"
 #include "core/sampling.hh"
@@ -29,10 +30,23 @@ System::setReplay(std::vector<trace::BatchRouting> replay)
     replay_ = std::move(replay);
 }
 
+void
+System::setSharedMapper(costmodel::Mapper *mapper)
+{
+    sharedMapper_ = mapper;
+}
+
 RunReport
 System::run()
 {
-    costmodel::Mapper mapper(hw_.tech);
+    std::optional<costmodel::Mapper> localMapper;
+    if (!sharedMapper_)
+        localMapper.emplace(hw_.tech);
+    costmodel::Mapper &mapper =
+        sharedMapper_ ? *sharedMapper_ : *localMapper;
+    const std::uint64_t hits0 = mapper.hits();
+    const std::uint64_t misses0 = mapper.misses();
+
     Scheduler scheduler(dg_, hw_, mapper, schedCfg_);
     Engine engine(dg_, hw_, mapper, policy_);
     arch::Chip chip(hw_);
@@ -177,6 +191,8 @@ System::run()
     report.energy = chip.energy();
     report.usefulMacs = chip.usefulMacs();
     report.issuedMacs = chip.issuedMacs();
+    report.mapperHits = mapper.hits() - hits0;
+    report.mapperMisses = mapper.misses() - misses0;
     return report;
 }
 

@@ -71,6 +71,18 @@ struct RunReport
     int segments = 0;
     int reconfigurations = 0;
 
+    /**
+     * Mapper memo-cache lookups attributed to this run (hits +
+     * misses = searches). With a mapper shared across concurrent
+     * runs the split is a best-effort snapshot delta -- simultaneous
+     * runs may steal each other's hits -- but the numbers stay
+     * usable as an effectiveness signal. Deliberately excluded from
+     * the CSV/JSON exporters so machine-readable dumps stay
+     * byte-identical across --jobs settings.
+     */
+    std::uint64_t mapperHits = 0;
+    std::uint64_t mapperMisses = 0;
+
     /** Per-batch completion times. */
     std::vector<Tick> batchEnds;
 
@@ -98,6 +110,17 @@ class System
      */
     void setReplay(std::vector<trace::BatchRouting> replay);
 
+    /**
+     * Use @p mapper (shared, possibly with concurrent Systems)
+     * instead of a private per-run Mapper, so identical mapping
+     * searches are memoized once per sweep. The mapper must be built
+     * from the same TechParams as this System's HwConfig (the memo
+     * key does not include the tech) and must outlive the run.
+     * Results are unaffected; only wall-clock and the cache counters
+     * change. Pass nullptr to restore the private mapper.
+     */
+    void setSharedMapper(costmodel::Mapper *mapper);
+
     const arch::HwConfig &hwConfig() const { return hw_; }
 
   private:
@@ -109,6 +132,7 @@ class System
     RunOptions options_;
     std::string designName_;
     std::vector<trace::BatchRouting> replay_;
+    costmodel::Mapper *sharedMapper_ = nullptr;
 };
 
 } // namespace adyna::core

@@ -1,6 +1,7 @@
 #include "costmodel/mapper.hh"
 
 #include <algorithm>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.hh"
@@ -108,14 +109,23 @@ Mapper::search(const graph::OpNode &op, std::int64_t n, int tiles)
     Key key{op.dims.ext, op.stride, op.dtypeBytes, n, tiles};
     // The N extent in the key is superseded by the compiled value.
     std::get<0>(key)[0] = 0;
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++hits_;
-        return it->second;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    // Search outside the lock: concurrent racers may duplicate the
+    // work for one key, but results are identical and emplace keeps
+    // the first insertion.
     Mapping m = searchUncached(op, n, tiles);
-    cache_.emplace(std::move(key), m);
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        cache_.emplace(std::move(key), m);
+    }
     return m;
 }
 

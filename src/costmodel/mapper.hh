@@ -7,13 +7,22 @@
  * scratchpad blocking; the objective is makespan cycles, then DRAM
  * spills, then SRAM traffic. Results are memoized: the scheduler
  * asks for the same (op, value, tiles) triple many times.
+ *
+ * The memo cache is thread-safe (reader/writer lock), so one Mapper
+ * can be shared across the concurrent runs of a bench sweep and the
+ * identical exact-kernel searches are performed once per sweep
+ * instead of once per System. Search results are deterministic and
+ * independent of cache state, so sharing never changes simulation
+ * outputs; only the hit/miss counters depend on the interleaving.
  */
 
 #ifndef ADYNA_COSTMODEL_MAPPER_HH
 #define ADYNA_COSTMODEL_MAPPER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <tuple>
 
 #include "costmodel/cost.hh"
@@ -44,9 +53,15 @@ class Mapper
 
     const TechParams &tech() const { return tech_; }
 
-    /** Cache statistics. */
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
+    /** Cache statistics (monotone; safe to read concurrently). */
+    std::uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
 
   private:
     using Key = std::tuple<std::array<std::int64_t, graph::kNumDims>,
@@ -56,9 +71,10 @@ class Mapper
                            int tiles) const;
 
     TechParams tech_;
+    mutable std::shared_mutex mutex_;
     std::map<Key, Mapping> cache_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 } // namespace adyna::costmodel

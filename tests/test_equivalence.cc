@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Behaviour-preservation tests for the perf optimizations: the
+ * schedule-plan cache (with the precomputed producer index) and the
+ * sweep-shared mapper must produce byte-identical run reports to the
+ * seed path (legacy per-period planner, private per-run mapper) on
+ * every workload and on the non-default execution policies
+ * (worst-case execution, pipelining off).
+ */
+
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "arch/chip.hh"
+#include "baselines/designs.hh"
+#include "core/report_io.hh"
+#include "core/system.hh"
+#include "graph/parser.hh"
+#include "models/models.hh"
+
+namespace {
+
+using namespace adyna;
+using baselines::Design;
+
+/** Serialized report (with per-batch series) for one run. The
+ * mapper cache counters are not serialized, so this captures exactly
+ * the simulation-visible outputs. */
+std::string
+runReport(const std::string &workload, Design design, int batches,
+          bool plan_cache, costmodel::Mapper *shared)
+{
+    const arch::HwConfig hw;
+    const auto bundle = models::buildByName(workload, 64);
+    const auto dg = graph::parseModel(bundle.graph);
+    trace::TraceConfig cfg = bundle.traceConfig;
+    cfg.batchSize = 64;
+    auto pol = baselines::execPolicy(design);
+    pol.planCache = plan_cache;
+    core::System sys(dg, cfg, hw, baselines::schedulerConfig(design),
+                     pol, baselines::runOptions(design, batches, 1),
+                     baselines::designName(design));
+    if (shared)
+        sys.setSharedMapper(shared);
+    return core::toJson(sys.run(), /*include_batches=*/true);
+}
+
+} // namespace
+
+/** Plan cache alone: identical reports on all five workloads, with
+ * enough batches to cross a reconfiguration boundary (the cache must
+ * key on schedule content, not just the period index). */
+TEST(Equivalence, PlanCacheMatchesLegacyPlannerAllWorkloads)
+{
+    for (const auto &name : models::workloadNames()) {
+        const auto legacy = runReport(name, Design::Adyna, 45,
+                                      /*plan_cache=*/false, nullptr);
+        const auto cached = runReport(name, Design::Adyna, 45,
+                                      /*plan_cache=*/true, nullptr);
+        EXPECT_EQ(legacy, cached) << "workload " << name;
+    }
+}
+
+/** Shared mapper alone: the memo only caches deterministic search
+ * results, so sharing across runs must not change any report. */
+TEST(Equivalence, SharedMapperMatchesPrivateMapper)
+{
+    const arch::HwConfig hw;
+    costmodel::Mapper shared(hw.tech);
+    for (const auto &name : models::workloadNames()) {
+        const auto priv = runReport(name, Design::Adyna, 20,
+                                    /*plan_cache=*/false, nullptr);
+        const auto shr = runReport(name, Design::Adyna, 20,
+                                   /*plan_cache=*/false, &shared);
+        EXPECT_EQ(priv, shr) << "workload " << name;
+    }
+    // The second run of each workload hits the warm memo.
+    EXPECT_GT(shared.hits(), 0u);
+}
+
+/** Both optimizations together, re-using one mapper across designs
+ * and workloads the way the bench sweeps do. */
+TEST(Equivalence, CachedSweepMatchesSeedPath)
+{
+    const arch::HwConfig hw;
+    costmodel::Mapper shared(hw.tech);
+    for (const auto &name : models::workloadNames()) {
+        const auto seed = runReport(name, Design::Adyna, 45,
+                                    /*plan_cache=*/false, nullptr);
+        const auto fast = runReport(name, Design::Adyna, 45,
+                                    /*plan_cache=*/true, &shared);
+        EXPECT_EQ(seed, fast) << "workload " << name;
+    }
+}
+
+/** Non-default policies: MTile runs worst-case shapes, MTenant turns
+ * pipelining off -- both exercise planSegment branches the Adyna
+ * config does not. */
+TEST(Equivalence, BaselineDesignPoliciesMatch)
+{
+    const arch::HwConfig hw;
+    costmodel::Mapper shared(hw.tech);
+    for (Design d : {Design::MTile, Design::MTenant,
+                     Design::FullKernel}) {
+        const auto seed = runReport("skipnet", d, 45,
+                                    /*plan_cache=*/false, nullptr);
+        const auto fast = runReport("skipnet", d, 45,
+                                    /*plan_cache=*/true, &shared);
+        EXPECT_EQ(seed, fast)
+            << "design " << baselines::designName(d);
+    }
+}
+
+/** Counters surface in the report and reflect real activity. */
+TEST(Equivalence, MapperCountersReported)
+{
+    const arch::HwConfig hw;
+    const auto bundle = models::buildByName("skipnet", 64);
+    const auto dg = graph::parseModel(bundle.graph);
+    trace::TraceConfig cfg = bundle.traceConfig;
+    cfg.batchSize = 64;
+    core::System sys(dg, cfg, hw,
+                     baselines::schedulerConfig(Design::Adyna),
+                     baselines::execPolicy(Design::Adyna),
+                     baselines::runOptions(Design::Adyna, 10, 1),
+                     "Adyna");
+    const auto rep = sys.run();
+    EXPECT_GT(rep.mapperMisses, 0u);
+    // Reconfigurations re-map the same ops, so a multi-period run
+    // sees hits even with a fresh private mapper.
+    EXPECT_GT(rep.mapperHits + rep.mapperMisses, rep.mapperMisses);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * ThreadPool contract tests: jobs=1 is strictly sequential in index
+ * order, exceptions propagate (deterministically: lowest failing
+ * index wins) and leave the pool reusable, nested submission from
+ * inside a task degrades to inline execution instead of
+ * deadlocking, and parallelMap returns results in input order
+ * regardless of worker count.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+
+using adyna::ThreadPool;
+
+TEST(Parallel, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1);
+}
+
+TEST(Parallel, SerialPoolRunsInIndexOrder)
+{
+    ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    pool.parallelFor(64, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 64u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, CoversAllIndicesExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> counts(1000);
+    pool.parallelFor(counts.size(),
+                     [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (const auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, StressSum)
+{
+    ThreadPool pool(4);
+    std::atomic<long long> sum{0};
+    const std::size_t n = 100000;
+    pool.parallelFor(n, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long long>(i),
+                      std::memory_order_relaxed);
+    });
+    const long long expect =
+        static_cast<long long>(n) * (static_cast<long long>(n) - 1) /
+        2;
+    EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(Parallel, MapPreservesInputOrder)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap(257, [](std::size_t i) {
+        return static_cast<int>(i) * 3;
+    });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(Parallel, ExceptionPropagatesLowestIndex)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        try {
+            pool.parallelFor(100, [&](std::size_t i) {
+                if (i == 17 || i == 80)
+                    throw std::runtime_error(
+                        "task " + std::to_string(i));
+            });
+            FAIL() << "expected a propagated exception";
+        } catch (const std::runtime_error &e) {
+            // Both 17 and 80 may throw; the pool must surface the
+            // lowest index so failures do not depend on thread count.
+            EXPECT_STREQ(e.what(), "task 17");
+        }
+        // The pool stays usable after a failed run.
+        std::atomic<int> ran{0};
+        pool.parallelFor(10, [&](std::size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 10);
+    }
+}
+
+TEST(Parallel, ExceptionWithSerialPool)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(5,
+                                  [](std::size_t i) {
+                                      if (i == 2)
+                                          throw std::logic_error("x");
+                                  }),
+                 std::logic_error);
+}
+
+TEST(Parallel, NestedSubmitRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<long long> total{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        // A task that itself calls parallelFor must complete inline
+        // on the calling thread rather than deadlock on pool slots.
+        pool.parallelFor(50, [&](std::size_t j) {
+            total.fetch_add(static_cast<long long>(j),
+                            std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 8LL * (50 * 49 / 2));
+}
+
+TEST(Parallel, ZeroAndOneTasks)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, ManyPoolsConstructDestruct)
+{
+    for (int i = 0; i < 16; ++i) {
+        ThreadPool pool(3);
+        std::atomic<int> ran{0};
+        pool.parallelFor(7, [&](std::size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 7);
+    }
+}
