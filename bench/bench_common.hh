@@ -18,6 +18,7 @@
 #include "baselines/designs.hh"
 #include "baselines/gpu.hh"
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -57,7 +58,10 @@ struct BenchParams
         p.jobs = static_cast<int>(
             args.getInt("jobs", ThreadPool::defaultJobs()));
         if (p.jobs < 1)
-            p.jobs = 1;
+            ADYNA_FATAL("--jobs must be a positive worker count, got ",
+                        p.jobs, " (omit the flag for the default of ",
+                        ThreadPool::defaultJobs(),
+                        " hardware threads)");
         p.sharedMapper = args.getBool("shared-mapper", true);
         p.cacheStats = args.getBool("cache-stats", false);
         return p;

@@ -18,6 +18,7 @@
 #include <fstream>
 
 #include "bench_common.hh"
+#include "common/buildinfo.hh"
 #include "core/report_io.hh"
 
 using namespace adyna;
@@ -170,6 +171,7 @@ main(int argc, char **argv)
             buf, sizeof(buf),
             "{\n"
             "  \"bench\": \"perf_selfcheck\",\n"
+            "  %s,\n"
             "  \"jobs\": %d,\n"
             "  \"batches\": %d,\n"
             "  \"batch_size\": %ld,\n"
@@ -183,7 +185,8 @@ main(int argc, char **argv)
             "  \"mapper_misses\": %llu,\n"
             "  \"reports_identical\": %s\n"
             "}\n",
-            p.jobs, p.batches, static_cast<long>(p.batchSize),
+            buildStampJson().c_str(), p.jobs, p.batches,
+            static_cast<long>(p.batchSize),
             workloads.size() * designs.size(), base.wallMs,
             cached.wallMs, parallel.wallMs,
             base.wallMs / cached.wallMs,

@@ -1,5 +1,7 @@
 #include "arch/profiler.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace adyna::arch {
@@ -90,10 +92,30 @@ Profiler::branchActivity(OpId switch_op, int branch) const
            static_cast<double>(hist.size());
 }
 
+double
+Profiler::driftL1(const std::map<OpId, FreqHistogram> &reference,
+                  int buckets) const
+{
+    double worst = 0.0;
+    int compared = 0;
+    for (const auto &[op, ref] : reference) {
+        if (ref.empty())
+            continue;
+        const auto it = tables_.find(op);
+        if (it == tables_.end() || it->second.empty())
+            continue;
+        worst = std::max(worst,
+                         distributionL1(ref, it->second, buckets));
+        ++compared;
+    }
+    return compared == 0 ? 0.0 : worst;
+}
+
 void
 Profiler::resetTables()
 {
     tables_.clear();
+    windowBatches_ = 0;
 }
 
 void
@@ -101,6 +123,7 @@ Profiler::reset()
 {
     tables_.clear();
     branches_.clear();
+    windowBatches_ = 0;
 }
 
 } // namespace adyna::arch

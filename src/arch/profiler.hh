@@ -29,6 +29,14 @@ class Profiler
     /** Record the dyn_dim value an operator observed in one batch. */
     void recordValue(OpId op, std::int64_t value);
 
+    /** Note one completed batch (or request) in the current
+     * observation window; cleared by resetTables(). */
+    void noteBatch() { ++windowBatches_; }
+
+    /** Batches noted since the last resetTables() — the length of
+     * the observation window the frequency tables cover. */
+    std::uint64_t windowBatches() const { return windowBatches_; }
+
     /** Record one batch's per-branch loads at a switch. */
     void recordBranchLoads(OpId switch_op,
                            const std::vector<std::int64_t> &loads);
@@ -53,6 +61,25 @@ class Profiler
      * (load > 0); 1.0 if no history. */
     double branchActivity(OpId switch_op, int branch) const;
 
+    /** Copy of every current frequency table — the snapshot a drift
+     * monitor keeps as its reference distribution at schedule time. */
+    std::map<OpId, FreqHistogram> tablesSnapshot() const
+    {
+        return tables_;
+    }
+
+    /**
+     * Drift of the current window against a reference snapshot: the
+     * worst (maximum) normalized-L1 distance (see distributionL1,
+     * in [0, 2]) over the ops present with data on both sides,
+     * folding wide value domains onto @p buckets equal-width
+     * buckets. The max rather than the mean: one strongly-shifted
+     * op (a repopularized expert, say) must not be averaged away by
+     * many stationary ones. Returns 0 when nothing is comparable.
+     */
+    double driftL1(const std::map<OpId, FreqHistogram> &reference,
+                   int buckets = 8) const;
+
     /** Clear the frequency tables (start of a profiling period);
      * branch history is kept rolling. */
     void resetTables();
@@ -62,6 +89,7 @@ class Profiler
 
   private:
     std::size_t history_;
+    std::uint64_t windowBatches_ = 0;
     std::map<OpId, FreqHistogram> tables_;
     std::map<OpId, std::deque<std::vector<std::int64_t>>> branches_;
 

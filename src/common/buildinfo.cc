@@ -1,0 +1,50 @@
+#include "common/buildinfo.hh"
+
+// The build system injects the values; missing definitions (e.g. an
+// ad-hoc compile outside CMake) degrade to "unknown" rather than
+// failing the build.
+#ifndef ADYNA_GIT_SHA
+#define ADYNA_GIT_SHA "unknown"
+#endif
+#ifndef ADYNA_BUILD_TYPE
+#define ADYNA_BUILD_TYPE "unknown"
+#endif
+#ifndef ADYNA_SANITIZE_MODE
+#define ADYNA_SANITIZE_MODE ""
+#endif
+
+namespace adyna {
+
+const char *
+gitSha()
+{
+    return ADYNA_GIT_SHA;
+}
+
+const char *
+buildType()
+{
+    return ADYNA_BUILD_TYPE;
+}
+
+const char *
+sanitizerMode()
+{
+    return ADYNA_SANITIZE_MODE;
+}
+
+std::string
+buildStampJson()
+{
+    std::string out;
+    out += "\"git_sha\": \"";
+    out += gitSha();
+    out += "\", \"build_type\": \"";
+    out += buildType();
+    out += "\", \"sanitize\": \"";
+    out += sanitizerMode();
+    out += "\"";
+    return out;
+}
+
+} // namespace adyna

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Build provenance for machine-readable bench outputs: the git
+ * revision and build flags the binary was compiled from, so every
+ * `BENCH_*.json` in the perf trajectory is attributable to a commit
+ * and a configuration. Values are captured at CMake configure time
+ * (re-run cmake after committing to refresh the SHA).
+ */
+
+#ifndef ADYNA_COMMON_BUILDINFO_HH
+#define ADYNA_COMMON_BUILDINFO_HH
+
+#include <string>
+
+namespace adyna {
+
+/** Abbreviated git SHA of the checkout at configure time, with a
+ * "-dirty" suffix when the work tree had local modifications;
+ * "unknown" outside a git checkout. */
+const char *gitSha();
+
+/** CMake build type ("RelWithDebInfo", "Debug", ...). */
+const char *buildType();
+
+/** Active ADYNA_SANITIZE mode ("thread", "address", "undefined"),
+ * empty when built without a sanitizer. */
+const char *sanitizerMode();
+
+/** The standard provenance fields as a JSON fragment (no braces):
+ * `"git_sha": "...", "build_type": "...", "sanitize": "..."`. */
+std::string buildStampJson();
+
+} // namespace adyna
+
+#endif // ADYNA_COMMON_BUILDINFO_HH

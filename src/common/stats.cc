@@ -198,4 +198,95 @@ geomean(const std::vector<double> &values)
     return std::exp(logSum / static_cast<double>(values.size()));
 }
 
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    ADYNA_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    std::sort(values.begin(), values.end());
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double
+distributionL1(const FreqHistogram &a, const FreqHistogram &b,
+               int buckets)
+{
+    if (a.empty() || b.empty())
+        return 0.0;
+
+    const auto sa = a.sorted();
+    const auto sb = b.sorted();
+    const double totA = static_cast<double>(a.total());
+    const double totB = static_cast<double>(b.total());
+
+    // Exact per-value distance when the union is small enough.
+    std::int64_t lo = std::min(a.minValue(), b.minValue());
+    std::int64_t hi = std::max(a.maxValue(), b.maxValue());
+    std::size_t distinctUnion = 0;
+    {
+        std::size_t ia = 0, ib = 0;
+        while (ia < sa.size() || ib < sb.size()) {
+            if (ib == sb.size() ||
+                (ia < sa.size() && sa[ia].first < sb[ib].first)) {
+                ++ia;
+            } else if (ia == sa.size() ||
+                       sb[ib].first < sa[ia].first) {
+                ++ib;
+            } else {
+                ++ia;
+                ++ib;
+            }
+            ++distinctUnion;
+        }
+    }
+
+    if (buckets <= 0 ||
+        distinctUnion <= static_cast<std::size_t>(buckets)) {
+        double dist = 0.0;
+        std::size_t ia = 0, ib = 0;
+        while (ia < sa.size() || ib < sb.size()) {
+            double pa = 0.0, pb = 0.0;
+            if (ib == sb.size() ||
+                (ia < sa.size() && sa[ia].first < sb[ib].first)) {
+                pa = static_cast<double>(sa[ia++].second) / totA;
+            } else if (ia == sa.size() ||
+                       sb[ib].first < sa[ia].first) {
+                pb = static_cast<double>(sb[ib++].second) / totB;
+            } else {
+                pa = static_cast<double>(sa[ia++].second) / totA;
+                pb = static_cast<double>(sb[ib++].second) / totB;
+            }
+            dist += std::abs(pa - pb);
+        }
+        return dist;
+    }
+
+    // Fold both distributions onto equal-width buckets spanning the
+    // combined range so the metric's sampling noise scales with the
+    // bucket count, not with the number of distinct raw values.
+    const double width = static_cast<double>(hi - lo + 1) /
+                         static_cast<double>(buckets);
+    const auto bucketOf = [&](std::int64_t v) {
+        const auto i = static_cast<std::size_t>(
+            static_cast<double>(v - lo) / width);
+        return std::min<std::size_t>(
+            i, static_cast<std::size_t>(buckets) - 1);
+    };
+    std::vector<double> pa(static_cast<std::size_t>(buckets), 0.0);
+    std::vector<double> pb(static_cast<std::size_t>(buckets), 0.0);
+    for (const auto &[v, c] : sa)
+        pa[bucketOf(v)] += static_cast<double>(c) / totA;
+    for (const auto &[v, c] : sb)
+        pb[bucketOf(v)] += static_cast<double>(c) / totB;
+    double dist = 0.0;
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        dist += std::abs(pa[i] - pb[i]);
+    return dist;
+}
+
 } // namespace adyna

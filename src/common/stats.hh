@@ -104,6 +104,26 @@ class FreqHistogram
 /** Geometric mean of a series of positive values; 0 if empty. */
 double geomean(const std::vector<double> &values);
 
+/**
+ * q-quantile (q in [0, 1]) of a sample, by linear interpolation
+ * between the two nearest order statistics; 0 if the sample is
+ * empty. The input is taken by value and sorted internally.
+ */
+double percentile(std::vector<double> values, double q);
+
+/**
+ * L1 distance between the normalized value distributions of two
+ * histograms, in [0, 2] (0 = identical, 2 = disjoint support). When
+ * the union of observed values spans more than @p buckets distinct
+ * values, both distributions are first folded onto @p buckets
+ * equal-width buckets over the combined value range, which keeps the
+ * sampling noise of the metric independent of the domain size;
+ * buckets <= 0 disables folding. Returns 0 if either histogram is
+ * empty.
+ */
+double distributionL1(const FreqHistogram &a, const FreqHistogram &b,
+                      int buckets = 0);
+
 } // namespace adyna
 
 #endif // ADYNA_COMMON_STATS_HH

@@ -287,9 +287,11 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
 
     // Record per-switch branch loads once per batch.
     if (profiler) {
-        for (const auto &routing : batches)
+        for (const auto &routing : batches) {
+            profiler->noteBatch();
             for (const auto &[sw, oc] : routing.outcomes)
                 profiler->recordBranchLoads(sw, oc.branchCounts);
+        }
     }
 
     const std::vector<std::vector<StagePlan>> *allPlans =

@@ -160,4 +160,31 @@ bucketFrequencies(const FreqHistogram &observed,
     return freq;
 }
 
+void
+refreshScheduleInputs(
+    const arch::Profiler &profiler, bool resample,
+    std::map<OpId, double> &expectations,
+    std::map<OpId, std::vector<std::int64_t>> &kernel_values)
+{
+    std::map<OpId, double> newExp;
+    for (OpId op : profiler.trackedOps()) {
+        const auto &table = profiler.table(op);
+        if (!table.empty())
+            newExp[op] = table.expectation();
+    }
+    if (!newExp.empty())
+        expectations = std::move(newExp);
+
+    if (!resample)
+        return;
+    for (auto &[op, values] : kernel_values) {
+        const auto &table = profiler.table(op);
+        if (table.empty())
+            continue;
+        const auto freq = bucketFrequencies(table, values);
+        values = resampleKernelValues(values, freq,
+                                      static_cast<int>(values.size()));
+    }
+}
+
 } // namespace adyna::core

@@ -14,9 +14,12 @@
 #define ADYNA_CORE_SAMPLING_HH
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "arch/profiler.hh"
 #include "common/stats.hh"
+#include "common/types.hh"
 
 namespace adyna::core {
 
@@ -58,6 +61,21 @@ resampleKernelValues(std::vector<std::int64_t> vals,
 std::vector<double>
 bucketFrequencies(const FreqHistogram &observed,
                   const std::vector<std::int64_t> &vals);
+
+/**
+ * Pull the profiler report into the scheduler's inputs (the
+ * reconfiguration step shared by the offline periodic loop and the
+ * online serving runtime): replace @p expectations with the
+ * frequency-table expectations of every tracked op (kept unchanged
+ * if the profiler saw nothing), and, when @p resample is set, run
+ * Algorithm 1 re-sampling on every kernel-value set whose op has a
+ * non-empty table. The caller still owns resetting the profiler
+ * window afterwards.
+ */
+void refreshScheduleInputs(
+    const arch::Profiler &profiler, bool resample,
+    std::map<OpId, double> &expectations,
+    std::map<OpId, std::vector<std::int64_t>> &kernel_values);
 
 } // namespace adyna::core
 

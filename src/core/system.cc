@@ -74,6 +74,7 @@ System::run()
                     ? probe.next()
                     : replay_[static_cast<std::size_t>(b) %
                               replay_.size()];
+            profiler.noteBatch();
             for (const auto &[sw, oc] : routing.outcomes)
                 profiler.recordBranchLoads(sw, oc.branchCounts);
             for (OpId op : dg_.dynamicOps()) {
@@ -147,25 +148,10 @@ System::run()
 
         // Scheduler pulls the profiler report (Section V):
         // frequency-weighted expectations and kernel re-sampling.
-        std::map<OpId, double> newExp;
-        for (OpId op : profiler.trackedOps()) {
-            const auto &table = profiler.table(op);
-            if (!table.empty())
-                newExp[op] = table.expectation();
-        }
-        if (!newExp.empty())
-            expectations = std::move(newExp);
-
-        if (options_.resampleKernels && !policy_.exactKernels) {
-            for (auto &[op, values] : kernelValues) {
-                const auto &table = profiler.table(op);
-                if (table.empty())
-                    continue;
-                const auto freq = bucketFrequencies(table, values);
-                values = resampleKernelValues(
-                    values, freq, static_cast<int>(values.size()));
-            }
-        }
+        refreshScheduleInputs(profiler,
+                              options_.resampleKernels &&
+                                  !policy_.exactKernels,
+                              expectations, kernelValues);
         profiler.resetTables();
 
         schedule = scheduler.build(expectations, kernelValues,

@@ -1,0 +1,62 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adyna::serve {
+
+Batcher::Batcher(BatchPolicy policy) : policy_(policy)
+{
+    ADYNA_ASSERT(policy_.maxBatch >= 1, "maxBatch must be >= 1");
+}
+
+void
+Batcher::enqueue(Request r)
+{
+    ADYNA_ASSERT(queue_.empty() ? r.arrival >= lastArrival_
+                                : r.arrival >= queue_.back().arrival,
+                 "arrivals must be non-decreasing");
+    lastArrival_ = r.arrival;
+    queue_.push_back(std::move(r));
+}
+
+Tick
+Batcher::nextFormTick() const
+{
+    if (queue_.empty())
+        return kNever;
+    const auto maxBatch = static_cast<std::size_t>(policy_.maxBatch);
+    if (queue_.size() >= maxBatch)
+        return queue_[maxBatch - 1].arrival;
+    // Saturating add: a huge maxWait must not wrap around.
+    const Tick deadline =
+        queue_.front().arrival > kNever - policy_.maxWaitCycles
+            ? kNever
+            : queue_.front().arrival + policy_.maxWaitCycles;
+    return deadline;
+}
+
+FormedBatch
+Batcher::form(Tick now)
+{
+    ADYNA_ASSERT(now >= nextFormTick(),
+                 "batch formed before its form tick");
+    FormedBatch out;
+    out.formedAt = now;
+    const auto take = std::min<std::size_t>(
+        queue_.size(), static_cast<std::size_t>(policy_.maxBatch));
+    out.requests.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        out.requests.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    std::vector<const trace::BatchRouting *> parts;
+    parts.reserve(out.requests.size());
+    for (const Request &r : out.requests)
+        parts.push_back(&r.routing);
+    out.routing = trace::mergeRoutings(parts);
+    return out;
+}
+
+} // namespace adyna::serve

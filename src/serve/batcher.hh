@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The admission / dynamic-batching queue of the serving runtime:
+ * timestamped requests enter FIFO, and batches leave under the
+ * classic max-batch / max-wait policy — a batch forms as soon as
+ * maxBatch requests are queued, or when the oldest queued request
+ * has waited maxWait cycles, whichever comes first. Forming merges
+ * the requests' single-sample routing draws into the routing of the
+ * concatenated engine batch (trace::mergeRoutings).
+ */
+
+#ifndef ADYNA_SERVE_BATCHER_HH
+#define ADYNA_SERVE_BATCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace adyna::serve {
+
+/** Dynamic batching policy. */
+struct BatchPolicy
+{
+    /** Largest number of requests merged into one engine batch (and
+     * the batch size the workload graph is compiled for — partial
+     * batches pad static operators up to it). */
+    int maxBatch = 32;
+
+    /** Longest time a request may sit in the queue before a (possibly
+     * partial) batch is formed around it, cycles. */
+    Cycles maxWaitCycles = 500000;
+};
+
+/** One inference request. */
+struct Request
+{
+    std::uint64_t id = 0;
+
+    /** Arrival tick (cycles). */
+    Tick arrival = 0;
+
+    /** The request's own dynamism draw (a batchSize-1 routing). */
+    trace::BatchRouting routing;
+};
+
+/** A batch handed to the engine. */
+struct FormedBatch
+{
+    /** Tick at which the batch was formed (dispatch barrier). */
+    Tick formedAt = 0;
+
+    /** The member requests, in arrival order. */
+    std::vector<Request> requests;
+
+    /** Merged routing of the concatenated batch. */
+    trace::BatchRouting routing;
+};
+
+/** FIFO admission queue with max-batch / max-wait batch formation. */
+class Batcher
+{
+  public:
+    /** Sentinel: no batch can form (empty queue). */
+    static constexpr Tick kNever = ~Tick{0};
+
+    explicit Batcher(BatchPolicy policy);
+
+    /** Admit one request; arrivals must be non-decreasing. */
+    void enqueue(Request r);
+
+    /**
+     * Earliest tick a batch could be formed from the current queue:
+     * the arrival of the maxBatch-th request when the queue is full
+     * enough, otherwise the oldest request's arrival plus maxWait;
+     * kNever when empty. Admitting more requests can only move this
+     * earlier.
+     */
+    Tick nextFormTick() const;
+
+    /**
+     * Form the next batch at @p now (which must be >= nextFormTick());
+     * takes the oldest min(maxBatch, queued) requests.
+     */
+    FormedBatch form(Tick now);
+
+    std::size_t queued() const { return queue_.size(); }
+
+    const BatchPolicy &policy() const { return policy_; }
+
+  private:
+    BatchPolicy policy_;
+    std::deque<Request> queue_;
+    Tick lastArrival_ = 0;
+};
+
+} // namespace adyna::serve
+
+#endif // ADYNA_SERVE_BATCHER_HH

@@ -1,0 +1,333 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "arch/chip.hh"
+#include "arch/profiler.hh"
+#include "common/logging.hh"
+#include "core/sampling.hh"
+#include "core/validate.hh"
+
+namespace adyna::serve {
+
+namespace {
+
+/**
+ * Synthetic drift-monitor series: the request's total dynamic load
+ * (sum of its dyn-op values). Exit/skip gates are binary per request
+ * and all shift together under a drift phase, so each op's own
+ * distribution moves only slightly while the execution-path-length
+ * distribution moves a lot — this series captures that correlated
+ * shift. The id lives far outside any real graph's op-id range and
+ * only ever enters the drift profiler, never the scheduler.
+ */
+constexpr OpId kLoadSeriesOp = 0xFFFFFFFFu;
+
+/** Record one request's dyn-value draws into a drift profiler. */
+void
+recordRequest(arch::Profiler &prof, const graph::DynGraph &dg,
+              const trace::BatchRouting &routing)
+{
+    prof.noteBatch();
+    std::int64_t totalLoad = 0;
+    for (OpId op : dg.dynamicOps()) {
+        const std::int64_t v = routing.dynValue(dg, op);
+        prof.recordValue(op, v);
+        totalLoad += v;
+    }
+    prof.recordValue(kLoadSeriesOp, totalLoad);
+}
+
+} // namespace
+
+std::string
+toJson(const ServeReport &r)
+{
+    char buf[1536];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"workload\": \"%s\", \"mode\": \"%s\", "
+        "\"requests\": %llu, \"batches\": %llu, "
+        "\"mean_batch\": %.3f, \"offered_rps\": %.2f, "
+        "\"achieved_rps\": %.2f, \"p50_ms\": %.4f, "
+        "\"p95_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f, "
+        "\"max_ms\": %.4f, \"mean_queue_ms\": %.4f, "
+        "\"slo_attainment\": %.4f, \"goodput_rps\": %.2f, "
+        "\"reschedules\": %d, \"drift_windows\": %d, "
+        "\"last_drift_l1\": %.4f, \"drift_threshold\": %.4f, "
+        "\"horizon_ticks\": %llu}",
+        r.workload.c_str(), r.mode.c_str(),
+        static_cast<unsigned long long>(r.requests),
+        static_cast<unsigned long long>(r.batches), r.meanBatchSize,
+        r.offeredRps, r.achievedRps, r.p50Ms, r.p95Ms, r.p99Ms,
+        r.meanMs, r.maxMs, r.meanQueueMs, r.sloAttainment,
+        r.goodputRps, r.reschedules, r.driftWindows,
+        r.lastDriftDistance, r.driftThreshold,
+        static_cast<unsigned long long>(r.horizonTicks));
+    return buf;
+}
+
+ServeRuntime::ServeRuntime(const graph::DynGraph &dg,
+                           trace::TraceConfig trace_cfg,
+                           arch::HwConfig hw,
+                           core::SchedulerConfig sched_cfg,
+                           core::ExecPolicy policy,
+                           ServeConfig serve_cfg,
+                           std::string workload_name)
+    : dg_(dg), traceCfg_(trace_cfg), hw_(hw), schedCfg_(sched_cfg),
+      policy_(policy), cfg_(std::move(serve_cfg)),
+      workloadName_(std::move(workload_name))
+{
+    ADYNA_ASSERT(cfg_.numRequests > 0, "numRequests must be > 0");
+    ADYNA_ASSERT(traceCfg_.batchSize ==
+                     static_cast<std::int64_t>(cfg_.batching.maxBatch),
+                 "the workload graph must be compiled at the "
+                 "batcher's maxBatch (got trace batchSize ",
+                 traceCfg_.batchSize, " vs maxBatch ",
+                 cfg_.batching.maxBatch, ")");
+}
+
+void
+ServeRuntime::setSharedMapper(costmodel::Mapper *mapper)
+{
+    sharedMapper_ = mapper;
+}
+
+ServeReport
+ServeRuntime::run()
+{
+    std::optional<costmodel::Mapper> localMapper;
+    if (!sharedMapper_)
+        localMapper.emplace(hw_.tech);
+    costmodel::Mapper &mapper =
+        sharedMapper_ ? *sharedMapper_ : *localMapper;
+
+    core::Scheduler scheduler(dg_, hw_, mapper, schedCfg_);
+    core::Engine engine(dg_, hw_, mapper, policy_);
+    arch::Chip chip(hw_);
+
+    // Two observation streams: merged-batch statistics feed the
+    // scheduler (allocation expectations, kernel re-sampling), while
+    // per-request statistics feed the drift monitor — per-request
+    // distributions are invariant to the realized batch sizes, so
+    // bursty arrivals alone cannot fake a routing-distribution shift.
+    arch::Profiler engineProf;
+    arch::Profiler driftProf;
+
+    trace::TraceConfig reqCfg = traceCfg_;
+    reqCfg.batchSize = 1;
+
+    // ---- offline profiling (compiled-batch statistics) -------------
+    std::map<OpId, double> expectations;
+    std::map<OpId, std::vector<std::int64_t>> kernelValues =
+        scheduler.initialKernelValues();
+    if (!schedCfg_.worstCase && cfg_.profileBatches > 0) {
+        trace::TraceGenerator probe(dg_, traceCfg_,
+                                    cfg_.seed ^
+                                        0x517cc1b727220a95ULL);
+        for (int b = 0; b < cfg_.profileBatches; ++b) {
+            const trace::BatchRouting routing = probe.next();
+            engineProf.noteBatch();
+            for (const auto &[sw, oc] : routing.outcomes)
+                engineProf.recordBranchLoads(sw, oc.branchCounts);
+            for (OpId op : dg_.dynamicOps())
+                engineProf.recordValue(op,
+                                       routing.dynValue(dg_, op));
+        }
+        core::refreshScheduleInputs(engineProf,
+                                    cfg_.resampleKernels &&
+                                        !policy_.exactKernels,
+                                    expectations, kernelValues);
+        engineProf.resetTables();
+    }
+
+    // Drift reference: the per-request distribution the first
+    // schedule implicitly targets. The probe shares the profiling
+    // probe's seed so a drifting trace's phase tilt — drawn before
+    // the first sample, hence identical across batch sizes — matches
+    // the one the schedule inputs were measured under; referencing
+    // an independently-tilted stream would blind the monitor to a
+    // schedule mismatch that is present from the very first request.
+    // Two same-distribution windows calibrate the noise floor (the
+    // distance identical traffic shows at this window size).
+    DriftMonitor monitor(cfg_.drift);
+    {
+        trace::TraceGenerator refProbe(dg_, reqCfg,
+                                       cfg_.seed ^
+                                           0x517cc1b727220a95ULL);
+        const int half = cfg_.drift.windowRequests;
+        for (int i = 0; i < half; ++i)
+            recordRequest(driftProf, dg_, refProbe.next());
+        auto reference = driftProf.tablesSnapshot();
+        driftProf.resetTables();
+        for (int i = 0; i < half; ++i)
+            recordRequest(driftProf, dg_, refProbe.next());
+        monitor.setReference(reference);
+        monitor.setNoiseFloor(monitor.distanceTo(driftProf));
+        // The reference keeps both windows' worth of samples.
+        for (const auto &[op, hist] : driftProf.tablesSnapshot())
+            reference[op].merge(hist);
+        monitor.setReference(std::move(reference));
+        driftProf.resetTables();
+    }
+
+    core::Schedule schedule = scheduler.build(
+        expectations, kernelValues,
+        schedCfg_.worstCase ? nullptr : &engineProf);
+    const auto checkSchedule = [&](const core::Schedule &sch) {
+        const auto issues = core::validateSchedule(sch, dg_, hw_);
+        ADYNA_ASSERT(issues.empty(), "invalid schedule:\n",
+                     core::issuesToString(issues));
+    };
+    checkSchedule(schedule);
+
+    // ---- the serving loop ------------------------------------------
+    ArrivalConfig arrivalCfg = cfg_.arrival;
+    arrivalCfg.freqGhz = hw_.tech.freqGhz;
+    ArrivalProcess arrivals(arrivalCfg,
+                            cfg_.seed ^ 0x9e3779b97f4a7c15ULL);
+    trace::TraceGenerator reqGen(dg_, reqCfg, cfg_.seed);
+    Batcher batcher(cfg_.batching);
+    SloTracker slo(cfg_.slo, hw_.tech.freqGhz);
+
+    const auto total = static_cast<std::uint64_t>(cfg_.numRequests);
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    int reschedules = 0;
+    int driftWindows = 0;
+    Tick engineFree = 0;
+    Tick nextArrival = arrivals.next();
+    const Tick firstArrival = nextArrival;
+    Tick lastArrival = nextArrival;
+
+    while (completed < total) {
+        // Admit every arrival that lands no later than the next
+        // dispatch moment. Admission can only pull the dispatch
+        // moment earlier (the batch fills up), so iterate to the
+        // fixpoint.
+        for (;;) {
+            const Tick form = batcher.nextFormTick();
+            const Tick dispatchAt =
+                form == Batcher::kNever
+                    ? Batcher::kNever
+                    : std::max(engineFree, form);
+            if (issued < total && nextArrival <= dispatchAt) {
+                Request r;
+                r.id = issued;
+                r.arrival = nextArrival;
+                r.routing = reqGen.next();
+                lastArrival = nextArrival;
+                batcher.enqueue(std::move(r));
+                ++issued;
+                nextArrival = arrivals.next();
+                continue;
+            }
+            break;
+        }
+        ADYNA_ASSERT(batcher.queued() > 0,
+                     "serving loop stalled with requests pending");
+
+        // Dispatch every batch formable at the dispatch moment in
+        // one engine period: batches formed while the engine was
+        // busy stream through the pipeline back to back.
+        const Tick dispatchAt =
+            std::max(engineFree, batcher.nextFormTick());
+        std::vector<FormedBatch> formed;
+        while (batcher.queued() > 0 &&
+               batcher.nextFormTick() <= dispatchAt)
+            formed.push_back(batcher.form(dispatchAt));
+
+        std::vector<trace::BatchRouting> routings;
+        routings.reserve(formed.size());
+        for (const FormedBatch &fb : formed)
+            routings.push_back(fb.routing);
+        const core::PeriodResult res = engine.runPeriod(
+            chip, schedule, routings, &engineProf, dispatchAt);
+        engineFree = res.endTime;
+        batches += formed.size();
+
+        // Window boundary: score the drift and, in adaptive mode,
+        // close the loop through the scheduler. Checked per request
+        // (not per dispatch) so windows stay exactly windowRequests
+        // wide even when a backlogged engine completes hundreds of
+        // requests in one dispatch group — wider windows would smear
+        // several drift phases into one near-reference mixture.
+        const auto closeWindow = [&]() {
+            ++driftWindows;
+            const bool fire = monitor.observe(driftProf);
+            if (fire && cfg_.driftReschedule &&
+                !schedCfg_.worstCase) {
+                // The new schedule targets the drifted window: its
+                // per-request snapshot becomes the new reference.
+                auto reference = driftProf.tablesSnapshot();
+                core::refreshScheduleInputs(
+                    engineProf,
+                    cfg_.resampleKernels && !policy_.exactKernels,
+                    expectations, kernelValues);
+                engineProf.resetTables();
+                schedule = scheduler.build(expectations,
+                                           kernelValues,
+                                           &engineProf);
+                checkSchedule(schedule);
+                monitor.setReference(std::move(reference));
+                // The dispatch barrier already drained the pipeline;
+                // charge the kernel/metadata reload on top.
+                engineFree += cfg_.reconfigOverheadCycles;
+                ++reschedules;
+            }
+            driftProf.resetTables();
+        };
+
+        for (std::size_t b = 0; b < formed.size(); ++b) {
+            for (const Request &r : formed[b].requests) {
+                slo.record(r.arrival, dispatchAt, res.batchEnds[b]);
+                ++completed;
+                recordRequest(driftProf, dg_, r.routing);
+                if (driftProf.windowBatches() >=
+                    static_cast<std::uint64_t>(
+                        cfg_.drift.windowRequests))
+                    closeWindow();
+            }
+        }
+    }
+
+    // ---- report -----------------------------------------------------
+    ServeReport report;
+    report.workload = workloadName_;
+    report.mode = cfg_.driftReschedule ? "adaptive" : "static";
+    report.requests = completed;
+    report.batches = batches;
+    report.meanBatchSize =
+        batches == 0 ? 0.0
+                     : static_cast<double>(completed) /
+                           static_cast<double>(batches);
+    const double tickSec = 1.0 / (hw_.tech.freqGhz * 1e9);
+    if (issued > 1 && lastArrival > firstArrival)
+        report.offeredRps =
+            static_cast<double>(issued - 1) /
+            (static_cast<double>(lastArrival - firstArrival) *
+             tickSec);
+    report.horizonTicks = slo.lastEnd();
+    if (report.horizonTicks > 0)
+        report.achievedRps =
+            static_cast<double>(completed) /
+            (static_cast<double>(report.horizonTicks) * tickSec);
+    report.p50Ms = slo.latencyPercentileMs(0.50);
+    report.p95Ms = slo.latencyPercentileMs(0.95);
+    report.p99Ms = slo.latencyPercentileMs(0.99);
+    report.meanMs = slo.meanLatencyMs();
+    report.maxMs = slo.maxLatencyMs();
+    report.meanQueueMs = slo.meanQueueMs();
+    report.sloAttainment = slo.sloAttainment();
+    report.goodputRps = slo.goodputRps(report.horizonTicks);
+    report.reschedules = reschedules;
+    report.driftWindows = driftWindows;
+    report.lastDriftDistance = monitor.lastDistance();
+    report.driftThreshold = monitor.effectiveThreshold();
+    return report;
+}
+
+} // namespace adyna::serve

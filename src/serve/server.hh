@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The online serving runtime: an open-loop, request-driven layer on
+ * top of the batch engine that closes the paper's profiler →
+ * scheduler loop against live traffic. Requests arrive from an
+ * ArrivalProcess, each carrying its own single-sample dynamism draw;
+ * the Batcher merges them into engine batches under a max-batch /
+ * max-wait policy; every dispatch streams the formed batches through
+ * Engine::runPeriod on the shared chip clock (reusing the schedule
+ * plan cache across dispatches); an SloTracker turns completions
+ * into latency percentiles and goodput; and a DriftMonitor watches
+ * the per-request dyn-value distributions, re-segmenting and
+ * re-allocating through the Scheduler — and charging the paper's
+ * reconfiguration cost — when the serving distribution drifts away
+ * from the one the schedule was built for.
+ *
+ * Static operators always execute at the compiled batch size
+ * (partial batches are padded, like a fixed-shape compiled engine),
+ * while dynamic operators see only the actually-routed load — which
+ * makes the batching policy a real latency/throughput trade-off.
+ */
+
+#ifndef ADYNA_SERVE_SERVER_HH
+#define ADYNA_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/hwconfig.hh"
+#include "core/engine.hh"
+#include "core/scheduler.hh"
+#include "costmodel/mapper.hh"
+#include "graph/dyngraph.hh"
+#include "serve/arrival.hh"
+#include "serve/batcher.hh"
+#include "serve/drift.hh"
+#include "serve/slo.hh"
+#include "trace/trace.hh"
+
+namespace adyna::serve {
+
+/** Serving-run options. */
+struct ServeConfig
+{
+    ArrivalConfig arrival;
+    BatchPolicy batching;
+    SloConfig slo;
+    DriftConfig drift;
+
+    /** Run the drift-triggered re-scheduling loop; false serves the
+     * whole run on the initial (static) schedule. The monitor still
+     * observes either way, so lastDriftDistance stays comparable. */
+    bool driftReschedule = true;
+
+    /** Requests to serve. */
+    int numRequests = 2000;
+
+    /** Seed for the request dynamism stream (arrivals and the probe
+     * streams derive their own independent streams from it). */
+    std::uint64_t seed = 1;
+
+    /** Offline profiling batches (at the compiled batch size) before
+     * the first schedule. */
+    int profileBatches = 40;
+
+    /** Fixed reconfiguration overhead charged per re-schedule on top
+     * of the natural pipeline drain, cycles. */
+    Cycles reconfigOverheadCycles = 10000;
+
+    /** Run Algorithm 1 kernel re-sampling at each re-schedule. */
+    bool resampleKernels = true;
+};
+
+/** Everything one serving run reports. */
+struct ServeReport
+{
+    std::string workload;
+    std::string mode; ///< "adaptive" or "static"
+
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    double meanBatchSize = 0.0;
+
+    /** Mean offered load measured from the realized arrivals. */
+    double offeredRps = 0.0;
+
+    /** Completed requests over the serving horizon. */
+    double achievedRps = 0.0;
+
+    // End-to-end latency (queueing + execution), milliseconds.
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+    double maxMs = 0.0;
+    double meanQueueMs = 0.0;
+
+    /** Fraction of requests that met the deadline. */
+    double sloAttainment = 0.0;
+
+    /** Deadline-meeting completions per second. */
+    double goodputRps = 0.0;
+
+    int reschedules = 0;
+    int driftWindows = 0;
+    double lastDriftDistance = 0.0;
+
+    /** Noise-calibrated trigger threshold the monitor settled on. */
+    double driftThreshold = 0.0;
+
+    /** Completion tick of the last request. */
+    Tick horizonTicks = 0;
+};
+
+/** One serving run as a JSON object (for BENCH_serve.json). */
+std::string toJson(const ServeReport &report);
+
+/** Request-driven serving simulation over one workload graph. */
+class ServeRuntime
+{
+  public:
+    /**
+     * @param trace_cfg dynamism model of the workload; its batchSize
+     *        must equal the compiled batch size the graph was built
+     *        with (requests draw from a batchSize-1 copy).
+     */
+    ServeRuntime(const graph::DynGraph &dg,
+                 trace::TraceConfig trace_cfg, arch::HwConfig hw,
+                 core::SchedulerConfig sched_cfg,
+                 core::ExecPolicy policy, ServeConfig serve_cfg,
+                 std::string workload_name);
+
+    /** Share a mapping-search memo across concurrent runtimes (same
+     * contract as System::setSharedMapper). */
+    void setSharedMapper(costmodel::Mapper *mapper);
+
+    /** Serve ServeConfig::numRequests requests and report. */
+    ServeReport run();
+
+  private:
+    const graph::DynGraph &dg_;
+    trace::TraceConfig traceCfg_;
+    arch::HwConfig hw_;
+    core::SchedulerConfig schedCfg_;
+    core::ExecPolicy policy_;
+    ServeConfig cfg_;
+    std::string workloadName_;
+    costmodel::Mapper *sharedMapper_ = nullptr;
+};
+
+} // namespace adyna::serve
+
+#endif // ADYNA_SERVE_SERVER_HH

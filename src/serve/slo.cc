@@ -1,0 +1,56 @@
+#include "serve/slo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace adyna::serve {
+
+SloTracker::SloTracker(SloConfig cfg, double freq_ghz)
+    : cfg_(cfg), freqGhz_(freq_ghz)
+{
+    ADYNA_ASSERT(freqGhz_ > 0.0, "bad clock frequency");
+    ADYNA_ASSERT(cfg_.deadlineMs > 0.0, "deadline must be positive");
+}
+
+void
+SloTracker::record(Tick arrival, Tick dispatch, Tick end)
+{
+    ADYNA_ASSERT(dispatch >= arrival && end >= dispatch,
+                 "request timestamps out of order");
+    const double toMs = 1e3 / (freqGhz_ * 1e9);
+    const double latMs = static_cast<double>(end - arrival) * toMs;
+    latencyMs_.push_back(latMs);
+    latency_.add(latMs);
+    queue_.add(static_cast<double>(dispatch - arrival) * toMs);
+    if (latMs <= cfg_.deadlineMs)
+        ++met_;
+    lastEnd_ = std::max(lastEnd_, end);
+}
+
+double
+SloTracker::sloAttainment() const
+{
+    return latencyMs_.empty()
+               ? 1.0
+               : static_cast<double>(met_) /
+                     static_cast<double>(latencyMs_.size());
+}
+
+double
+SloTracker::goodputRps(Tick horizon_ticks) const
+{
+    if (horizon_ticks == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(horizon_ticks) / (freqGhz_ * 1e9);
+    return static_cast<double>(met_) / seconds;
+}
+
+double
+SloTracker::latencyPercentileMs(double q) const
+{
+    return percentile(latencyMs_, q);
+}
+
+} // namespace adyna::serve

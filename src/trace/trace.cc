@@ -31,6 +31,33 @@ BatchRouting::dynValue(const graph::DynGraph &dg, OpId op) const
     return oc.activeAfter;
 }
 
+BatchRouting
+mergeRoutings(const std::vector<const BatchRouting *> &parts)
+{
+    ADYNA_ASSERT(!parts.empty(), "cannot merge zero routings");
+    BatchRouting out;
+    for (const BatchRouting *part : parts) {
+        for (const auto &[sw, oc] : part->outcomes) {
+            SwitchOutcome &dst = out.outcomes[sw];
+            if (dst.branchCounts.empty())
+                dst.branchCounts.resize(oc.branchCounts.size(), 0);
+            ADYNA_ASSERT(dst.branchCounts.size() ==
+                             oc.branchCounts.size(),
+                         "routings disagree on the branch count of "
+                         "switch ",
+                         sw);
+            for (std::size_t b = 0; b < oc.branchCounts.size(); ++b)
+                dst.branchCounts[b] += oc.branchCounts[b];
+            dst.activeAfter += oc.activeAfter;
+            dst.activeBefore += oc.activeBefore;
+        }
+    }
+    ADYNA_ASSERT(out.outcomes.size() ==
+                     parts.front()->outcomes.size(),
+                 "routings cover different switch sets");
+    return out;
+}
+
 TraceGenerator::TraceGenerator(const graph::DynGraph &dg, TraceConfig cfg,
                                std::uint64_t seed)
     : dg_(dg), cfg_(cfg), rng_(seed), seed_(seed)

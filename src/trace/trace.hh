@@ -55,6 +55,15 @@ struct BatchRouting
     std::int64_t dynValue(const graph::DynGraph &dg, OpId op) const;
 };
 
+/**
+ * Sum the per-switch outcomes of several routings: the routing the
+ * concatenated batch would observe (branch counts, active-before and
+ * active-after add up sample-wise). All parts must cover the same
+ * switch set — routings of the same graph; used by the serving
+ * batcher to merge single-request draws into one engine batch.
+ */
+BatchRouting mergeRoutings(const std::vector<const BatchRouting *> &parts);
+
 /** Parameters of the synthetic dynamism model. */
 struct TraceConfig
 {

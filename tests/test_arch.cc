@@ -236,6 +236,63 @@ TEST(Profiler, HistoryIsBounded)
     EXPECT_EQ(prof.branchHistory(1).back()[0], 9);
 }
 
+TEST(Profiler, WindowBatchesCountResetsWithTables)
+{
+    Profiler prof;
+    EXPECT_EQ(prof.windowBatches(), 0u);
+    for (int i = 0; i < 5; ++i) {
+        prof.recordValue(1, i);
+        prof.noteBatch();
+    }
+    EXPECT_EQ(prof.windowBatches(), 5u);
+    prof.resetTables();
+    EXPECT_EQ(prof.windowBatches(), 0u);
+    EXPECT_TRUE(prof.table(1).empty());
+    prof.noteBatch();
+    prof.reset();
+    EXPECT_EQ(prof.windowBatches(), 0u);
+}
+
+TEST(Profiler, SnapshotIsDeepCopy)
+{
+    Profiler prof;
+    prof.recordValue(2, 10);
+    const auto snap = prof.tablesSnapshot();
+    prof.recordValue(2, 99);
+    prof.recordValue(5, 1);
+    EXPECT_EQ(snap.at(2).total(), 1u);
+    EXPECT_EQ(snap.count(5), 0u);
+}
+
+TEST(Profiler, DriftL1ZeroOnSelfAndDisjointOps)
+{
+    Profiler prof;
+    for (int i = 0; i < 100; ++i)
+        prof.recordValue(1, i % 7);
+    EXPECT_DOUBLE_EQ(prof.driftL1(prof.tablesSnapshot()), 0.0);
+
+    // Nothing comparable: reference tracks a different op.
+    Profiler other;
+    other.recordValue(42, 3);
+    EXPECT_DOUBLE_EQ(prof.driftL1(other.tablesSnapshot()), 0.0);
+}
+
+TEST(Profiler, DriftL1TakesWorstOpNotTheMean)
+{
+    // Op 1 is stationary, op 2 shifts completely: a mean over ops
+    // would halve the signal, the max must keep it at 2 (disjoint
+    // supports under normalized L1).
+    Profiler ref, cur;
+    for (int i = 0; i < 200; ++i) {
+        ref.recordValue(1, i % 4);
+        cur.recordValue(1, i % 4);
+        ref.recordValue(2, 0);
+        cur.recordValue(2, 1000);
+    }
+    const double d = cur.driftL1(ref.tablesSnapshot());
+    EXPECT_NEAR(d, 2.0, 1e-9);
+}
+
 } // namespace
 
 namespace {

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "common/cli.hh"
 #include "common/rng.hh"
@@ -332,6 +333,54 @@ TEST(CliArgs, BooleanExplicitValues)
     EXPECT_TRUE(args.getBool("a", false));
     EXPECT_FALSE(args.getBool("b", true));
     EXPECT_FALSE(args.getBool("c", true));
+}
+
+// ---------------------------------------------------------- percentile
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+    // Unsorted input is sorted internally.
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 2.0);
+}
+
+// ------------------------------------------------------ distributionL1
+
+TEST(DistributionL1, IdenticalZeroDisjointTwo)
+{
+    FreqHistogram a, b;
+    for (int i = 0; i < 10; ++i) {
+        a.add(i % 3);
+        b.add(i % 3);
+    }
+    EXPECT_DOUBLE_EQ(distributionL1(a, b), 0.0);
+
+    FreqHistogram c;
+    c.add(100, 10);
+    EXPECT_DOUBLE_EQ(distributionL1(a, c, /*buckets=*/8), 2.0);
+    // One empty side: nothing comparable.
+    EXPECT_DOUBLE_EQ(distributionL1(a, FreqHistogram{}), 0.0);
+}
+
+TEST(DistributionL1, NormalizedSoCountsDoNotMatter)
+{
+    // Same shape at 10x the mass: zero distance.
+    FreqHistogram a, b;
+    a.add(1, 3);
+    a.add(2, 1);
+    b.add(1, 30);
+    b.add(2, 10);
+    EXPECT_DOUBLE_EQ(distributionL1(a, b), 0.0);
+    // Half the mass moved: distance 1.
+    FreqHistogram c;
+    c.add(1, 1);
+    c.add(2, 3);
+    EXPECT_NEAR(distributionL1(a, c), 1.0, 1e-12);
 }
 
 } // namespace

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Unit tests for the online serving runtime: arrival-process
+ * determinism and rate calibration, batcher max-batch / max-wait
+ * invariants and routing merges, SLO accounting, drift-monitor
+ * hysteresis and noise-floor behaviour, and end-to-end ServeRuntime
+ * determinism (the stationary adaptive run must match the static
+ * run exactly).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "baselines/designs.hh"
+#include "graph/parser.hh"
+#include "models/models.hh"
+#include "serve/arrival.hh"
+#include "serve/batcher.hh"
+#include "serve/drift.hh"
+#include "serve/server.hh"
+#include "serve/slo.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::serve;
+
+// ------------------------------------------------------ ArrivalProcess
+
+TEST(Arrival, PoissonDeterministicForSameSeed)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerSec = 1e6;
+    ArrivalProcess a(cfg, 7), b(cfg, 7), c(cfg, 8);
+    bool anyDiffer = false;
+    for (int i = 0; i < 500; ++i) {
+        const Tick ta = a.next();
+        EXPECT_EQ(ta, b.next());
+        anyDiffer |= ta != c.next();
+    }
+    EXPECT_TRUE(anyDiffer) << "seed must matter";
+    EXPECT_EQ(a.generated(), 500u);
+}
+
+TEST(Arrival, PoissonMonotoneAndMeanRate)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerSec = 1e6; // 1000 ticks mean gap at 1 GHz
+    cfg.freqGhz = 1.0;
+    ArrivalProcess p(cfg, 42);
+    const int n = 20000;
+    Tick prev = 0, last = 0;
+    for (int i = 0; i < n; ++i) {
+        const Tick t = p.next();
+        EXPECT_GE(t, prev);
+        prev = t;
+        last = t;
+    }
+    const double meanGap = static_cast<double>(last) / n;
+    EXPECT_NEAR(meanGap, 1000.0, 30.0); // 3% tolerance
+}
+
+TEST(Arrival, BurstyKeepsLongRunMeanRateButBursts)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Bursty;
+    cfg.ratePerSec = 1e6;
+    // Short dwells so the horizon covers ~100 burst/normal cycles
+    // (the long-run mean only shows over many state switches).
+    cfg.burstDwellSec = 5e-4;
+    const int n = 400000;
+
+    ArrivalProcess bursty(cfg, 3);
+    std::vector<double> gaps;
+    Tick prev = 0, lastB = 0;
+    for (int i = 0; i < n; ++i) {
+        const Tick t = bursty.next();
+        gaps.push_back(static_cast<double>(t - prev));
+        prev = t;
+        lastB = t;
+    }
+    // Long-run mean rate within 10% of the configured one.
+    EXPECT_NEAR(static_cast<double>(lastB) / n, 1000.0, 100.0);
+
+    // Burstiness: the inter-arrival coefficient of variation must
+    // exceed the exponential's CV of 1 (MMPP-2 is over-dispersed).
+    const double mean =
+        std::accumulate(gaps.begin(), gaps.end(), 0.0) / n;
+    double var = 0.0;
+    for (double g : gaps)
+        var += (g - mean) * (g - mean);
+    var /= n;
+    EXPECT_GT(std::sqrt(var) / mean, 1.1);
+}
+
+TEST(Arrival, TraceRoundTripAndReplayWrap)
+{
+    const std::vector<double> ts = {0.001, 0.002, 0.004};
+    const std::string path =
+        ::testing::TempDir() + "/adyna_arrivals.txt";
+    saveArrivalTrace(path, ts);
+    EXPECT_EQ(loadArrivalTrace(path), ts);
+
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Replay;
+    cfg.traceFile = path;
+    cfg.freqGhz = 1.0;
+    ArrivalProcess p(cfg, 1);
+    // Timestamps are re-based so the first arrival is at t = 0.
+    EXPECT_EQ(p.next(), Tick{0});
+    EXPECT_EQ(p.next(), Tick{1000000});
+    EXPECT_EQ(p.next(), Tick{3000000});
+    // Wrap: shifted by span (3 ms) + one mean gap (1.5 ms).
+    EXPECT_EQ(p.next(), Tick{4500000});
+    EXPECT_EQ(p.next(), Tick{5500000});
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- Batcher
+
+trace::BatchRouting
+requestDraw(const graph::DynGraph &dg, trace::TraceConfig tc,
+            std::uint64_t seed, int skip = 0)
+{
+    tc.batchSize = 1;
+    tc.driftStrength = 0.0;
+    trace::TraceGenerator gen(dg, tc, seed);
+    for (int i = 0; i < skip; ++i)
+        (void)gen.next();
+    return gen.next();
+}
+
+TEST(Batcher, EmptyQueueNeverForms)
+{
+    Batcher b(BatchPolicy{4, 100});
+    EXPECT_EQ(b.nextFormTick(), Batcher::kNever);
+    EXPECT_EQ(b.queued(), 0u);
+}
+
+TEST(Batcher, FullBatchFormsOnLastArrival)
+{
+    Batcher b(BatchPolicy{3, 1000});
+    b.enqueue({0, 10, {}});
+    EXPECT_EQ(b.nextFormTick(), Tick{1010}); // oldest + maxWait
+    b.enqueue({1, 20, {}});
+    b.enqueue({2, 30, {}});
+    // Queue reached maxBatch: formable at the third arrival.
+    EXPECT_EQ(b.nextFormTick(), Tick{30});
+}
+
+TEST(Batcher, FormTakesOldestFifoAndLeavesRest)
+{
+    Batcher b(BatchPolicy{2, 1000});
+    for (std::uint64_t i = 0; i < 5; ++i)
+        b.enqueue({i, static_cast<Tick>(10 * (i + 1)), {}});
+    FormedBatch f = b.form(b.nextFormTick());
+    ASSERT_EQ(f.requests.size(), 2u);
+    EXPECT_EQ(f.requests[0].id, 0u);
+    EXPECT_EQ(f.requests[1].id, 1u);
+    EXPECT_EQ(f.formedAt, Tick{20});
+    EXPECT_EQ(b.queued(), 3u);
+    // Admitting more can only move the form tick earlier, never later.
+    const Tick before = b.nextFormTick();
+    b.enqueue({9, 60, {}});
+    EXPECT_LE(b.nextFormTick(), before);
+}
+
+TEST(Batcher, PartialBatchFormsAtMaxWait)
+{
+    Batcher b(BatchPolicy{8, 500});
+    b.enqueue({0, 100, {}});
+    b.enqueue({1, 140, {}});
+    EXPECT_EQ(b.nextFormTick(), Tick{600});
+    FormedBatch f = b.form(600);
+    EXPECT_EQ(f.requests.size(), 2u);
+    EXPECT_EQ(b.queued(), 0u);
+    EXPECT_EQ(b.nextFormTick(), Batcher::kNever);
+}
+
+TEST(Batcher, MergedRoutingSumsPerRequestDraws)
+{
+    models::ModelBundle bundle = models::buildByName("skipnet", 4);
+    const graph::DynGraph dg = graph::parseModel(bundle.graph);
+
+    Batcher b(BatchPolicy{3, 1000});
+    std::vector<trace::BatchRouting> draws;
+    for (int i = 0; i < 3; ++i) {
+        draws.push_back(
+            requestDraw(dg, bundle.traceConfig, 11, /*skip=*/i));
+        b.enqueue({static_cast<std::uint64_t>(i),
+                   static_cast<Tick>(i), draws.back()});
+    }
+    FormedBatch f = b.form(b.nextFormTick());
+
+    for (const auto &[op, merged] : f.routing.outcomes) {
+        std::int64_t before = 0, after = 0;
+        std::vector<std::int64_t> counts(merged.branchCounts.size(),
+                                         0);
+        for (const trace::BatchRouting &d : draws) {
+            const trace::SwitchOutcome &o = d.outcomes.at(op);
+            before += o.activeBefore;
+            after += o.activeAfter;
+            ASSERT_EQ(o.branchCounts.size(), counts.size());
+            for (std::size_t k = 0; k < counts.size(); ++k)
+                counts[k] += o.branchCounts[k];
+        }
+        EXPECT_EQ(merged.activeBefore, before);
+        EXPECT_EQ(merged.activeAfter, after);
+        EXPECT_EQ(merged.branchCounts, counts);
+    }
+}
+
+// ---------------------------------------------------------- SloTracker
+
+TEST(Slo, LatencyAccountingAndGoodput)
+{
+    // 1 GHz: 1e6 ticks per millisecond.
+    SloTracker slo(SloConfig{2.0}, 1.0);
+    EXPECT_DOUBLE_EQ(slo.sloAttainment(), 1.0);
+
+    slo.record(0, 500000, 1000000);       // 1 ms, met
+    slo.record(1000000, 1500000, 2500000); // 1.5 ms, met
+    slo.record(2000000, 4000000, 6000000); // 4 ms, missed
+    EXPECT_EQ(slo.completed(), 3u);
+    EXPECT_EQ(slo.met(), 2u);
+    EXPECT_NEAR(slo.sloAttainment(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(slo.meanLatencyMs(), (1.0 + 1.5 + 4.0) / 3, 1e-9);
+    EXPECT_NEAR(slo.maxLatencyMs(), 4.0, 1e-9);
+    EXPECT_NEAR(slo.meanQueueMs(), (0.5 + 0.5 + 2.0) / 3, 1e-9);
+    EXPECT_EQ(slo.lastEnd(), Tick{6000000});
+    EXPECT_NEAR(slo.latencyPercentileMs(0.5), 1.5, 1e-9);
+    EXPECT_NEAR(slo.latencyPercentileMs(1.0), 4.0, 1e-9);
+    // 2 met requests over a 6 ms horizon.
+    EXPECT_NEAR(slo.goodputRps(6000000), 2.0 / 6e-3, 1e-6);
+}
+
+// -------------------------------------------------------- DriftMonitor
+
+arch::Profiler
+profilerWith(OpId op, std::uint64_t seed, int n, double shift)
+{
+    arch::Profiler prof;
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        prof.recordValue(
+            op, static_cast<std::int64_t>(40 + 20 * u + shift));
+        prof.noteBatch();
+    }
+    return prof;
+}
+
+TEST(Drift, StationaryWindowsNeverTrigger)
+{
+    DriftConfig cfg;
+    cfg.hysteresisWindows = 2;
+    cfg.cooldownWindows = 0;
+    DriftMonitor mon(cfg);
+    mon.setReference(
+        profilerWith(1, 100, 4000, 0.0).tablesSnapshot());
+    // Same-distribution probe pair calibrates the noise floor.
+    mon.setNoiseFloor(mon.distanceTo(profilerWith(1, 101, 500, 0.0)));
+
+    for (std::uint64_t s = 0; s < 30; ++s) {
+        arch::Profiler window = profilerWith(1, 200 + s, 500, 0.0);
+        EXPECT_FALSE(mon.observe(window)) << "window " << s;
+    }
+    EXPECT_EQ(mon.windowsObserved(), 30);
+}
+
+TEST(Drift, ShiftTriggersOnlyAfterHysteresis)
+{
+    DriftConfig cfg;
+    cfg.hysteresisWindows = 2;
+    cfg.cooldownWindows = 0;
+    DriftMonitor mon(cfg);
+    mon.setReference(
+        profilerWith(1, 100, 4000, 0.0).tablesSnapshot());
+
+    arch::Profiler shifted = profilerWith(1, 7, 500, 35.0);
+    EXPECT_GT(mon.distanceTo(shifted), mon.effectiveThreshold());
+    EXPECT_FALSE(mon.observe(shifted)); // 1st hot window: streak only
+    EXPECT_EQ(mon.hotStreak(), 1);
+    EXPECT_TRUE(mon.observe(shifted)); // 2nd consecutive: trigger
+}
+
+TEST(Drift, CooldownSuppressesRetrigger)
+{
+    DriftConfig cfg;
+    cfg.hysteresisWindows = 1;
+    cfg.cooldownWindows = 2;
+    DriftMonitor mon(cfg);
+    mon.setReference(
+        profilerWith(1, 100, 4000, 0.0).tablesSnapshot());
+
+    arch::Profiler shifted = profilerWith(1, 7, 500, 35.0);
+    // setReference starts the cooldown: two windows are swallowed.
+    EXPECT_FALSE(mon.observe(shifted));
+    EXPECT_FALSE(mon.observe(shifted));
+    EXPECT_TRUE(mon.observe(shifted));
+}
+
+TEST(Drift, MeanShiftBeyondBucketResolutionIsCaught)
+{
+    // A pure scale change: same histogram shape, every value doubled.
+    arch::Profiler ref;
+    arch::Profiler cur;
+    for (int i = 0; i < 1000; ++i) {
+        ref.recordValue(1, 10 + (i % 4));
+        cur.recordValue(1, 20 + 2 * (i % 4));
+    }
+    DriftMonitor mon(DriftConfig{});
+    mon.setReference(ref.tablesSnapshot());
+    // The expectation roughly doubles -> relative shift near 1.
+    EXPECT_GT(mon.distanceTo(cur), 0.9);
+}
+
+TEST(Drift, EffectiveThresholdTracksNoiseFloor)
+{
+    DriftConfig cfg;
+    cfg.threshold = 0.15;
+    cfg.noiseMultiplier = 2.5;
+    DriftMonitor mon(cfg);
+    EXPECT_DOUBLE_EQ(mon.effectiveThreshold(), 0.15);
+    mon.setNoiseFloor(0.02); // below the absolute floor
+    EXPECT_DOUBLE_EQ(mon.effectiveThreshold(), 0.15);
+    mon.setNoiseFloor(0.2); // noisy workload raises the bar
+    EXPECT_DOUBLE_EQ(mon.effectiveThreshold(), 0.5);
+}
+
+// -------------------------------------------------------- ServeRuntime
+
+ServeReport
+smokeServe(bool adaptive, double drift_strength, std::uint64_t seed)
+{
+    models::ModelBundle bundle = models::buildByName("skipnet", 8);
+    const graph::DynGraph dg = graph::parseModel(bundle.graph);
+    trace::TraceConfig tc = bundle.traceConfig;
+    tc.batchSize = 8;
+    tc.driftStrength = drift_strength;
+    tc.driftPeriod = 40;
+
+    const arch::HwConfig hw;
+    ServeConfig sc;
+    sc.arrival.ratePerSec = 5e5;
+    sc.batching.maxBatch = 8;
+    sc.batching.maxWaitCycles = 20000;
+    sc.slo.deadlineMs = 1.0;
+    sc.drift.windowRequests = 64;
+    sc.driftReschedule = adaptive;
+    sc.numRequests = 300;
+    sc.profileBatches = 8;
+    sc.seed = seed;
+
+    ServeRuntime rt(
+        dg, tc, hw,
+        baselines::schedulerConfig(baselines::Design::Adyna),
+        baselines::execPolicy(baselines::Design::Adyna), sc,
+        "skipnet");
+    return rt.run();
+}
+
+TEST(ServeRuntime, DeterministicForSameConfig)
+{
+    const ServeReport a = smokeServe(true, 0.0, 5);
+    const ServeReport b = smokeServe(true, 0.0, 5);
+    EXPECT_EQ(toJson(a), toJson(b));
+    EXPECT_EQ(a.requests, 300u);
+    EXPECT_GT(a.batches, 0u);
+    EXPECT_GT(a.p50Ms, 0.0);
+    EXPECT_LE(a.p50Ms, a.p95Ms);
+    EXPECT_LE(a.p95Ms, a.p99Ms);
+    EXPECT_LE(a.p99Ms, a.maxMs);
+    EXPECT_GE(a.sloAttainment, 0.0);
+    EXPECT_LE(a.sloAttainment, 1.0);
+}
+
+TEST(ServeRuntime, StationaryAdaptiveMatchesStaticExactly)
+{
+    const ServeReport adaptive = smokeServe(true, 0.0, 9);
+    const ServeReport fixed = smokeServe(false, 0.0, 9);
+    // No drift -> the monitor must stay quiet and the adaptive run
+    // must follow the identical execution path.
+    EXPECT_EQ(adaptive.reschedules, 0);
+    EXPECT_EQ(adaptive.mode, "adaptive");
+    EXPECT_EQ(fixed.mode, "static");
+    EXPECT_EQ(adaptive.batches, fixed.batches);
+    EXPECT_DOUBLE_EQ(adaptive.p99Ms, fixed.p99Ms);
+    EXPECT_DOUBLE_EQ(adaptive.goodputRps, fixed.goodputRps);
+    EXPECT_EQ(adaptive.horizonTicks, fixed.horizonTicks);
+}
+
+} // namespace
