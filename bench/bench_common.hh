@@ -36,8 +36,10 @@ struct BenchParams
     std::uint64_t seed = 7;
 
     /** Worker threads for the sweep (--jobs N, default hardware
-     * concurrency; 1 = the exact serial seed behaviour). */
-    int jobs = 1;
+     * concurrency both here and in fromArgs, so benches constructed
+     * either way reflect parallel throughput; --jobs 1 = the exact
+     * serial seed behaviour). */
+    int jobs = ThreadPool::defaultJobs();
 
     /** Share one mapping-search memo cache across the sweep's runs
      * (--shared-mapper=0 to disable). Results are unaffected. */

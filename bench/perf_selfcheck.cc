@@ -1,25 +1,35 @@
 /**
  * @file
- * Harness self-check: times the full workload x design sweep three
- * ways -- (A) the seed configuration (serial, per-run mapper, legacy
- * per-period segment planner), (B) serial with the schedule-plan
- * cache and the sweep-shared mapper, and (C) the same plus the
- * --jobs thread pool -- verifies that all three produce identical
- * reports, and writes a machine-readable `BENCH_sweep.json` so the
- * perf trajectory is trackable across PRs.
+ * Harness self-check: times the hot paths of the simulator three
+ * ways and gates every optimization on byte-identical outputs.
  *
- * Speedup expectations: B/A isolates the caching win (also on 1-core
- * hosts); C/A is the headline harness speedup (>= 2x on a 4-core
- * host).
+ * 1. The full workload x design sweep -- (A) the seed configuration
+ *    (serial, per-run mapper, legacy per-period segment planner, no
+ *    store cache, no exec memo), (B) serial with every cache layer
+ *    on, and (C) the same plus the --jobs thread pool -- verifying
+ *    that all three produce identical reports.
+ * 2. The reconfiguration-latency bench: N re-schedules per workload
+ *    cold (fresh mapper, no store cache), cold with the parallel
+ *    per-stage store build, and warm (primed kernel-store cache +
+ *    mapper memo), verifying cold- and warm-built schedules are
+ *    identical down to the encoded kernel images.
+ * 3. The engine-throughput bench: the same batch stream through
+ *    Engine::runPeriod with the exec-cost memo off and on, verifying
+ *    identical PeriodResults.
+ *
+ * Everything lands in a machine-readable `BENCH_sweep.json` so the
+ * perf trajectory is trackable across PRs.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "bench_common.hh"
 #include "common/buildinfo.hh"
 #include "core/report_io.hh"
+#include "kernels/store_cache.hh"
 
 using namespace adyna;
 using namespace adyna::bench;
@@ -35,23 +45,39 @@ nowMs()
         .count();
 }
 
+/** Cache/parallelism switches of one sweep configuration. */
+struct SweepCfg
+{
+    int jobs = 1;
+    bool planCache = false;
+    bool shareMapper = false;
+    bool storeCache = false;
+    bool execMemo = false;
+};
+
 struct SweepResult
 {
     std::vector<core::RunReport> reports;
     double wallMs = 0.0;
     std::uint64_t mapperHits = 0;
     std::uint64_t mapperMisses = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t execHits = 0;
+    std::uint64_t execMisses = 0;
 };
 
-/** Run the full workload x design matrix under one configuration. */
+/** Run the full workload x design matrix under one configuration.
+ * Each sweep gets its own store cache so timings are independent of
+ * sweep order (the process-global cache is never touched). */
 SweepResult
 runSweep(const std::vector<Workload> &workloads,
          const std::vector<Design> &designs, const BenchParams &p,
-         const arch::HwConfig &hw, int jobs, bool plan_cache,
-         bool share_mapper)
+         const arch::HwConfig &hw, const SweepCfg &cfg)
 {
-    ThreadPool pool(jobs);
+    ThreadPool pool(cfg.jobs);
     costmodel::Mapper shared(hw.tech);
+    kernels::KernelStoreCache cache;
 
     struct Task
     {
@@ -67,22 +93,31 @@ runSweep(const std::vector<Workload> &workloads,
     const double t0 = nowMs();
     out.reports = pool.parallelMap(tasks.size(), [&](std::size_t i) {
         const Workload &w = workloads[tasks[i].wi];
-        trace::TraceConfig cfg = w.bundle.traceConfig;
-        cfg.batchSize = p.batchSize;
+        trace::TraceConfig tc = w.bundle.traceConfig;
+        tc.batchSize = p.batchSize;
         auto pol = baselines::execPolicy(tasks[i].d);
-        pol.planCache = plan_cache;
-        core::System sys(w.dg, cfg, hw,
-                         baselines::schedulerConfig(tasks[i].d), pol,
+        pol.planCache = cfg.planCache;
+        pol.execCostMemo = cfg.execMemo;
+        auto scfg = baselines::schedulerConfig(tasks[i].d);
+        scfg.storeCache = cfg.storeCache;
+        core::System sys(w.dg, tc, hw, scfg, pol,
                          baselines::runOptions(tasks[i].d, p.batches,
                                                p.seed),
                          baselines::designName(tasks[i].d));
-        if (share_mapper)
+        if (cfg.shareMapper)
             sys.setSharedMapper(&shared);
+        sys.setSharedStoreCache(&cache);
         return sys.run();
     });
     out.wallMs = nowMs() - t0;
     out.mapperHits = shared.hits();
     out.mapperMisses = shared.misses();
+    out.storeHits = cache.hits();
+    out.storeMisses = cache.misses();
+    for (const core::RunReport &r : out.reports) {
+        out.execHits += r.execHits;
+        out.execMisses += r.execMisses;
+    }
     return out;
 }
 
@@ -100,6 +135,187 @@ reportsIdentical(const std::vector<core::RunReport> &a,
     return true;
 }
 
+/** Everything a schedule compiles down to, including the encoded
+ * 128-byte kernel images (cold- and warm-built schedules must agree
+ * byte for byte). */
+std::string
+scheduleFingerprint(const core::Schedule &sch)
+{
+    std::ostringstream os;
+    for (const auto &seg : sch.segments) {
+        for (const auto &st : seg.stages) {
+            os << st.op << ':' << st.baseTiles << ':';
+            for (TileId t : st.tiles)
+                os << t << ',';
+            for (const auto &[count, store] : st.stores) {
+                os << '|' << count;
+                for (const auto &k : store.kernels()) {
+                    os << '/' << k.value << '#';
+                    for (unsigned byte : k.image)
+                        os << byte << '.';
+                }
+            }
+            os << ';';
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+/** Reconfiguration-latency figures for one workload. */
+struct ReconfigResult
+{
+    double coldMs = 0.0;
+    double coldParallelMs = 0.0;
+    double warmMs = 0.0;
+    bool identical = false;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+};
+
+/**
+ * Time @p rounds re-schedules of one workload. Cold builds recompile
+ * every store through a fresh mapper (the seed re-schedule path);
+ * the parallel variant adds the per-stage thread-pool build; warm
+ * builds reuse a primed kernel-store cache, the path a
+ * drift-triggered re-schedule takes in the serving runtime.
+ */
+ReconfigResult
+runReconfig(const Workload &w, const arch::HwConfig &hw, int rounds,
+            int jobs)
+{
+    const auto scfg =
+        baselines::schedulerConfig(Design::Adyna);
+    std::map<OpId, double> expectations; // worst-case weights
+    std::map<OpId, std::vector<std::int64_t>> kernelValues;
+    {
+        costmodel::Mapper m(hw.tech);
+        core::Scheduler s(w.dg, hw, m, scfg);
+        kernelValues = s.initialKernelValues();
+    }
+
+    ReconfigResult out;
+    std::string coldFp;
+
+    // Cold: every round compiles every kernel store from scratch.
+    // (Fingerprints come from separate untimed builds so the string
+    // construction never pollutes the latency figures.)
+    {
+        costmodel::Mapper m0(hw.tech);
+        core::Scheduler s0(w.dg, hw, m0, scfg);
+        coldFp = scheduleFingerprint(
+            s0.build(expectations, kernelValues, nullptr));
+        const double t0 = nowMs();
+        for (int r = 0; r < rounds; ++r) {
+            costmodel::Mapper m(hw.tech);
+            core::Scheduler s(w.dg, hw, m, scfg);
+            (void)s.build(expectations, kernelValues, nullptr);
+        }
+        out.coldMs = (nowMs() - t0) / rounds;
+    }
+
+    // Cold + parallel per-stage store build.
+    {
+        ThreadPool pool(jobs);
+        const double t0 = nowMs();
+        for (int r = 0; r < rounds; ++r) {
+            costmodel::Mapper m(hw.tech);
+            core::Scheduler s(w.dg, hw, m, scfg);
+            s.setThreadPool(&pool);
+            (void)s.build(expectations, kernelValues, nullptr);
+        }
+        out.coldParallelMs = (nowMs() - t0) / rounds;
+    }
+
+    // Warm: one untimed priming build, then re-schedules against the
+    // populated store cache and mapper memo.
+    {
+        costmodel::Mapper m(hw.tech);
+        kernels::KernelStoreCache cache;
+        core::Scheduler s(w.dg, hw, m, scfg);
+        s.setStoreCache(&cache);
+        const std::string warmFp = scheduleFingerprint(
+            s.build(expectations, kernelValues, nullptr));
+        const double t0 = nowMs();
+        for (int r = 0; r < rounds; ++r)
+            (void)s.build(expectations, kernelValues, nullptr);
+        out.warmMs = (nowMs() - t0) / rounds;
+        out.identical = warmFp == coldFp;
+        out.storeHits = cache.hits();
+        out.storeMisses = cache.misses();
+    }
+    return out;
+}
+
+/** Engine-throughput figures: the exec-cost memo off vs on. */
+struct EngineResult
+{
+    double uncachedMs = 0.0;
+    double memoMs = 0.0;
+    bool identical = false;
+    std::uint64_t execHits = 0;
+    std::uint64_t execMisses = 0;
+};
+
+bool
+samePeriod(const core::PeriodResult &a, const core::PeriodResult &b)
+{
+    return a.endTime == b.endTime && a.batchEnds == b.batchEnds &&
+           a.stageCycles == b.stageCycles;
+}
+
+/**
+ * Stream the same batch routing sequence through Engine::runPeriod
+ * @p reps times per memo setting (fresh chip per rep, so every rep
+ * is the same simulation) and compare results and wall-clock.
+ */
+EngineResult
+runEngineBench(const Workload &w, const arch::HwConfig &hw,
+               const BenchParams &p, int reps)
+{
+    costmodel::Mapper mapper(hw.tech);
+    const auto scfg = baselines::schedulerConfig(Design::Adyna);
+    core::Scheduler sched(w.dg, hw, mapper, scfg);
+    const core::Schedule schedule = sched.build(
+        {}, sched.initialKernelValues(), nullptr);
+
+    trace::TraceConfig tc = w.bundle.traceConfig;
+    tc.batchSize = p.batchSize;
+    trace::TraceGenerator gen(w.dg, tc, p.seed);
+    std::vector<trace::BatchRouting> routings;
+    routings.reserve(static_cast<std::size_t>(p.batches));
+    for (int b = 0; b < p.batches; ++b)
+        routings.push_back(gen.next());
+
+    EngineResult out;
+    core::PeriodResult uncachedRes;
+    for (const bool memo : {false, true}) {
+        auto pol = baselines::execPolicy(Design::Adyna);
+        pol.execCostMemo = memo;
+        core::Engine eng(w.dg, hw, mapper, pol);
+        const double t0 = nowMs();
+        core::PeriodResult first;
+        for (int r = 0; r < reps; ++r) {
+            arch::Chip chip(hw);
+            core::PeriodResult res = eng.runPeriod(
+                chip, schedule, routings, nullptr, 0);
+            if (r == 0)
+                first = std::move(res);
+        }
+        const double ms = (nowMs() - t0) / reps;
+        if (memo) {
+            out.memoMs = ms;
+            out.identical = samePeriod(first, uncachedRes);
+            out.execHits = eng.execHits();
+            out.execMisses = eng.execMisses();
+        } else {
+            out.uncachedMs = ms;
+            uncachedRes = std::move(first);
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -109,9 +325,13 @@ main(int argc, char **argv)
     BenchParams p = BenchParams::fromArgs(args);
     if (!args.has("batches"))
         p.batches = 120;
+    const int reconfigRounds =
+        static_cast<int>(args.getInt("reconfig-rounds", 5));
+    const int engineReps =
+        static_cast<int>(args.getInt("engine-reps", 3));
     const arch::HwConfig hw;
-    printBanner("=== Harness self-check: sweep wall-clock and "
-                "equivalence ===",
+    printBanner("=== Harness self-check: sweep wall-clock, "
+                "reconfiguration latency and equivalence ===",
                 hw, p);
 
     const auto workloads = makeAllWorkloads(p.batchSize);
@@ -121,15 +341,15 @@ main(int argc, char **argv)
                 workloads.size(), designs.size(),
                 workloads.size() * designs.size(), p.batches);
 
-    const auto base = runSweep(workloads, designs, p, hw, 1,
-                               /*plan_cache=*/false,
-                               /*share_mapper=*/false);
-    const auto cached = runSweep(workloads, designs, p, hw, 1,
-                                 /*plan_cache=*/true,
-                                 /*share_mapper=*/true);
-    const auto parallel = runSweep(workloads, designs, p, hw, p.jobs,
-                                   /*plan_cache=*/true,
-                                   /*share_mapper=*/true);
+    // ---- 1. the full sweep, three ways -----------------------------
+    const auto base = runSweep(workloads, designs, p, hw,
+                               SweepCfg{1, false, false, false,
+                                        false});
+    const auto cached = runSweep(workloads, designs, p, hw,
+                                 SweepCfg{1, true, true, true, true});
+    const auto parallel = runSweep(
+        workloads, designs, p, hw,
+        SweepCfg{p.jobs, true, true, true, true});
 
     const bool eqCached = reportsIdentical(base.reports,
                                            cached.reports);
@@ -141,11 +361,11 @@ main(int argc, char **argv)
               "reports identical"});
     t.row({"A: seed (serial, uncached)", TextTable::num(base.wallMs, 0),
            "1.00x", "-"});
-    t.row({"B: serial + plan cache + shared mapper",
+    t.row({"B: serial + all caches",
            TextTable::num(cached.wallMs, 0),
            TextTable::mult(base.wallMs / cached.wallMs),
            eqCached ? "yes" : "NO"});
-    t.row({"C: --jobs " + std::to_string(p.jobs) + " + caches",
+    t.row({"C: --jobs " + std::to_string(p.jobs) + " + all caches",
            TextTable::num(parallel.wallMs, 0),
            TextTable::mult(base.wallMs / parallel.wallMs),
            eqParallel ? "yes" : "NO"});
@@ -156,54 +376,138 @@ main(int argc, char **argv)
                            static_cast<double>(h + m)
                      : 0.0;
     };
-    std::printf("\nShared mapper cache: %llu hits / %llu misses "
-                "(%.1f%% hit rate) on the serial cached sweep\n",
+    std::printf("\nSerial cached sweep: mapper %llu/%llu hits/misses "
+                "(%.1f%%), stores %llu/%llu (%.1f%%), exec memo "
+                "%llu/%llu (%.1f%%)\n",
                 static_cast<unsigned long long>(cached.mapperHits),
                 static_cast<unsigned long long>(cached.mapperMisses),
-                hitRate(cached.mapperHits, cached.mapperMisses));
+                hitRate(cached.mapperHits, cached.mapperMisses),
+                static_cast<unsigned long long>(cached.storeHits),
+                static_cast<unsigned long long>(cached.storeMisses),
+                hitRate(cached.storeHits, cached.storeMisses),
+                static_cast<unsigned long long>(cached.execHits),
+                static_cast<unsigned long long>(cached.execMisses),
+                hitRate(cached.execHits, cached.execMisses));
 
+    // ---- 2. reconfiguration latency --------------------------------
+    std::vector<ReconfigResult> reconfigs;
+    for (const Workload &w : workloads)
+        reconfigs.push_back(
+            runReconfig(w, hw, reconfigRounds, p.jobs));
+
+    TextTable rt("Re-schedule latency (ms per build, " +
+                 std::to_string(reconfigRounds) + " rounds)");
+    rt.header({"workload", "cold", "cold --jobs", "warm", "speedup",
+               "identical"});
+    double coldSum = 0.0, coldParSum = 0.0, warmSum = 0.0;
+    double bestSpeedup = 0.0;
+    bool schedulesIdentical = true;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const ReconfigResult &r = reconfigs[i];
+        const double spd =
+            r.warmMs > 0.0 ? r.coldMs / r.warmMs : 0.0;
+        bestSpeedup = std::max(bestSpeedup, spd);
+        coldSum += r.coldMs;
+        coldParSum += r.coldParallelMs;
+        warmSum += r.warmMs;
+        schedulesIdentical = schedulesIdentical && r.identical;
+        rt.row({workloads[i].name, TextTable::num(r.coldMs, 2),
+                TextTable::num(r.coldParallelMs, 2),
+                TextTable::num(r.warmMs, 3), TextTable::mult(spd),
+                r.identical ? "yes" : "NO"});
+    }
+    rt.print(std::cout);
+
+    // ---- 3. engine throughput --------------------------------------
+    const auto eng = runEngineBench(workloads.front(), hw, p,
+                                    engineReps);
+    std::printf("\nEngine throughput (%s, %d batches x %d reps): "
+                "memo off %.1f ms, on %.1f ms (%.2fx), results %s, "
+                "%llu/%llu hits/misses\n",
+                workloads.front().name.c_str(), p.batches, engineReps,
+                eng.uncachedMs, eng.memoMs,
+                eng.memoMs > 0.0 ? eng.uncachedMs / eng.memoMs : 0.0,
+                eng.identical ? "identical" : "DIVERGED",
+                static_cast<unsigned long long>(eng.execHits),
+                static_cast<unsigned long long>(eng.execMisses));
+
+    // ---- BENCH_sweep.json ------------------------------------------
     const std::string jsonPath =
         args.getString("json", "BENCH_sweep.json");
+    const bool warmFaster = warmSum < coldSum;
     {
         std::ofstream out(jsonPath);
-        char buf[1024];
-        std::snprintf(
-            buf, sizeof(buf),
-            "{\n"
-            "  \"bench\": \"perf_selfcheck\",\n"
-            "  %s,\n"
-            "  \"jobs\": %d,\n"
-            "  \"batches\": %d,\n"
-            "  \"batch_size\": %ld,\n"
-            "  \"runs\": %zu,\n"
-            "  \"serial_uncached_ms\": %.3f,\n"
-            "  \"serial_cached_ms\": %.3f,\n"
-            "  \"parallel_cached_ms\": %.3f,\n"
-            "  \"speedup_cache\": %.3f,\n"
-            "  \"speedup_total\": %.3f,\n"
-            "  \"mapper_hits\": %llu,\n"
-            "  \"mapper_misses\": %llu,\n"
-            "  \"reports_identical\": %s\n"
-            "}\n",
-            buildStampJson().c_str(), p.jobs, p.batches,
-            static_cast<long>(p.batchSize),
-            workloads.size() * designs.size(), base.wallMs,
-            cached.wallMs, parallel.wallMs,
-            base.wallMs / cached.wallMs,
-            base.wallMs / parallel.wallMs,
-            static_cast<unsigned long long>(cached.mapperHits),
-            static_cast<unsigned long long>(cached.mapperMisses),
-            eqCached && eqParallel ? "true" : "false");
-        out << buf;
+        std::ostringstream os;
+        os << "{\n  \"bench\": \"perf_selfcheck\",\n  "
+           << buildStampJson() << ",\n  \"jobs\": " << p.jobs
+           << ",\n  \"batches\": " << p.batches
+           << ",\n  \"batch_size\": " << p.batchSize
+           << ",\n  \"runs\": " << workloads.size() * designs.size()
+           << ",\n  \"serial_uncached_ms\": " << base.wallMs
+           << ",\n  \"serial_cached_ms\": " << cached.wallMs
+           << ",\n  \"parallel_cached_ms\": " << parallel.wallMs
+           << ",\n  \"speedup_cache\": "
+           << base.wallMs / cached.wallMs
+           << ",\n  \"speedup_total\": "
+           << base.wallMs / parallel.wallMs
+           << ",\n  \"mapper_hits\": " << cached.mapperHits
+           << ",\n  \"mapper_misses\": " << cached.mapperMisses
+           << ",\n  \"store_hits\": " << cached.storeHits
+           << ",\n  \"store_misses\": " << cached.storeMisses
+           << ",\n  \"exec_hits\": " << cached.execHits
+           << ",\n  \"exec_misses\": " << cached.execMisses
+           << ",\n  \"reports_identical\": "
+           << (eqCached && eqParallel ? "true" : "false")
+           << ",\n  \"reconfig\": [\n";
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const ReconfigResult &r = reconfigs[i];
+            os << "    {\"workload\": \"" << workloads[i].name
+               << "\", \"cold_ms\": " << r.coldMs
+               << ", \"cold_parallel_ms\": " << r.coldParallelMs
+               << ", \"warm_ms\": " << r.warmMs << ", \"speedup\": "
+               << (r.warmMs > 0.0 ? r.coldMs / r.warmMs : 0.0)
+               << ", \"store_hits\": " << r.storeHits
+               << ", \"store_misses\": " << r.storeMisses
+               << ", \"schedules_identical\": "
+               << (r.identical ? "true" : "false") << "}"
+               << (i + 1 < workloads.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n  \"reconfig_cold_ms\": " << coldSum
+           << ",\n  \"reconfig_cold_parallel_ms\": " << coldParSum
+           << ",\n  \"reconfig_warm_ms\": " << warmSum
+           << ",\n  \"reconfig_speedup\": " << bestSpeedup
+           << ",\n  \"schedules_identical\": "
+           << (schedulesIdentical ? "true" : "false")
+           << ",\n  \"engine_uncached_ms\": " << eng.uncachedMs
+           << ",\n  \"engine_memo_ms\": " << eng.memoMs
+           << ",\n  \"engine_speedup\": "
+           << (eng.memoMs > 0.0 ? eng.uncachedMs / eng.memoMs : 0.0)
+           << ",\n  \"engine_identical\": "
+           << (eng.identical ? "true" : "false") << "\n}\n";
+        out << os.str();
     }
     std::printf("Wrote %s\n", jsonPath.c_str());
 
-    if (!eqCached || !eqParallel) {
-        std::printf("\nFAIL: optimized sweep reports diverge from "
-                    "the seed path\n");
+    const bool pass = eqCached && eqParallel && schedulesIdentical &&
+                      eng.identical && warmFaster;
+    if (!pass) {
+        std::printf("\nFAIL:%s%s%s%s\n",
+                    !eqCached || !eqParallel
+                        ? " sweep reports diverge from the seed path;"
+                        : "",
+                    !schedulesIdentical
+                        ? " warm-built schedules differ from cold;"
+                        : "",
+                    !eng.identical
+                        ? " exec-memo results diverge;"
+                        : "",
+                    !warmFaster
+                        ? " warm re-schedules not faster than cold;"
+                        : "");
         return 1;
     }
-    std::printf("\nPASS: cached and parallel sweeps are "
-                "report-identical to the seed path\n");
+    std::printf("\nPASS: cached/parallel sweeps, warm re-schedules "
+                "and the exec memo are all equivalent to the seed "
+                "path, and warm re-schedules are faster than cold\n");
     return 0;
 }

@@ -15,25 +15,31 @@ using graph::OpNode;
 
 namespace {
 
-/** Aggregate cost of one stage execution (possibly multi-pass). */
-struct ExecCost
+/** One FNV-1a step over a 64-bit word. */
+std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t word)
 {
-    Cycles cycles = 0;
-    MacCount useful = 0;
-    MacCount issued = 0;
-    Bytes spill = 0;
-    Bytes sram = 0;
-};
+    for (int i = 0; i < 8; ++i) {
+        h ^= (word >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
 
-ExecCost
-accumulate(ExecCost acc, const KernelCost &c)
+/** Exec-memo key: (op, tile count, executed value) packed into 64
+ * bits. The fitting / worst-case / exact-kernel policy flags are
+ * engine constants, so they need no key bits. */
+std::uint64_t
+execMemoKey(OpId op, int tiles, std::int64_t v_exec)
 {
-    acc.cycles += c.cycles;
-    acc.useful += c.usefulMacs;
-    acc.issued += c.issuedMacs;
-    acc.spill += c.dramSpillBytes;
-    acc.sram += c.sramBytes;
-    return acc;
+    ADYNA_ASSERT(op < (1u << 16) && tiles >= 0 && tiles < (1 << 16) &&
+                     v_exec >= 0 &&
+                     v_exec < (std::int64_t{1} << 32),
+                 "exec memo key overflow: op ", op, " tiles ", tiles,
+                 " v ", v_exec);
+    return (static_cast<std::uint64_t>(op) << 48) |
+           (static_cast<std::uint64_t>(tiles) << 32) |
+           static_cast<std::uint64_t>(v_exec);
 }
 
 /** Per-row output bytes of an op given its fused output dims. */
@@ -57,6 +63,35 @@ perRowWork(const OpNode &node, const costmodel::TechParams &tech)
 }
 
 } // namespace
+
+Engine::ExecCost
+Engine::accumulate(ExecCost acc, const KernelCost &c)
+{
+    acc.cycles += c.cycles;
+    acc.useful += c.usefulMacs;
+    acc.issued += c.issuedMacs;
+    acc.spill += c.dramSpillBytes;
+    acc.sram += c.sramBytes;
+    return acc;
+}
+
+std::uint64_t
+Engine::storeSignature(const Schedule &schedule)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const Segment &seg : schedule.segments) {
+        for (const StageAssign &st : seg.stages) {
+            h = fnvMix(h, st.op);
+            for (const auto &[count, store] : st.stores) {
+                h = fnvMix(h, static_cast<std::uint64_t>(count));
+                for (const kernels::Kernel &k : store.kernels())
+                    h = fnvMix(h,
+                               static_cast<std::uint64_t>(k.value));
+            }
+        }
+    }
+    return h;
+}
 
 Engine::Engine(const graph::DynGraph &dg, arch::HwConfig hw,
                costmodel::Mapper &mapper, ExecPolicy policy)
@@ -131,6 +166,8 @@ Engine::planSegmentLegacy(const Schedule &schedule,
 
     for (std::size_t si = 0; si < seg.stages.size(); ++si) {
         const OpId op = seg.stages[si].op;
+        plans[si].perRowWork =
+            perRowWork(dg_.graph().node(op), hw_.tech);
         std::vector<std::pair<OpId, bool>> producers;
         resolve(op, producers);
         for (const auto &[pid, crossed] : producers) {
@@ -200,6 +237,8 @@ Engine::planSegmentIndexed(const Schedule &schedule,
 
     for (std::size_t si = 0; si < seg.stages.size(); ++si) {
         const OpId op = seg.stages[si].op;
+        plans[si].perRowWork =
+            perRowWork(dg_.graph().node(op), hw_.tech);
         for (const auto &[pid, crossed] : pindex_.producers[op]) {
             Edge e;
             e.producerOp = pid;
@@ -279,6 +318,17 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
     const std::size_t numBatches = batches.size();
     result.batchEnds.assign(numBatches, barrier);
 
+    // Memoized exec costs are valid only against the kernel stores
+    // they were dispatched from; a re-schedule (new stores) drops
+    // them.
+    if (policy_.execCostMemo) {
+        const std::uint64_t sig = storeSignature(schedule);
+        if (sig != execMemoSig_) {
+            execMemo_.clear();
+            execMemoSig_ = sig;
+        }
+    }
+
     const auto snake = arch::snakeTileOrder(hw_);
     // Switch/merge on the host CPU (M-tenant): a serial processor
     // that executes routing tasks in time order (gap-filling, one
@@ -343,20 +393,18 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
             if (policy_.tileSharing) {
                 for (std::size_t p = 0; p < seg.pairs.size(); ++p) {
                     const SharePair &pair = seg.pairs[p];
-                    const OpNode &na = dg_.graph().node(
-                        seg.stages[static_cast<std::size_t>(
-                                       pair.stageA)]
-                            .op);
-                    const OpNode &nb = dg_.graph().node(
-                        seg.stages[static_cast<std::size_t>(
-                                       pair.stageB)]
-                            .op);
+                    const std::size_t ia =
+                        static_cast<std::size_t>(pair.stageA);
+                    const std::size_t ib =
+                        static_cast<std::size_t>(pair.stageB);
                     const double loadA =
-                        static_cast<double>(vExecOf(na.id)) *
-                        perRowWork(na, hw_.tech);
+                        static_cast<double>(
+                            vExecOf(seg.stages[ia].op)) *
+                        plans[ia].perRowWork;
                     const double loadB =
-                        static_cast<double>(vExecOf(nb.id)) *
-                        perRowWork(nb, hw_.tech);
+                        static_cast<double>(
+                            vExecOf(seg.stages[ib].op)) *
+                        plans[ib].perRowWork;
                     double best = -1.0;
                     for (int c = 0; c < 3; ++c) {
                         const auto [ta, tb] =
@@ -380,13 +428,11 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                 std::vector<double> works(seg.stages.size(), 0.0);
                 double total = 0.0;
                 for (std::size_t si = 0; si < seg.stages.size(); ++si) {
-                    const OpNode &n =
-                        dg_.graph().node(seg.stages[si].op);
                     works[si] =
                         std::max<double>(
-                            1.0, static_cast<double>(
-                                     vExecOf(n.id))) *
-                        perRowWork(n, hw_.tech);
+                            1.0, static_cast<double>(vExecOf(
+                                     seg.stages[si].op))) *
+                        plans[si].perRowWork;
                     total += works[si];
                 }
                 const int T = hw_.tiles();
@@ -484,9 +530,27 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                 }
 
                 // --- kernel selection and cost -----------------------
+                // The accumulated dispatch cost depends only on
+                // (op, vExec, tileCount) given fixed stores, so it
+                // memoizes; the useful-MACs clamp depends on the
+                // per-batch vActual and is applied after the lookup.
                 ExecCost cost;
                 bool rowSplit = true; // consumer splits rows (N)?
-                if (policy_.exactKernels) {
+                bool memoized = false;
+                const std::uint64_t memoKey =
+                    policy_.execCostMemo
+                        ? execMemoKey(st.op, tileCount, vExec)
+                        : 0;
+                if (policy_.execCostMemo) {
+                    const auto it = execMemo_.find(memoKey);
+                    if (it != execMemo_.end()) {
+                        cost = it->second.cost;
+                        rowSplit = it->second.rowSplit;
+                        ++execHits_;
+                        memoized = true;
+                    }
+                }
+                if (!memoized && policy_.exactKernels) {
                     const Mapping m = mapper_.search(
                         node, std::max<std::int64_t>(vExec, 1),
                         tileCount);
@@ -496,7 +560,7 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                         cost, evalKernel(node, m, vExec,
                                          policy_.kernelFitting,
                                          hw_.tech));
-                } else {
+                } else if (!memoized) {
                     const auto storeIt = st.stores.find(tileCount);
                     ADYNA_ASSERT(storeIt != st.stores.end(),
                                  "no kernel store for op ", st.op,
@@ -521,6 +585,13 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                         evalKernel(node, m,
                                    std::max<std::int64_t>(lastRows, 0),
                                    policy_.kernelFitting, hw_.tech));
+                }
+                if (!memoized && policy_.execCostMemo) {
+                    ++execMisses_;
+                    execMemo_.emplace(memoKey,
+                                      ExecEntry{cost, rowSplit});
+                }
+                if (!policy_.exactKernels) {
                     // Useful work never exceeds the actual rows.
                     cost.useful = std::min<MacCount>(
                         cost.useful,
@@ -569,18 +640,22 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                         if (b >= 2)
                             t0 = std::max(t0, ends[si][b - 2]);
                         Tick done = t0;
-                        const Bytes per = bytes /
-                                          static_cast<Bytes>(
-                                              src.size());
                         if (rowSplit) {
                             // Row-split consumer: each destination
-                            // tile receives its own row slice.
+                            // tile receives its own row slice. The
+                            // slices sum exactly to the produced
+                            // bytes (remainder spread one byte per
+                            // leading slice); empty slices move
+                            // nothing.
                             for (std::size_t i = 0; i < src.size();
                                  ++i) {
+                                const Bytes slice = nocSliceBytes(
+                                    bytes, src.size(), i);
+                                if (slice == 0)
+                                    continue;
                                 const auto tr = chip.noc().transfer(
                                     t0, src[i],
-                                    tiles[i % tiles.size()],
-                                    std::max<Bytes>(per, 1));
+                                    tiles[i % tiles.size()], slice);
                                 done = std::max(done, tr.end);
                                 chip.chargeNocEnergy(tr.byteHops);
                             }
@@ -591,9 +666,12 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                             // (Section VI-B's multicast support).
                             for (std::size_t i = 0; i < src.size();
                                  ++i) {
+                                const Bytes slice = nocSliceBytes(
+                                    bytes, src.size(), i);
+                                if (slice == 0)
+                                    continue;
                                 const auto tr = chip.noc().multicast(
-                                    t0, src[i], tiles,
-                                    std::max<Bytes>(per, 1));
+                                    t0, src[i], tiles, slice);
                                 done = std::max(done, tr.end);
                                 chip.chargeNocEnergy(tr.byteHops);
                             }

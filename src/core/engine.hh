@@ -10,7 +10,9 @@
 #ifndef ADYNA_CORE_ENGINE_HH
 #define ADYNA_CORE_ENGINE_HH
 
+#include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/chip.hh"
@@ -65,7 +67,32 @@ struct ExecPolicy
      * equivalence tests).
      */
     bool planCache = true;
+
+    /**
+     * Memoize the accumulated kernel-dispatch cost (the possibly
+     * multi-pass evalKernel chain) per (op, executed value, tile
+     * count). Dynamic values are bucketed draws from a small
+     * discrete set, so the per-batch stage loop keeps redoing
+     * identical cost math; entries are invalidated whenever the
+     * schedule's kernel stores change. Behaviour-preserving; disable
+     * to force the seed per-batch path (used by the equivalence
+     * tests).
+     */
+    bool execCostMemo = true;
 };
+
+/**
+ * Bytes of slice @p i when @p total bytes are split across @p parts
+ * NoC transfers: the first total % parts slices carry one extra byte
+ * so the slices sum exactly to the total (no remainder is dropped).
+ */
+constexpr Bytes
+nocSliceBytes(Bytes total, std::size_t parts, std::size_t i)
+{
+    const Bytes per = total / static_cast<Bytes>(parts);
+    const Bytes rem = total % static_cast<Bytes>(parts);
+    return per + (static_cast<Bytes>(i) < rem ? 1 : 0);
+}
 
 /** Outcome of executing a group of batches. */
 struct PeriodResult
@@ -100,6 +127,11 @@ class Engine
 
     const ExecPolicy &policy() const { return policy_; }
 
+    /** Exec-cost memo statistics (monotone over the engine's life;
+     * the engine is single-threaded, so plain counters suffice). */
+    std::uint64_t execHits() const { return execHits_; }
+    std::uint64_t execMisses() const { return execMisses_; }
+
   private:
     struct Edge
     {
@@ -121,6 +153,30 @@ class Engine
     {
         std::vector<Edge> edges;
         bool writesOut = false;
+
+        /** Single-tile cycles per batch row of the stage op (the
+         * allocation weight); a per-schedule constant hoisted out of
+         * the per-batch tile-sharing / repartition loops. */
+        double perRowWork = 0.0;
+    };
+
+    /** Aggregate cost of one stage execution (possibly multi-pass). */
+    struct ExecCost
+    {
+        Cycles cycles = 0;
+        MacCount useful = 0;
+        MacCount issued = 0;
+        Bytes spill = 0;
+        Bytes sram = 0;
+    };
+
+    /** One exec-cost memo entry: the accumulated dispatch cost
+     * (before the per-batch useful-MACs clamp) plus the selected
+     * mapping's row-split property. */
+    struct ExecEntry
+    {
+        ExecCost cost;
+        bool rowSplit = true;
     };
 
     /**
@@ -168,6 +224,15 @@ class Engine
     const std::vector<std::vector<StagePlan>> &
     cachedPlans(const Schedule &schedule);
 
+    static ExecCost accumulate(ExecCost acc,
+                               const costmodel::KernelCost &c);
+
+    /** Identity of the kernel stores memoized exec costs depend on:
+     * a hash over every stage's op, tile counts, and compiled
+     * values (mappings and images derive deterministically from
+     * those plus the fixed tech parameters). */
+    static std::uint64_t storeSignature(const Schedule &schedule);
+
     const graph::DynGraph &dg_;
     arch::HwConfig hw_; // by value: small, and callers may pass
                         // temporaries
@@ -188,6 +253,13 @@ class Engine
 
     /** Last M-tenant partition (per-batch repartition hysteresis). */
     std::vector<int> repartCount_;
+
+    /** Exec-cost memo keyed by packed (op, tile count, executed
+     * value); cleared when the schedule's stores change. */
+    std::unordered_map<std::uint64_t, ExecEntry> execMemo_;
+    std::uint64_t execMemoSig_ = 0;
+    std::uint64_t execHits_ = 0;
+    std::uint64_t execMisses_ = 0;
 };
 
 } // namespace adyna::core

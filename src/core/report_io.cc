@@ -83,6 +83,19 @@ toJson(const std::vector<RunReport> &reports, bool include_batches)
 }
 
 std::string
+cacheStatsJson(const RunReport &r)
+{
+    std::ostringstream os;
+    os << "{\"mapper_hits\":" << r.mapperHits << ","
+       << "\"mapper_misses\":" << r.mapperMisses << ","
+       << "\"store_hits\":" << r.storeHits << ","
+       << "\"store_misses\":" << r.storeMisses << ","
+       << "\"exec_hits\":" << r.execHits << ","
+       << "\"exec_misses\":" << r.execMisses << "}";
+    return os.str();
+}
+
+std::string
 csvHeader()
 {
     return "workload,design,cycles,time_ms,batches_per_second,"

@@ -27,6 +27,15 @@ std::string toJson(const RunReport &report,
 std::string toJson(const std::vector<RunReport> &reports,
                    bool include_batches = false);
 
+/**
+ * Serialize the run's cache counters (mapper memo, kernel-store
+ * cache, exec-cost memo) as one JSON object. Kept out of toJson()
+ * deliberately: the counters depend on cache state and job
+ * interleaving, and the machine-readable reports must stay
+ * byte-identical across cache settings (the equivalence gates).
+ */
+std::string cacheStatsJson(const RunReport &report);
+
 /** CSV header matching toCsvRow(). */
 std::string csvHeader();
 

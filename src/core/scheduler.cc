@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "kernels/store.hh"
+#include "kernels/store_cache.hh"
 
 namespace adyna::core {
 
@@ -193,15 +195,18 @@ Scheduler::build(const std::map<OpId, double> &expectations,
         std::map<OpId, int> groupOf; // op -> unit group id
         int nextGroup = 0;
         if (cfg_.branchGrouping && profiler) {
+            // Membership test built once per segment; the linear
+            // std::find scan here made grouping O(stages^2) per
+            // switch branch.
+            const std::unordered_set<OpId> segSet(segOps.begin(),
+                                                  segOps.end());
             for (const SwitchInfo &sw : dg_.switches()) {
                 std::vector<int> lowBranches;
                 for (int b = 0; b < sw.numBranches(); ++b) {
                     bool hasStage = false;
                     for (OpId op : sw.branches[static_cast<
                              std::size_t>(b)])
-                        hasStage |=
-                            std::find(segOps.begin(), segOps.end(),
-                                      op) != segOps.end();
+                        hasStage |= segSet.count(op) != 0;
                     if (!hasStage)
                         continue;
                     if (profiler->branchActivity(sw.switchOp, b) <
@@ -453,7 +458,21 @@ Scheduler::build(const std::map<OpId, double> &expectations,
             }
         }
 
-        // ---- kernel stores ----------------------------------------------
+        schedule.segments.push_back(std::move(seg));
+    }
+
+    // ---- kernel stores -------------------------------------------
+    // Phase 1 (serial): the value set and tile counts each stage
+    // needs, across every segment, so phase 2 can compile all stages
+    // concurrently.
+    struct StoreJob
+    {
+        StageAssign *stage = nullptr;
+        std::vector<std::int64_t> values;
+        std::vector<int> counts;
+    };
+    std::vector<StoreJob> storeJobs;
+    for (Segment &seg : schedule.segments) {
         for (StageAssign &st : seg.stages) {
             const OpNode &node = dg_.graph().node(st.op);
 
@@ -518,23 +537,40 @@ Scheduler::build(const std::map<OpId, double> &expectations,
                     std::unique(counts.begin(), counts.end()),
                     counts.end());
             }
-            for (int count : counts) {
-                kernels::KernelStore store;
-                for (std::int64_t v : clean) {
-                    kernels::Kernel k;
-                    k.value = v;
-                    k.mapping = mapper_.search(node, v, count);
-                    // The 128-byte image the tile buffers (Fig. 8);
-                    // the dispatcher decodes it at selection time.
-                    k.image = kernels::encodeKernel(
-                        k.mapping, node.stride, hw_.tech);
-                    store.add(std::move(k));
-                }
-                st.stores.emplace(count, std::move(store));
+            storeJobs.push_back(
+                {&st, std::move(clean), std::move(counts)});
+        }
+    }
+
+    // Phase 2 (parallel when a pool is attached): fetch or compile
+    // each stage's stores. Each job writes only its own stage, and
+    // both the Mapper memo and the store cache are thread-safe, so
+    // the jobs are independent; compilation is deterministic, so the
+    // schedule is identical whichever path produced each store.
+    kernels::KernelStoreCache *cache =
+        cfg_.storeCache ? storeCache_ : nullptr;
+    const auto buildStores = [&](std::size_t i) {
+        StoreJob &job = storeJobs[i];
+        const OpNode &node = dg_.graph().node(job.stage->op);
+        for (int count : job.counts) {
+            if (cache) {
+                job.stage->stores.emplace(
+                    count,
+                    *cache->getOrCompile(node, job.values, count,
+                                         mapper_, hw_.tech));
+            } else {
+                job.stage->stores.emplace(
+                    count,
+                    kernels::compileStore(node, job.values, count,
+                                          mapper_, hw_.tech));
             }
         }
-
-        schedule.segments.push_back(std::move(seg));
+    };
+    if (pool_ && pool_->jobs() > 1) {
+        pool_->parallelFor(storeJobs.size(), buildStores);
+    } else {
+        for (std::size_t i = 0; i < storeJobs.size(); ++i)
+            buildStores(i);
     }
     return schedule;
 }

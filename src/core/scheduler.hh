@@ -13,9 +13,11 @@
 
 #include "arch/hwconfig.hh"
 #include "arch/profiler.hh"
+#include "common/parallel.hh"
 #include "core/schedule.hh"
 #include "costmodel/mapper.hh"
 #include "graph/dyngraph.hh"
+#include "kernels/store_cache.hh"
 
 namespace adyna::core {
 
@@ -40,6 +42,11 @@ struct SchedulerConfig
     /** Use worst-case (maximum) sizes everywhere: the M-tile
      * baseline's static scheduling. */
     bool worstCase = false;
+
+    /** Reuse compiled kernel stores across (re-)schedules through a
+     * KernelStoreCache (set via Scheduler::setStoreCache). Off means
+     * every build() recompiles every store from scratch. */
+    bool storeCache = true;
 };
 
 /** Builds schedules for one dynamic operator graph on one chip. */
@@ -74,6 +81,25 @@ class Scheduler
 
     const SchedulerConfig &config() const { return cfg_; }
 
+    /**
+     * Use @p cache to reuse compiled kernel stores across builds
+     * (honoured only while cfg_.storeCache is set). nullptr restores
+     * the compile-from-scratch path. The cache must outlive the
+     * scheduler.
+     */
+    void setStoreCache(kernels::KernelStoreCache *cache)
+    {
+        storeCache_ = cache;
+    }
+
+    /**
+     * Build per-stage kernel stores concurrently on @p pool. nullptr
+     * (the default) builds serially; results are identical either
+     * way because store compilation is deterministic per stage. The
+     * pool must outlive the scheduler.
+     */
+    void setThreadPool(ThreadPool *pool) { pool_ = pool; }
+
   private:
     /** Ops that become pipeline stages (compute + standalone vector
      * ops), topologically ordered. */
@@ -91,6 +117,8 @@ class Scheduler
                         // temporaries
     costmodel::Mapper &mapper_;
     SchedulerConfig cfg_;
+    kernels::KernelStoreCache *storeCache_ = nullptr;
+    ThreadPool *pool_ = nullptr;
 };
 
 } // namespace adyna::core

@@ -36,6 +36,18 @@ System::setSharedMapper(costmodel::Mapper *mapper)
     sharedMapper_ = mapper;
 }
 
+void
+System::setSharedStoreCache(kernels::KernelStoreCache *cache)
+{
+    sharedStoreCache_ = cache;
+}
+
+void
+System::setSchedulerPool(ThreadPool *pool)
+{
+    schedulerPool_ = pool;
+}
+
 RunReport
 System::run()
 {
@@ -47,7 +59,17 @@ System::run()
     const std::uint64_t hits0 = mapper.hits();
     const std::uint64_t misses0 = mapper.misses();
 
+    kernels::KernelStoreCache &storeCache =
+        sharedStoreCache_ ? *sharedStoreCache_
+                          : kernels::KernelStoreCache::global();
+    const std::uint64_t sHits0 = storeCache.hits();
+    const std::uint64_t sMisses0 = storeCache.misses();
+
     Scheduler scheduler(dg_, hw_, mapper, schedCfg_);
+    scheduler.setStoreCache(&storeCache); // no-op unless storeCache
+                                          // is configured on
+    if (schedulerPool_)
+        scheduler.setThreadPool(schedulerPool_);
     Engine engine(dg_, hw_, mapper, policy_);
     arch::Chip chip(hw_);
     arch::Profiler profiler;
@@ -179,6 +201,12 @@ System::run()
     report.issuedMacs = chip.issuedMacs();
     report.mapperHits = mapper.hits() - hits0;
     report.mapperMisses = mapper.misses() - misses0;
+    if (schedCfg_.storeCache) {
+        report.storeHits = storeCache.hits() - sHits0;
+        report.storeMisses = storeCache.misses() - sMisses0;
+    }
+    report.execHits = engine.execHits();
+    report.execMisses = engine.execMisses();
     return report;
 }
 

@@ -83,6 +83,18 @@ struct RunReport
     std::uint64_t mapperHits = 0;
     std::uint64_t mapperMisses = 0;
 
+    /** Kernel-store cache lookups attributed to this run (same
+     * best-effort snapshot-delta semantics and exporter exclusion as
+     * the mapper counters; zero when the cache is disabled). */
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+
+    /** Engine exec-cost memo lookups (exact: the engine is private
+     * to the run; zero when the memo is disabled). Excluded from the
+     * exporters like the other cache counters. */
+    std::uint64_t execHits = 0;
+    std::uint64_t execMisses = 0;
+
     /** Per-batch completion times. */
     std::vector<Tick> batchEnds;
 
@@ -121,6 +133,25 @@ class System
      */
     void setSharedMapper(costmodel::Mapper *mapper);
 
+    /**
+     * Use @p cache instead of the process-wide
+     * KernelStoreCache::global() for compiled kernel-store reuse
+     * (honoured only while SchedulerConfig::storeCache is set). Must
+     * outlive the run; pass nullptr to restore the global cache.
+     * Results are unaffected; only wall-clock and the cache counters
+     * change.
+     */
+    void setSharedStoreCache(kernels::KernelStoreCache *cache);
+
+    /**
+     * Build per-stage kernel stores on @p pool during (re-)schedules
+     * instead of serially on the run's thread. The pool must outlive
+     * the run; nullptr restores serial builds. Nested parallelFor
+     * degrades to inline execution, so a System already running as a
+     * pool task may safely receive the same pool.
+     */
+    void setSchedulerPool(ThreadPool *pool);
+
     const arch::HwConfig &hwConfig() const { return hw_; }
 
   private:
@@ -133,6 +164,8 @@ class System
     std::string designName_;
     std::vector<trace::BatchRouting> replay_;
     costmodel::Mapper *sharedMapper_ = nullptr;
+    kernels::KernelStoreCache *sharedStoreCache_ = nullptr;
+    ThreadPool *schedulerPool_ = nullptr;
 };
 
 } // namespace adyna::core

@@ -45,7 +45,7 @@ recordRequest(arch::Profiler &prof, const graph::DynGraph &dg,
 std::string
 toJson(const ServeReport &r)
 {
-    char buf[1536];
+    char buf[2048];
     std::snprintf(
         buf, sizeof(buf),
         "{\"workload\": \"%s\", \"mode\": \"%s\", "
@@ -57,7 +57,10 @@ toJson(const ServeReport &r)
         "\"slo_attainment\": %.4f, \"goodput_rps\": %.2f, "
         "\"reschedules\": %d, \"drift_windows\": %d, "
         "\"last_drift_l1\": %.4f, \"drift_threshold\": %.4f, "
-        "\"horizon_ticks\": %llu}",
+        "\"horizon_ticks\": %llu, "
+        "\"mapper_hits\": %llu, \"mapper_misses\": %llu, "
+        "\"store_hits\": %llu, \"store_misses\": %llu, "
+        "\"exec_hits\": %llu, \"exec_misses\": %llu}",
         r.workload.c_str(), r.mode.c_str(),
         static_cast<unsigned long long>(r.requests),
         static_cast<unsigned long long>(r.batches), r.meanBatchSize,
@@ -65,7 +68,13 @@ toJson(const ServeReport &r)
         r.meanMs, r.maxMs, r.meanQueueMs, r.sloAttainment,
         r.goodputRps, r.reschedules, r.driftWindows,
         r.lastDriftDistance, r.driftThreshold,
-        static_cast<unsigned long long>(r.horizonTicks));
+        static_cast<unsigned long long>(r.horizonTicks),
+        static_cast<unsigned long long>(r.mapperHits),
+        static_cast<unsigned long long>(r.mapperMisses),
+        static_cast<unsigned long long>(r.storeHits),
+        static_cast<unsigned long long>(r.storeMisses),
+        static_cast<unsigned long long>(r.execHits),
+        static_cast<unsigned long long>(r.execMisses));
     return buf;
 }
 
@@ -95,6 +104,18 @@ ServeRuntime::setSharedMapper(costmodel::Mapper *mapper)
     sharedMapper_ = mapper;
 }
 
+void
+ServeRuntime::setSharedStoreCache(kernels::KernelStoreCache *cache)
+{
+    sharedStoreCache_ = cache;
+}
+
+void
+ServeRuntime::setSchedulerPool(ThreadPool *pool)
+{
+    schedulerPool_ = pool;
+}
+
 ServeReport
 ServeRuntime::run()
 {
@@ -103,8 +124,20 @@ ServeRuntime::run()
         localMapper.emplace(hw_.tech);
     costmodel::Mapper &mapper =
         sharedMapper_ ? *sharedMapper_ : *localMapper;
+    const std::uint64_t mHits0 = mapper.hits();
+    const std::uint64_t mMisses0 = mapper.misses();
+
+    kernels::KernelStoreCache &storeCache =
+        sharedStoreCache_ ? *sharedStoreCache_
+                          : kernels::KernelStoreCache::global();
+    const std::uint64_t sHits0 = storeCache.hits();
+    const std::uint64_t sMisses0 = storeCache.misses();
 
     core::Scheduler scheduler(dg_, hw_, mapper, schedCfg_);
+    scheduler.setStoreCache(&storeCache); // no-op unless storeCache
+                                          // is configured on
+    if (schedulerPool_)
+        scheduler.setThreadPool(schedulerPool_);
     core::Engine engine(dg_, hw_, mapper, policy_);
     arch::Chip chip(hw_);
 
@@ -327,6 +360,14 @@ ServeRuntime::run()
     report.driftWindows = driftWindows;
     report.lastDriftDistance = monitor.lastDistance();
     report.driftThreshold = monitor.effectiveThreshold();
+    report.mapperHits = mapper.hits() - mHits0;
+    report.mapperMisses = mapper.misses() - mMisses0;
+    if (schedCfg_.storeCache) {
+        report.storeHits = storeCache.hits() - sHits0;
+        report.storeMisses = storeCache.misses() - sMisses0;
+    }
+    report.execHits = engine.execHits();
+    report.execMisses = engine.execMisses();
     return report;
 }
 

@@ -105,6 +105,21 @@ struct ServeReport
     int driftWindows = 0;
     double lastDriftDistance = 0.0;
 
+    /**
+     * Cache counters of the serving run: mapper memo and
+     * kernel-store cache lookups (best-effort snapshot deltas when
+     * the cache is shared across concurrent runtimes) plus the
+     * engine's exec-cost memo (exact). Store counters stay zero when
+     * SchedulerConfig::storeCache is off; warm store hits are what
+     * make drift-triggered re-schedules cheap.
+     */
+    std::uint64_t mapperHits = 0;
+    std::uint64_t mapperMisses = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t execHits = 0;
+    std::uint64_t execMisses = 0;
+
     /** Noise-calibrated trigger threshold the monitor settled on. */
     double driftThreshold = 0.0;
 
@@ -134,6 +149,15 @@ class ServeRuntime
      * contract as System::setSharedMapper). */
     void setSharedMapper(costmodel::Mapper *mapper);
 
+    /** Use @p cache instead of KernelStoreCache::global() for
+     * compiled-store reuse (same contract as
+     * System::setSharedStoreCache). */
+    void setSharedStoreCache(kernels::KernelStoreCache *cache);
+
+    /** Build per-stage kernel stores on @p pool during (re-)schedules
+     * (same contract as System::setSchedulerPool). */
+    void setSchedulerPool(ThreadPool *pool);
+
     /** Serve ServeConfig::numRequests requests and report. */
     ServeReport run();
 
@@ -146,6 +170,8 @@ class ServeRuntime
     ServeConfig cfg_;
     std::string workloadName_;
     costmodel::Mapper *sharedMapper_ = nullptr;
+    kernels::KernelStoreCache *sharedStoreCache_ = nullptr;
+    ThreadPool *schedulerPool_ = nullptr;
 };
 
 } // namespace adyna::serve

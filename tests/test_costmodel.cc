@@ -265,6 +265,36 @@ TEST(Mapper, CacheHitsOnRepeatedQueries)
     EXPECT_EQ(mapper.hits(), before + 1);
 }
 
+TEST(Mapper, MemoKeyIgnoresBatchExtent)
+{
+    // The memo key zeroes the N extent: the searched value overrides
+    // the batch size, so ops differing only in N share one entry.
+    Mapper mapper(tech());
+    (void)mapper.search(matmulOp(128, 256, 256), 64, 4);
+    const auto before = mapper.hits();
+    (void)mapper.search(matmulOp(512, 256, 256), 64, 4);
+    EXPECT_EQ(mapper.hits(), before + 1);
+    EXPECT_EQ(mapper.misses(), 1u);
+}
+
+TEST(Mapper, MemoKeyDistinguishesStrideAndDtype)
+{
+    // Stride and dtype change the mapping search (halo traffic,
+    // scratchpad footprint), so each must get its own memo entry.
+    Mapper mapper(tech());
+    (void)mapper.search(convOp(8, 64, 64, 28, 28, 3, 3, 1), 8, 4);
+    (void)mapper.search(convOp(8, 64, 64, 28, 28, 3, 3, 2), 8, 4);
+    EXPECT_EQ(mapper.hits(), 0u);
+    EXPECT_EQ(mapper.misses(), 2u);
+
+    OpNode fp32 = matmulOp(128, 256, 256);
+    fp32.dtypeBytes = 4;
+    (void)mapper.search(matmulOp(128, 256, 256), 64, 4);
+    (void)mapper.search(fp32, 64, 4);
+    EXPECT_EQ(mapper.hits(), 0u);
+    EXPECT_EQ(mapper.misses(), 4u);
+}
+
 TEST(Mapper, DifferentValuesAreDifferentKernels)
 {
     Mapper mapper(tech());

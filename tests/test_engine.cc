@@ -56,6 +56,28 @@ routings(const DynGraph &dg, std::int64_t batch, int n,
     return out;
 }
 
+TEST(Engine, NocSlicesCoverEveryByte)
+{
+    // The per-source NoC slices must partition the transfer exactly:
+    // no byte dropped to integer division, and balanced to within
+    // one byte. (The seed's `bytes / parts` lost the remainder.)
+    for (Bytes total : {Bytes{0}, Bytes{1}, Bytes{7}, Bytes{4096},
+                        Bytes{100003}}) {
+        for (std::size_t parts : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{12}}) {
+            Bytes sum = 0, lo = total + 1, hi = 0;
+            for (std::size_t i = 0; i < parts; ++i) {
+                const Bytes s = nocSliceBytes(total, parts, i);
+                sum += s;
+                lo = std::min(lo, s);
+                hi = std::max(hi, s);
+            }
+            EXPECT_EQ(sum, total) << total << "/" << parts;
+            EXPECT_LE(hi - lo, 1u) << total << "/" << parts;
+        }
+    }
+}
+
 TEST(Engine, PipelineOverlapsBatches)
 {
     const DynGraph dg = staticPipe(64);

@@ -1,9 +1,11 @@
 /**
  * @file
  * Behaviour-preservation tests for the perf optimizations: the
- * schedule-plan cache (with the precomputed producer index) and the
- * sweep-shared mapper must produce byte-identical run reports to the
- * seed path (legacy per-period planner, private per-run mapper) on
+ * schedule-plan cache (with the precomputed producer index), the
+ * sweep-shared mapper, the kernel-store cache, and the engine's
+ * exec-cost memo must all produce byte-identical run reports to the
+ * seed path (legacy per-period planner, private per-run mapper,
+ * compile-from-scratch stores, unmemoized kernel evaluation) on
  * every workload and on the non-default execution policies
  * (worst-case execution, pipelining off).
  */
@@ -18,6 +20,7 @@
 #include "core/report_io.hh"
 #include "core/system.hh"
 #include "graph/parser.hh"
+#include "kernels/store_cache.hh"
 #include "models/models.hh"
 
 namespace {
@@ -25,25 +28,43 @@ namespace {
 using namespace adyna;
 using baselines::Design;
 
-/** Serialized report (with per-batch series) for one run. The
- * mapper cache counters are not serialized, so this captures exactly
- * the simulation-visible outputs. */
+/** Which cache layers a run enables. The default is the seed path:
+ * everything off, so each test states exactly what it turns on. */
+struct RunCfg
+{
+    bool planCache = false;
+    bool storeCache = false;
+    bool execMemo = false;
+};
+
+/** Serialized report (with per-batch series) for one run. The cache
+ * counters are not serialized, so this captures exactly the
+ * simulation-visible outputs. @p shared / @p stores, when non-null,
+ * share mapper-memo / compiled-store state across runs; passing a
+ * test-local store cache also keeps tests independent of the
+ * process-global cache. */
 std::string
 runReport(const std::string &workload, Design design, int batches,
-          bool plan_cache, costmodel::Mapper *shared)
+          const RunCfg &cfg, costmodel::Mapper *shared = nullptr,
+          kernels::KernelStoreCache *stores = nullptr)
 {
     const arch::HwConfig hw;
     const auto bundle = models::buildByName(workload, 64);
     const auto dg = graph::parseModel(bundle.graph);
-    trace::TraceConfig cfg = bundle.traceConfig;
-    cfg.batchSize = 64;
+    trace::TraceConfig tc = bundle.traceConfig;
+    tc.batchSize = 64;
+    auto scfg = baselines::schedulerConfig(design);
+    scfg.storeCache = cfg.storeCache;
     auto pol = baselines::execPolicy(design);
-    pol.planCache = plan_cache;
-    core::System sys(dg, cfg, hw, baselines::schedulerConfig(design),
-                     pol, baselines::runOptions(design, batches, 1),
+    pol.planCache = cfg.planCache;
+    pol.execCostMemo = cfg.execMemo;
+    core::System sys(dg, tc, hw, scfg, pol,
+                     baselines::runOptions(design, batches, 1),
                      baselines::designName(design));
     if (shared)
         sys.setSharedMapper(shared);
+    if (stores)
+        sys.setSharedStoreCache(stores);
     return core::toJson(sys.run(), /*include_batches=*/true);
 }
 
@@ -55,10 +76,10 @@ runReport(const std::string &workload, Design design, int batches,
 TEST(Equivalence, PlanCacheMatchesLegacyPlannerAllWorkloads)
 {
     for (const auto &name : models::workloadNames()) {
-        const auto legacy = runReport(name, Design::Adyna, 45,
-                                      /*plan_cache=*/false, nullptr);
+        const auto legacy =
+            runReport(name, Design::Adyna, 45, RunCfg{});
         const auto cached = runReport(name, Design::Adyna, 45,
-                                      /*plan_cache=*/true, nullptr);
+                                      RunCfg{.planCache = true});
         EXPECT_EQ(legacy, cached) << "workload " << name;
     }
 }
@@ -70,27 +91,67 @@ TEST(Equivalence, SharedMapperMatchesPrivateMapper)
     const arch::HwConfig hw;
     costmodel::Mapper shared(hw.tech);
     for (const auto &name : models::workloadNames()) {
-        const auto priv = runReport(name, Design::Adyna, 20,
-                                    /*plan_cache=*/false, nullptr);
-        const auto shr = runReport(name, Design::Adyna, 20,
-                                   /*plan_cache=*/false, &shared);
+        const auto priv =
+            runReport(name, Design::Adyna, 20, RunCfg{});
+        const auto shr = runReport(name, Design::Adyna, 20, RunCfg{},
+                                   &shared);
         EXPECT_EQ(priv, shr) << "workload " << name;
     }
     // The second run of each workload hits the warm memo.
     EXPECT_GT(shared.hits(), 0u);
 }
 
-/** Both optimizations together, re-using one mapper across designs
- * and workloads the way the bench sweeps do. */
+/** Kernel-store cache alone: cold (first run populates the cache)
+ * and warm (second run hits it) must both match the
+ * compile-from-scratch path on every workload. */
+TEST(Equivalence, StoreCacheMatchesScratchCompile)
+{
+    kernels::KernelStoreCache stores;
+    for (const auto &name : models::workloadNames()) {
+        const auto seed = runReport(name, Design::Adyna, 20,
+                                    RunCfg{});
+        const auto cold = runReport(name, Design::Adyna, 20,
+                                    RunCfg{.storeCache = true},
+                                    nullptr, &stores);
+        const auto warm = runReport(name, Design::Adyna, 20,
+                                    RunCfg{.storeCache = true},
+                                    nullptr, &stores);
+        EXPECT_EQ(seed, cold) << "workload " << name;
+        EXPECT_EQ(seed, warm) << "workload " << name;
+    }
+    EXPECT_GT(stores.hits(), 0u);
+    EXPECT_GT(stores.misses(), 0u);
+}
+
+/** Exec-cost memo alone: memoized kernel evaluation must reproduce
+ * the per-batch series exactly on every workload (the memo caches
+ * pre-clamp costs, so the per-batch useful-MAC clamp still sees
+ * every actual value). */
+TEST(Equivalence, ExecMemoMatchesUnmemoized)
+{
+    for (const auto &name : models::workloadNames()) {
+        const auto seed = runReport(name, Design::Adyna, 45,
+                                    RunCfg{});
+        const auto memo = runReport(name, Design::Adyna, 45,
+                                    RunCfg{.execMemo = true});
+        EXPECT_EQ(seed, memo) << "workload " << name;
+    }
+}
+
+/** Every layer together, re-using one mapper and one store cache
+ * across runs the way the bench sweeps do. */
 TEST(Equivalence, CachedSweepMatchesSeedPath)
 {
     const arch::HwConfig hw;
     costmodel::Mapper shared(hw.tech);
+    kernels::KernelStoreCache stores;
+    const RunCfg all{.planCache = true, .storeCache = true,
+                     .execMemo = true};
     for (const auto &name : models::workloadNames()) {
         const auto seed = runReport(name, Design::Adyna, 45,
-                                    /*plan_cache=*/false, nullptr);
-        const auto fast = runReport(name, Design::Adyna, 45,
-                                    /*plan_cache=*/true, &shared);
+                                    RunCfg{});
+        const auto fast = runReport(name, Design::Adyna, 45, all,
+                                    &shared, &stores);
         EXPECT_EQ(seed, fast) << "workload " << name;
     }
 }
@@ -102,33 +163,50 @@ TEST(Equivalence, BaselineDesignPoliciesMatch)
 {
     const arch::HwConfig hw;
     costmodel::Mapper shared(hw.tech);
+    kernels::KernelStoreCache stores;
+    const RunCfg all{.planCache = true, .storeCache = true,
+                     .execMemo = true};
     for (Design d : {Design::MTile, Design::MTenant,
                      Design::FullKernel}) {
-        const auto seed = runReport("skipnet", d, 45,
-                                    /*plan_cache=*/false, nullptr);
-        const auto fast = runReport("skipnet", d, 45,
-                                    /*plan_cache=*/true, &shared);
+        const auto seed = runReport("skipnet", d, 45, RunCfg{});
+        const auto fast = runReport("skipnet", d, 45, all, &shared,
+                                    &stores);
         EXPECT_EQ(seed, fast)
             << "design " << baselines::designName(d);
     }
 }
 
 /** Counters surface in the report and reflect real activity. */
-TEST(Equivalence, MapperCountersReported)
+TEST(Equivalence, CacheCountersReported)
 {
     const arch::HwConfig hw;
     const auto bundle = models::buildByName("skipnet", 64);
     const auto dg = graph::parseModel(bundle.graph);
-    trace::TraceConfig cfg = bundle.traceConfig;
-    cfg.batchSize = 64;
-    core::System sys(dg, cfg, hw,
+    trace::TraceConfig tc = bundle.traceConfig;
+    tc.batchSize = 64;
+    kernels::KernelStoreCache stores;
+    core::System sys(dg, tc, hw,
                      baselines::schedulerConfig(Design::Adyna),
                      baselines::execPolicy(Design::Adyna),
                      baselines::runOptions(Design::Adyna, 10, 1),
                      "Adyna");
+    sys.setSharedStoreCache(&stores);
     const auto rep = sys.run();
     EXPECT_GT(rep.mapperMisses, 0u);
     // Reconfigurations re-map the same ops, so a multi-period run
     // sees hits even with a fresh private mapper.
     EXPECT_GT(rep.mapperHits + rep.mapperMisses, rep.mapperMisses);
+    // The default config compiles stores through the cache and the
+    // exec memo is on; both see activity, and a reconfiguring run
+    // re-uses stores of ops whose allocation did not change.
+    EXPECT_GT(rep.storeMisses, 0u);
+    EXPECT_GT(rep.execHits, 0u);
+    EXPECT_GT(rep.execMisses, 0u);
+    // Counters stay out of the byte-stable report serialization and
+    // travel in cacheStatsJson instead.
+    const auto json = core::toJson(rep, true);
+    EXPECT_EQ(json.find("mapper_hits"), std::string::npos);
+    const auto stats = core::cacheStatsJson(rep);
+    EXPECT_NE(stats.find("\"store_misses\""), std::string::npos);
+    EXPECT_NE(stats.find("\"exec_hits\""), std::string::npos);
 }

@@ -17,6 +17,7 @@
 
 #include "baselines/designs.hh"
 #include "graph/parser.hh"
+#include "kernels/store_cache.hh"
 #include "models/models.hh"
 #include "serve/arrival.hh"
 #include "serve/batcher.hh"
@@ -362,6 +363,11 @@ smokeServe(bool adaptive, double drift_strength, std::uint64_t seed)
         baselines::schedulerConfig(baselines::Design::Adyna),
         baselines::execPolicy(baselines::Design::Adyna), sc,
         "skipnet");
+    // A run-private store cache: the reported JSON includes cache
+    // counters, which would otherwise depend on how warm the
+    // process-global cache is from earlier runs.
+    kernels::KernelStoreCache stores;
+    rt.setSharedStoreCache(&stores);
     return rt.run();
 }
 
