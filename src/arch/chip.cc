@@ -49,6 +49,39 @@ Chip::allTilesFreeAt() const
 }
 
 void
+Chip::failTile(TileId tile)
+{
+    ADYNA_ASSERT(tile < tileCompute_.size(), "bad tile id ", tile);
+    if (failedMask_.empty())
+        failedMask_.assign(tileCompute_.size(), 0);
+    if (failedMask_[tile])
+        return;
+    failedMask_[tile] = 1;
+    ++failedTiles_;
+}
+
+void
+Chip::recoverTile(TileId tile)
+{
+    ADYNA_ASSERT(tile < tileCompute_.size(), "bad tile id ", tile);
+    if (failedMask_.empty() || !failedMask_[tile])
+        return;
+    failedMask_[tile] = 0;
+    --failedTiles_;
+}
+
+std::vector<TileId>
+Chip::healthyTiles() const
+{
+    std::vector<TileId> out;
+    out.reserve(tileCompute_.size());
+    for (TileId t = 0; t < tileCompute_.size(); ++t)
+        if (tileHealthy(t))
+            out.push_back(t);
+    return out;
+}
+
+void
 Chip::chargeHbmEnergy(Bytes bytes)
 {
     energy_.hbm +=

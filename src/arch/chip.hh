@@ -36,7 +36,9 @@ class Chip
 
     const HwConfig &config() const { return cfg_; }
     Noc &noc() { return noc_; }
+    const Noc &noc() const { return noc_; }
     Hbm &hbm() { return hbm_; }
+    const Hbm &hbm() const { return hbm_; }
 
     /**
      * Occupy @p tiles for @p duration cycles starting no earlier
@@ -72,6 +74,29 @@ class Chip
     /** Record tile busy cycles (sum over tiles of occupancy). */
     void recordBusy(Tick tile_cycles) { busyTileCycles_ += tile_cycles; }
 
+    // --- fault state (driven by fault::FaultInjector) ---------------
+
+    /** Mark a tile failed: it stops contributing compute until
+     * recoverTile(). Reservations it already holds stand (in-flight
+     * work is drained by the degraded-execution model). */
+    void failTile(TileId tile);
+
+    /** Bring a failed tile back. */
+    void recoverTile(TileId tile);
+
+    bool tileHealthy(TileId tile) const
+    {
+        return failedMask_.empty() || !failedMask_[tile];
+    }
+
+    /** Cheap gate for the engine's degraded-execution branch. */
+    bool anyTileFailed() const { return failedTiles_ > 0; }
+
+    int failedTileCount() const { return failedTiles_; }
+
+    /** Ascending ids of the currently healthy tiles. */
+    std::vector<TileId> healthyTiles() const;
+
     // --- metrics ----------------------------------------------------
 
     const EnergyBreakdown &energy() const { return energy_; }
@@ -100,6 +125,11 @@ class Chip
     MacCount issuedMacs_ = 0;
     MacCount usefulMacs_ = 0;
     Tick busyTileCycles_ = 0;
+
+    /** Failed-tile mask; empty until the first failTile() so the
+     * fault-free tileHealthy() fast path is one emptiness test. */
+    std::vector<char> failedMask_;
+    int failedTiles_ = 0;
 };
 
 } // namespace adyna::arch

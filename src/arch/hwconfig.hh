@@ -31,6 +31,19 @@ struct HwConfig
     /** Per-hop router latency, cycles. */
     Cycles nocHopLatency = 2;
 
+    /** Probe/ack retransmission timeout, cycles: how long a probing
+     * tile waits for the ack before re-sending (fault model; only
+     * charged while a probe-drop fault window is active). */
+    Cycles probeTimeoutCycles = 64;
+
+    /** Probe retransmissions budgeted before the runtime escalates
+     * to a host-coordinated synchronization. */
+    int probeMaxRetries = 6;
+
+    /** Cycle cost of the host-coordinated fallback sync after the
+     * retry budget is exhausted. */
+    Cycles probeGiveUpPenaltyCycles = 2048;
+
     /** Number of HBM2 stacks (each one channel in the model). */
     int hbmStacks = 6;
 

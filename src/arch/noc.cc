@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 
 #include "common/logging.hh"
 
@@ -29,19 +30,16 @@ torusDist(int a, int b, int n)
     return std::min(fwd, back);
 }
 
-// Directed link directions per tile.
-constexpr int kEast = 0;
-constexpr int kWest = 1;
-constexpr int kSouth = 2;
-constexpr int kNorth = 3;
-
 } // namespace
 
 Noc::Noc(const HwConfig &cfg) : cfg_(cfg)
 {
-    links_.reserve(static_cast<std::size_t>(cfg_.tiles()) * 4);
-    for (int i = 0; i < cfg_.tiles() * 4; ++i)
+    const auto n = static_cast<std::size_t>(cfg_.tiles()) * 4;
+    links_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
         links_.emplace_back(cfg_.nocLinkBytesPerCycle);
+    linkDown_.assign(n, 0);
+    linkFactor_.assign(n, 1.0);
 }
 
 std::size_t
@@ -49,6 +47,30 @@ Noc::linkIndex(TileId tile, int dir) const
 {
     return static_cast<std::size_t>(tile) * 4 +
            static_cast<std::size_t>(dir);
+}
+
+TileId
+Noc::linkTarget(std::size_t link) const
+{
+    const auto tile = static_cast<TileId>(link / 4);
+    const int dir = static_cast<int>(link % 4);
+    int row = cfg_.tileRow(tile);
+    int col = cfg_.tileCol(tile);
+    switch (dir) {
+      case kLinkEast:
+        col = (col + 1) % cfg_.gridCols;
+        break;
+      case kLinkWest:
+        col = (col + cfg_.gridCols - 1) % cfg_.gridCols;
+        break;
+      case kLinkSouth:
+        row = (row + 1) % cfg_.gridRows;
+        break;
+      default:
+        row = (row + cfg_.gridRows - 1) % cfg_.gridRows;
+        break;
+    }
+    return static_cast<TileId>(row * cfg_.gridCols + col);
 }
 
 int
@@ -75,17 +97,130 @@ Noc::path(TileId src, TileId dst) const
         const int dir = torusDir(col, dstCol, cfg_.gridCols);
         const TileId here =
             static_cast<TileId>(row * cfg_.gridCols + col);
-        out.push_back(linkIndex(here, dir > 0 ? kEast : kWest));
+        out.push_back(linkIndex(here, dir > 0 ? kLinkEast : kLinkWest));
         col = (col + dir + cfg_.gridCols) % cfg_.gridCols;
     }
     while (row != dstRow) {
         const int dir = torusDir(row, dstRow, cfg_.gridRows);
         const TileId here =
             static_cast<TileId>(row * cfg_.gridCols + col);
-        out.push_back(linkIndex(here, dir > 0 ? kSouth : kNorth));
+        out.push_back(
+            linkIndex(here, dir > 0 ? kLinkSouth : kLinkNorth));
         row = (row + dir + cfg_.gridRows) % cfg_.gridRows;
     }
     return out;
+}
+
+std::vector<std::size_t>
+Noc::pathYX(TileId src, TileId dst) const
+{
+    std::vector<std::size_t> out;
+    int row = cfg_.tileRow(src);
+    int col = cfg_.tileCol(src);
+    const int dstRow = cfg_.tileRow(dst);
+    const int dstCol = cfg_.tileCol(dst);
+
+    while (row != dstRow) {
+        const int dir = torusDir(row, dstRow, cfg_.gridRows);
+        const TileId here =
+            static_cast<TileId>(row * cfg_.gridCols + col);
+        out.push_back(
+            linkIndex(here, dir > 0 ? kLinkSouth : kLinkNorth));
+        row = (row + dir + cfg_.gridRows) % cfg_.gridRows;
+    }
+    while (col != dstCol) {
+        const int dir = torusDir(col, dstCol, cfg_.gridCols);
+        const TileId here =
+            static_cast<TileId>(row * cfg_.gridCols + col);
+        out.push_back(linkIndex(here, dir > 0 ? kLinkEast : kLinkWest));
+        col = (col + dir + cfg_.gridCols) % cfg_.gridCols;
+    }
+    return out;
+}
+
+bool
+Noc::routeHealthy(const std::vector<std::size_t> &route) const
+{
+    for (std::size_t link : route)
+        if (linkDown_[link])
+            return false;
+    return true;
+}
+
+std::vector<std::size_t>
+Noc::bfsPath(TileId src, TileId dst) const
+{
+    // Deterministic BFS over healthy directed links, expanding the
+    // four directions in fixed E/W/S/N order, so the detour a given
+    // fault set produces is always the same.
+    const auto tiles = static_cast<std::size_t>(cfg_.tiles());
+    std::vector<std::size_t> viaLink(tiles, ~std::size_t{0});
+    std::vector<char> seen(tiles, 0);
+    std::deque<TileId> frontier{src};
+    seen[src] = 1;
+    while (!frontier.empty() && !seen[dst]) {
+        const TileId here = frontier.front();
+        frontier.pop_front();
+        for (int dir = 0; dir < 4; ++dir) {
+            const std::size_t link = linkIndex(here, dir);
+            if (linkDown_[link])
+                continue;
+            const TileId next = linkTarget(link);
+            if (seen[next])
+                continue;
+            seen[next] = 1;
+            viaLink[next] = link;
+            frontier.push_back(next);
+        }
+    }
+    if (!seen[dst])
+        return {};
+    std::vector<std::size_t> out;
+    for (TileId at = dst; at != src;) {
+        const std::size_t link = viaLink[at];
+        out.push_back(link);
+        at = static_cast<TileId>(link / 4);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::size_t>
+Noc::route(TileId src, TileId dst) const
+{
+    std::vector<std::size_t> xy = path(src, dst);
+    if (downLinks_ == 0 || routeHealthy(xy))
+        return xy;
+    // Y-X fallback: the cheap dimension-order alternative most
+    // single-link faults are routed around with.
+    std::vector<std::size_t> yx = pathYX(src, dst);
+    if (routeHealthy(yx)) {
+        ++detourRoutes_;
+        return yx;
+    }
+    std::vector<std::size_t> detour = bfsPath(src, dst);
+    if (!detour.empty()) {
+        ++detourRoutes_;
+        return detour;
+    }
+    // The fault set disconnects the pair; the caller still makes
+    // forward progress on the nominal path (a real chip would have
+    // been taken offline before this point).
+    ++unroutablePaths_;
+    return xy;
+}
+
+des::Reservation
+Noc::acquireLink(std::size_t link, Tick earliest, Bytes bytes)
+{
+    Bytes effective = bytes;
+    if (anyLinkFault_ && linkFactor_[link] < 1.0) {
+        // A degraded link moves the same payload at factor x the
+        // bandwidth: stretch the reservation by 1/factor.
+        effective = static_cast<Bytes>(std::ceil(
+            static_cast<double>(bytes) / linkFactor_[link]));
+    }
+    return links_[link].acquire(earliest, effective);
 }
 
 NocTransfer
@@ -97,16 +232,24 @@ Noc::transfer(Tick earliest, TileId src, TileId dst, Bytes bytes)
         t.end = earliest;
         return t;
     }
-    const auto route = path(src, dst);
-    t.hops = static_cast<int>(route.size());
+    const auto rt =
+        anyLinkFault_ ? route(src, dst) : path(src, dst);
+    t.hops = static_cast<int>(rt.size());
     Tick latest = earliest;
-    for (std::size_t link : route) {
-        const auto res = links_[link].acquire(earliest, bytes);
+    for (std::size_t link : rt) {
+        const auto res = acquireLink(link, earliest, bytes);
         latest = std::max(latest, res.end);
     }
     t.end = latest + static_cast<Tick>(t.hops) * cfg_.nocHopLatency;
     t.byteHops = bytes * static_cast<Bytes>(t.hops);
     byteHops_ += t.byteHops;
+#ifdef ADYNA_SANITIZE
+    validateRoute(rt, src, dst);
+    ADYNA_ASSERT(t.hops >= 0, "negative hop count");
+    ADYNA_ASSERT(t.byteHops ==
+                     bytes * static_cast<Bytes>(t.hops),
+                 "byteHops inconsistent with the route");
+#endif
     return t;
 }
 
@@ -120,14 +263,20 @@ Noc::multicast(Tick earliest, TileId src,
     if (bytes == 0 || dsts.empty())
         return t;
 
-    // Union of the X-Y paths: each link carries the payload once.
+    // Union of the per-destination paths: each link carries the
+    // payload once (replication happens at branch points).
     std::vector<std::size_t> links;
     int maxHops = 0;
     for (TileId dst : dsts) {
         if (dst == src)
             continue;
-        maxHops = std::max(maxHops, hops(src, dst));
-        for (std::size_t link : path(src, dst))
+        const auto rt =
+            anyLinkFault_ ? route(src, dst) : path(src, dst);
+#ifdef ADYNA_SANITIZE
+        validateRoute(rt, src, dst);
+#endif
+        maxHops = std::max(maxHops, static_cast<int>(rt.size()));
+        for (std::size_t link : rt)
             links.push_back(link);
     }
     std::sort(links.begin(), links.end());
@@ -135,7 +284,7 @@ Noc::multicast(Tick earliest, TileId src,
 
     Tick latest = earliest;
     for (std::size_t link : links) {
-        const auto res = links_[link].acquire(earliest, bytes);
+        const auto res = acquireLink(link, earliest, bytes);
         latest = std::max(latest, res.end);
     }
     t.hops = maxHops;
@@ -150,6 +299,114 @@ Noc::probeAckLatency(TileId src, TileId dst) const
 {
     return 2 * static_cast<Tick>(hops(src, dst)) * cfg_.nocHopLatency;
 }
+
+Tick
+Noc::probeAck(Tick now, TileId src, TileId dst)
+{
+    const int h = anyLinkFault_ && downLinks_ > 0
+                      ? static_cast<int>(route(src, dst).size())
+                      : hops(src, dst);
+    const Tick clean =
+        2 * static_cast<Tick>(h) * cfg_.nocHopLatency;
+    if (probeDropProb_ <= 0.0 || now >= probeDropUntil_ || src == dst)
+        return clean;
+
+    // Inside a drop window: each lost round trip costs the current
+    // retransmission timeout and doubles it; an exhausted budget
+    // escalates to a host-coordinated sync.
+    Tick waited = 0;
+    Tick timeout = cfg_.probeTimeoutCycles;
+    for (int attempt = 0; attempt <= cfg_.probeMaxRetries; ++attempt) {
+        if (!probeRng_.bernoulli(probeDropProb_))
+            return waited + clean;
+        ++probeDrops_;
+        if (attempt < cfg_.probeMaxRetries) {
+            ++probeRetries_;
+            waited += timeout;
+            timeout *= 2;
+        }
+    }
+    ++probeGiveUps_;
+    return waited + clean + cfg_.probeGiveUpPenaltyCycles;
+}
+
+void
+Noc::setLinkDown(TileId tile, int dir, bool down)
+{
+    const std::size_t link = linkIndex(tile, dir);
+    ADYNA_ASSERT(link < linkDown_.size(), "bad link ", tile, "/", dir);
+    if (static_cast<bool>(linkDown_[link]) == down)
+        return;
+    linkDown_[link] = down ? 1 : 0;
+    downLinks_ += down ? 1 : -1;
+    anyLinkFault_ =
+        downLinks_ > 0 || degradedLinks_ > 0 || probeDropProb_ > 0.0;
+}
+
+void
+Noc::setLinkBandwidthFactor(TileId tile, int dir, double factor)
+{
+    const std::size_t link = linkIndex(tile, dir);
+    ADYNA_ASSERT(link < linkFactor_.size(), "bad link ", tile, "/",
+                 dir);
+    ADYNA_ASSERT(factor > 0.0 && factor <= 1.0,
+                 "bandwidth factor must be in (0, 1], got ", factor);
+    const bool was = linkFactor_[link] < 1.0;
+    const bool is = factor < 1.0;
+    linkFactor_[link] = factor;
+    degradedLinks_ += (is ? 1 : 0) - (was ? 1 : 0);
+    anyLinkFault_ =
+        downLinks_ > 0 || degradedLinks_ > 0 || probeDropProb_ > 0.0;
+}
+
+void
+Noc::setProbeDropWindow(double prob, Tick until, std::uint64_t seed)
+{
+    ADYNA_ASSERT(prob >= 0.0 && prob <= 1.0,
+                 "drop probability must be in [0, 1], got ", prob);
+    probeDropProb_ = prob;
+    probeDropUntil_ = until;
+    if (prob > 0.0)
+        probeRng_ = Rng(seed);
+    anyLinkFault_ =
+        downLinks_ > 0 || degradedLinks_ > 0 || probeDropProb_ > 0.0;
+}
+
+void
+Noc::clearFaults()
+{
+    std::fill(linkDown_.begin(), linkDown_.end(), 0);
+    std::fill(linkFactor_.begin(), linkFactor_.end(), 1.0);
+    downLinks_ = 0;
+    degradedLinks_ = 0;
+    probeDropProb_ = 0.0;
+    probeDropUntil_ = 0;
+    anyLinkFault_ = false;
+}
+
+bool
+Noc::linkDown(TileId tile, int dir) const
+{
+    return linkDown_[linkIndex(tile, dir)] != 0;
+}
+
+#ifdef ADYNA_SANITIZE
+void
+Noc::validateRoute(const std::vector<std::size_t> &route, TileId src,
+                   TileId dst) const
+{
+    TileId at = src;
+    for (std::size_t link : route) {
+        ADYNA_ASSERT(link < linkDown_.size(), "route uses bad link ",
+                     link);
+        ADYNA_ASSERT(static_cast<TileId>(link / 4) == at,
+                     "route link ", link, " does not leave tile ", at);
+        at = linkTarget(link);
+    }
+    ADYNA_ASSERT(at == dst, "route from ", src, " ends at ", at,
+                 " instead of ", dst);
+}
+#endif
 
 Tick
 Noc::linkBusyTicks() const

@@ -7,17 +7,37 @@
  * finishes after the slowest link plus per-hop router latency. The
  * probe/ack synchronization of Section VI-C is a small round trip
  * charged before a data transfer may begin.
+ *
+ * Fault model: individual directed links can be marked down (routing
+ * falls back to Y-X order, then to a deterministic BFS detour over
+ * the surviving links) or bandwidth-degraded (reservations stretch by
+ * the inverse of the degradation factor); probe/ack packets can be
+ * dropped inside a fault window, in which case the probing tile
+ * retries after an exponentially backed-off timeout until a bounded
+ * retry budget escalates to a host-coordinated sync. With no fault
+ * installed every query takes the exact pre-fault fast path, so
+ * fault-free runs stay byte-identical.
  */
 
 #ifndef ADYNA_ARCH_NOC_HH
 #define ADYNA_ARCH_NOC_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "arch/hwconfig.hh"
+#include "common/rng.hh"
 #include "des/resource.hh"
 
 namespace adyna::arch {
+
+/** Directed link directions per tile (the 4 torus neighbours). */
+enum LinkDir : int {
+    kLinkEast = 0,
+    kLinkWest = 1,
+    kLinkSouth = 2,
+    kLinkNorth = 3,
+};
 
 /** Completed NoC transfer summary. */
 struct NocTransfer
@@ -60,13 +80,63 @@ class Noc
      */
     Tick probeAckLatency(TileId src, TileId dst) const;
 
+    /**
+     * Probe/ack round trip at @p now, charging retransmission
+     * timeouts when a probe-drop fault window is active: each dropped
+     * round trip costs the current timeout and doubles it, and an
+     * exhausted retry budget escalates to the host-sync penalty.
+     * Identical to probeAckLatency() outside a drop window.
+     */
+    Tick probeAck(Tick now, TileId src, TileId dst);
+
+    // --- fault controls (driven by fault::FaultInjector) -----------
+
+    /** Mark a directed link down (true) or back up (false). */
+    void setLinkDown(TileId tile, int dir, bool down);
+
+    /** Scale a link's bandwidth by @p factor in (0, 1]; 1 restores
+     * full bandwidth. */
+    void setLinkBandwidthFactor(TileId tile, int dir, double factor);
+
+    /** Drop probe/ack round trips with probability @p prob until tick
+     * @p until (exclusive); the drop draws come from a stream seeded
+     * with @p seed so fault runs replay exactly. */
+    void setProbeDropWindow(double prob, Tick until,
+                            std::uint64_t seed);
+
+    /** Clear every link fault and drop window (metrics survive). */
+    void clearFaults();
+
+    bool linkDown(TileId tile, int dir) const;
+    int downLinks() const { return downLinks_; }
+    int degradedLinks() const { return degradedLinks_; }
+
+    /**
+     * The directed-link route a transfer from @p src to @p dst takes
+     * under the current fault state: the X-Y path when it is healthy,
+     * else the Y-X path, else a deterministic shortest detour over
+     * the surviving links. An unroutable pair (the fault set
+     * partitions the torus) falls back to the X-Y path and counts in
+     * unroutablePaths().
+     */
+    std::vector<std::size_t> route(TileId src, TileId dst) const;
+
+    // --- fault metrics ---------------------------------------------
+
+    std::uint64_t detourRoutes() const { return detourRoutes_; }
+    std::uint64_t unroutablePaths() const { return unroutablePaths_; }
+    std::uint64_t probeDrops() const { return probeDrops_; }
+    std::uint64_t probeRetries() const { return probeRetries_; }
+    std::uint64_t probeGiveUps() const { return probeGiveUps_; }
+
     /** Total bytes x hops served (NoC energy accounting). */
     Bytes byteHopsServed() const { return byteHops_; }
 
     /** Aggregate busy ticks over all links. */
     Tick linkBusyTicks() const;
 
-    /** Forget all reservations. */
+    /** Forget all reservations (fault state survives; see
+     * clearFaults()). */
     void reset();
 
   private:
@@ -76,9 +146,53 @@ class Noc
     /** Torus X-Y path as a sequence of directed link indices. */
     std::vector<std::size_t> path(TileId src, TileId dst) const;
 
+    /** Y-X (rows first) variant of path(). */
+    std::vector<std::size_t> pathYX(TileId src, TileId dst) const;
+
+    /** Shortest path over healthy links only; empty when @p src and
+     * @p dst are disconnected. Deterministic BFS in link-index order. */
+    std::vector<std::size_t> bfsPath(TileId src, TileId dst) const;
+
+    /** Every link on @p route is up. */
+    bool routeHealthy(const std::vector<std::size_t> &route) const;
+
+    /** The tile a link leads to. */
+    TileId linkTarget(std::size_t link) const;
+
+#ifdef ADYNA_SANITIZE
+    /** Walk @p route and panic unless it is a valid src->dst chain
+     * of directed links. */
+    void validateRoute(const std::vector<std::size_t> &route,
+                       TileId src, TileId dst) const;
+#endif
+
+    /** Reserve @p bytes on @p link no earlier than @p earliest,
+     * honouring the link's degradation factor. */
+    des::Reservation acquireLink(std::size_t link, Tick earliest,
+                                 Bytes bytes);
+
     const HwConfig cfg_;
     std::vector<des::BandwidthResource> links_;
     Bytes byteHops_ = 0;
+
+    // Fault state. anyLinkFault_ gates every hot-path branch so the
+    // healthy case costs one bool test.
+    bool anyLinkFault_ = false;
+    int downLinks_ = 0;
+    int degradedLinks_ = 0;
+    std::vector<char> linkDown_;
+    std::vector<double> linkFactor_;
+
+    double probeDropProb_ = 0.0;
+    Tick probeDropUntil_ = 0;
+    Rng probeRng_{0};
+
+    // Metrics are mutable so const route computations can count.
+    mutable std::uint64_t detourRoutes_ = 0;
+    mutable std::uint64_t unroutablePaths_ = 0;
+    std::uint64_t probeDrops_ = 0;
+    std::uint64_t probeRetries_ = 0;
+    std::uint64_t probeGiveUps_ = 0;
 };
 
 } // namespace adyna::arch

@@ -631,9 +631,9 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                         const std::size_t pi =
                             static_cast<std::size_t>(e.producerStage);
                         const auto &src = usedTiles[pi];
-                        const Tick sync =
-                            chip.noc().probeAckLatency(
-                                src.front(), tiles.front());
+                        const Tick sync = chip.noc().probeAck(
+                            starts[pi][b], src.front(),
+                            tiles.front());
                         Tick t0 = starts[pi][b] + sync;
                         // Double-buffered input slots: wait for the
                         // slot freed by batch b-2.
@@ -715,10 +715,31 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                 }
 
                 // --- compute -----------------------------------------
+                // Fault degradation: a SIMD tile group runs in
+                // lockstep, so every dead member's shard costs one
+                // extra full pass on a surviving neighbour while the
+                // group stalls; a fully dead group escalates to host
+                // execution. Gated on anyTileFailed() so fault-free
+                // runs take the exact legacy path.
+                Cycles execCycles = cost.cycles;
+                if (chip.anyTileFailed()) {
+                    int healthy = 0;
+                    for (TileId t : tiles)
+                        healthy += chip.tileHealthy(t) ? 1 : 0;
+                    const int dead = tileCount - healthy;
+                    if (healthy == 0) {
+                        execCycles = static_cast<Cycles>(
+                            static_cast<double>(execCycles) *
+                            policy_.deadGroupPenalty);
+                    } else if (dead > 0) {
+                        execCycles *=
+                            static_cast<Cycles>(1 + dead);
+                    }
+                }
                 const Tick start =
                     std::max(startLB, chip.tilesFreeAt(tiles));
                 const Tick duration = std::max<Tick>(
-                    cost.cycles, endLB > start ? endLB - start : 0);
+                    execCycles, endLB > start ? endLB - start : 0);
                 const auto res =
                     chip.occupyTiles(start, tiles, duration);
                 starts[si][b] = res.start;

@@ -69,6 +69,16 @@ struct ExecPolicy
     bool planCache = true;
 
     /**
+     * Cycle multiplier for a stage whose tile group is entirely dead
+     * (no survivor can re-execute the shards; the host steps in).
+     * Groups with survivors instead stretch by (1 + dead tiles):
+     * SIMD lockstep means each dead shard costs one extra full pass
+     * on a surviving member. Only consulted while the chip reports a
+     * failed tile, so fault-free runs never read it.
+     */
+    double deadGroupPenalty = 32.0;
+
+    /**
      * Memoize the accumulated kernel-dispatch cost (the possibly
      * multi-pass evalKernel chain) per (op, executed value, tile
      * count). Dynamic values are bucketed draws from a small

@@ -96,6 +96,30 @@ cacheStatsJson(const RunReport &r)
 }
 
 std::string
+faultStatsJson(const RunReport &r)
+{
+    const fault::FaultStats &f = r.fault;
+    std::ostringstream os;
+    os << "{\"failovers\":" << r.failovers << ","
+       << "\"tile_fail_events\":" << f.tileFailEvents << ","
+       << "\"tile_recoveries\":" << f.tileRecoveries << ","
+       << "\"link_down_events\":" << f.linkDownEvents << ","
+       << "\"link_degrade_events\":" << f.linkDegradeEvents << ","
+       << "\"link_recoveries\":" << f.linkRecoveries << ","
+       << "\"probe_drop_windows\":" << f.probeDropWindows << ","
+       << "\"store_fit_windows\":" << f.storeFitWindows << ","
+       << "\"failed_tiles\":" << f.failedTiles << ","
+       << "\"down_links\":" << f.downLinks << ","
+       << "\"degraded_links\":" << f.degradedLinks << ","
+       << "\"probe_drops\":" << f.probeDrops << ","
+       << "\"probe_retries\":" << f.probeRetries << ","
+       << "\"probe_give_ups\":" << f.probeGiveUps << ","
+       << "\"detour_routes\":" << f.detourRoutes << ","
+       << "\"unroutable_paths\":" << f.unroutablePaths << "}";
+    return os.str();
+}
+
+std::string
 csvHeader()
 {
     return "workload,design,cycles,time_ms,batches_per_second,"

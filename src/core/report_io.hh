@@ -36,6 +36,14 @@ std::string toJson(const std::vector<RunReport> &reports,
  */
 std::string cacheStatsJson(const RunReport &report);
 
+/**
+ * Serialize the run's fault-injection counters as one JSON object.
+ * Kept out of toJson() for the same reason as the cache counters: a
+ * fault-free run's machine-readable reports must stay byte-identical
+ * to the pre-fault code (the empty-plan equivalence gate).
+ */
+std::string faultStatsJson(const RunReport &report);
+
 /** CSV header matching toCsvRow(). */
 std::string csvHeader();
 

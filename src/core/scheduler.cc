@@ -52,6 +52,41 @@ Scheduler::Scheduler(const graph::DynGraph &dg, arch::HwConfig hw,
 {
 }
 
+void
+Scheduler::setHealthyTiles(std::vector<TileId> healthy)
+{
+    std::sort(healthy.begin(), healthy.end());
+    healthy.erase(std::unique(healthy.begin(), healthy.end()),
+                  healthy.end());
+    for (TileId t : healthy)
+        ADYNA_ASSERT(static_cast<int>(t) < hw_.tiles(),
+                     "healthy tile ", t, " outside the grid");
+    if (healthy.empty() ||
+        static_cast<int>(healthy.size()) == hw_.tiles()) {
+        // Empty (the documented "clear" form) or everything healthy:
+        // restore the exact full-grid path.
+        healthyTiles_.clear();
+        return;
+    }
+    healthyTiles_ = std::move(healthy);
+}
+
+std::vector<TileId>
+Scheduler::activeTileOrder() const
+{
+    std::vector<TileId> order = arch::snakeTileOrder(hw_);
+    if (healthyTiles_.empty())
+        return order;
+    std::vector<char> healthy(
+        static_cast<std::size_t>(hw_.tiles()), 0);
+    for (TileId t : healthyTiles_)
+        healthy[t] = 1;
+    order.erase(std::remove_if(order.begin(), order.end(),
+                               [&](TileId t) { return !healthy[t]; }),
+                order.end());
+    return order;
+}
+
 std::vector<OpId>
 Scheduler::stageOps() const
 {
@@ -125,10 +160,14 @@ Scheduler::segmentOps() const
         }
     }
 
+    // Degraded builds budget only the surviving tiles' scratchpad
+    // (identical to totalSpad() when every tile is healthy).
+    const Bytes spadAvail =
+        static_cast<Bytes>(activeTileCount()) * hw_.tech.spadBytes;
     const Bytes budget = static_cast<Bytes>(
-        static_cast<double>(hw_.totalSpad()) * cfg_.spadFill);
+        static_cast<double>(spadAvail) * cfg_.spadFill);
     const std::size_t maxStages =
-        static_cast<std::size_t>(hw_.tiles());
+        static_cast<std::size_t>(activeTileCount());
 
     std::vector<std::vector<OpId>> segments;
     std::vector<OpId> current;
@@ -253,7 +292,7 @@ Scheduler::build(const std::map<OpId, double> &expectations,
         // More units than tiles (small chips / large switch regions):
         // fold the smallest-work units together; their ops then share
         // a tile range temporally, like grouped branches.
-        const int T = hw_.tiles();
+        const int T = activeTileCount();
         while (static_cast<int>(units.size()) > T) {
             std::size_t a = 0, b = 1;
             for (std::size_t i = 0; i < units.size(); ++i) {
@@ -337,7 +376,7 @@ Scheduler::build(const std::map<OpId, double> &expectations,
         }
 
         // ---- tile ranges (snake order) -------------------------------
-        const auto snake = arch::snakeTileOrder(hw_);
+        const auto snake = activeTileOrder();
         int cursor = 0;
         for (Unit &u : units) {
             for (int t = 0; t < u.tiles; ++t)

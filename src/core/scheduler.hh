@@ -100,6 +100,25 @@ class Scheduler
      */
     void setThreadPool(ThreadPool *pool) { pool_ = pool; }
 
+    /**
+     * Degraded mode: restrict subsequent build() calls to @p healthy
+     * tiles — segmentation budgets, tile counts, and tile ranges all
+     * use the surviving subset, so a fail-over re-schedule lands
+     * entirely on live hardware. An empty vector (the default)
+     * restores the full grid and the exact pre-fault build path.
+     * Tile counts differ from the healthy build, so warm
+     * KernelStoreCache entries are naturally keyed apart.
+     */
+    void setHealthyTiles(std::vector<TileId> healthy);
+
+    /** Tiles build() currently allocates over. */
+    int activeTileCount() const
+    {
+        return healthyTiles_.empty()
+                   ? hw_.tiles()
+                   : static_cast<int>(healthyTiles_.size());
+    }
+
   private:
     /** Ops that become pipeline stages (compute + standalone vector
      * ops), topologically ordered. */
@@ -112,6 +131,10 @@ class Scheduler
     /** Partition stage ops into segments respecting atoms. */
     std::vector<std::vector<OpId>> segmentOps() const;
 
+    /** Snake tile order restricted to the healthy tiles (the full
+     * snake order when no degradation is installed). */
+    std::vector<TileId> activeTileOrder() const;
+
     const graph::DynGraph &dg_;
     arch::HwConfig hw_; // by value: small, and callers may pass
                         // temporaries
@@ -119,6 +142,9 @@ class Scheduler
     SchedulerConfig cfg_;
     kernels::KernelStoreCache *storeCache_ = nullptr;
     ThreadPool *pool_ = nullptr;
+
+    /** Sorted healthy-tile subset; empty = every tile is healthy. */
+    std::vector<TileId> healthyTiles_;
 };
 
 } // namespace adyna::core

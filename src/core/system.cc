@@ -48,6 +48,13 @@ System::setSchedulerPool(ThreadPool *pool)
     schedulerPool_ = pool;
 }
 
+void
+System::setFaultPlan(fault::FaultPlan plan, std::uint64_t seed)
+{
+    faultPlan_ = std::move(plan);
+    faultSeed_ = seed;
+}
+
 RunReport
 System::run()
 {
@@ -138,9 +145,31 @@ System::run()
     const int period = options_.reconfigPeriod > 0
                            ? options_.reconfigPeriod
                            : options_.numBatches;
+    std::optional<fault::FaultInjector> injector;
+    if (!faultPlan_.empty())
+        injector.emplace(faultPlan_,
+                         faultSeed_ ? faultSeed_
+                                    : options_.seed ^
+                                          0xda3e39cb94b95bdbULL);
     Tick barrier = 0;
     int done = 0;
     while (done < options_.numBatches) {
+        // Fault events due by the current clock strike before the
+        // period runs; a healthy-tile change triggers a degraded
+        // re-schedule onto the survivors (the static worst-case
+        // baseline keeps its schedule and eats the lockstep
+        // degradation instead).
+        if (injector && injector->advanceTo(barrier, chip) &&
+            !schedCfg_.worstCase) {
+            scheduler.setHealthyTiles(chip.healthyTiles());
+            schedule = scheduler.build(expectations, kernelValues,
+                                       &profiler);
+            checkSchedule(schedule);
+            report.storedKernels = std::max(report.storedKernels,
+                                            schedule.totalKernels());
+            barrier += options_.reconfigOverheadCycles;
+            ++report.failovers;
+        }
         const int count =
             std::min(period, options_.numBatches - done);
         std::vector<trace::BatchRouting> routings;
@@ -207,6 +236,8 @@ System::run()
     }
     report.execHits = engine.execHits();
     report.execMisses = engine.execMisses();
+    if (injector)
+        report.fault = injector->stats(chip);
     return report;
 }
 

@@ -18,6 +18,7 @@
 #include "arch/profiler.hh"
 #include "core/engine.hh"
 #include "core/scheduler.hh"
+#include "fault/fault.hh"
 #include "graph/dyngraph.hh"
 #include "trace/trace.hh"
 
@@ -95,6 +96,17 @@ struct RunReport
     std::uint64_t execHits = 0;
     std::uint64_t execMisses = 0;
 
+    /** Fault-injection counters (all zero without a fault plan).
+     * Excluded from the CSV/JSON exporters like the cache counters so
+     * fault-free reports stay byte-identical to the pre-fault code;
+     * exported separately via faultStatsJson(). */
+    fault::FaultStats fault;
+
+    /** Degraded re-schedules triggered by a healthy-tile change (a
+     * subset of `reconfigurations`' spirit but counted separately;
+     * also excluded from the exporters). */
+    int failovers = 0;
+
     /** Per-batch completion times. */
     std::vector<Tick> batchEnds;
 
@@ -152,6 +164,17 @@ class System
      */
     void setSchedulerPool(ThreadPool *pool);
 
+    /**
+     * Inject @p plan during the run: events fire on the chip clock at
+     * period boundaries, and a healthy-tile change triggers a
+     * degraded re-schedule onto the survivors (unless the design is
+     * the worst-case static baseline, which keeps its schedule and
+     * eats the degraded execution cost). @p seed drives the
+     * probe-drop streams; 0 derives one from RunOptions::seed. An
+     * empty plan leaves every simulation path untouched.
+     */
+    void setFaultPlan(fault::FaultPlan plan, std::uint64_t seed = 0);
+
     const arch::HwConfig &hwConfig() const { return hw_; }
 
   private:
@@ -166,6 +189,8 @@ class System
     costmodel::Mapper *sharedMapper_ = nullptr;
     kernels::KernelStoreCache *sharedStoreCache_ = nullptr;
     ThreadPool *schedulerPool_ = nullptr;
+    fault::FaultPlan faultPlan_;
+    std::uint64_t faultSeed_ = 0;
 };
 
 } // namespace adyna::core

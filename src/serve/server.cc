@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "core/sampling.hh"
 #include "core/validate.hh"
+#include "serve/validate.hh"
 
 namespace adyna::serve {
 
@@ -75,7 +76,31 @@ toJson(const ServeReport &r)
         static_cast<unsigned long long>(r.storeMisses),
         static_cast<unsigned long long>(r.execHits),
         static_cast<unsigned long long>(r.execMisses));
-    return buf;
+    std::string out = buf;
+    if (r.faultActive) {
+        // Appended only when fault machinery was active so
+        // default-configured reports keep the pre-fault bytes.
+        char fbuf[1024];
+        std::snprintf(
+            fbuf, sizeof(fbuf),
+            ", \"shed_requests\": %llu, \"failovers\": %d, "
+            "\"watchdog_fallbacks\": %d, \"store_fit_failures\": %d, "
+            "\"failed_tiles\": %d, \"down_links\": %d, "
+            "\"degraded_links\": %d, \"probe_drops\": %llu, "
+            "\"probe_retries\": %llu, \"probe_give_ups\": %llu, "
+            "\"noc_detours\": %llu, \"unroutable_paths\": %llu}",
+            static_cast<unsigned long long>(r.shedRequests),
+            r.failovers, r.watchdogFallbacks, r.storeFitFailures,
+            r.failedTiles, r.downLinks, r.degradedLinks,
+            static_cast<unsigned long long>(r.probeDrops),
+            static_cast<unsigned long long>(r.probeRetries),
+            static_cast<unsigned long long>(r.probeGiveUps),
+            static_cast<unsigned long long>(r.nocDetours),
+            static_cast<unsigned long long>(r.unroutablePaths));
+        out.pop_back(); // drop the closing brace
+        out += fbuf;
+    }
+    return out;
 }
 
 ServeRuntime::ServeRuntime(const graph::DynGraph &dg,
@@ -89,7 +114,7 @@ ServeRuntime::ServeRuntime(const graph::DynGraph &dg,
       policy_(policy), cfg_(std::move(serve_cfg)),
       workloadName_(std::move(workload_name))
 {
-    ADYNA_ASSERT(cfg_.numRequests > 0, "numRequests must be > 0");
+    validateServeConfig(cfg_);
     ADYNA_ASSERT(traceCfg_.batchSize ==
                      static_cast<std::int64_t>(cfg_.batching.maxBatch),
                  "the workload graph must be compiled at the "
@@ -225,18 +250,74 @@ ServeRuntime::run()
     Batcher batcher(cfg_.batching);
     SloTracker slo(cfg_.slo, hw_.tech.freqGhz);
 
+    // With an empty plan the injector never exists and no loop branch
+    // below fires, keeping the run byte-identical to the pre-fault
+    // runtime.
+    std::optional<fault::FaultInjector> injector;
+    if (!cfg_.faultPlan.empty())
+        injector.emplace(cfg_.faultPlan,
+                         cfg_.faultSeed
+                             ? cfg_.faultSeed
+                             : cfg_.seed ^ 0xda3e39cb94b95bdbULL);
+
     const auto total = static_cast<std::uint64_t>(cfg_.numRequests);
     std::uint64_t issued = 0;
     std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
     std::uint64_t batches = 0;
     int reschedules = 0;
     int driftWindows = 0;
+    int failovers = 0;
+    int watchdogFallbacks = 0;
+    int storeFitFailures = 0;
     Tick engineFree = 0;
     Tick nextArrival = arrivals.next();
     const Tick firstArrival = nextArrival;
     Tick lastArrival = nextArrival;
 
-    while (completed < total) {
+    // Admission control projects each arrival's completion from the
+    // engine backlog plus an EWMA of recent dispatch-to-completion
+    // times, and sheds it when the projection overshoots the SLO.
+    const double deadlineTicks =
+        cfg_.slo.deadlineMs * hw_.tech.freqGhz * 1e6;
+    double serviceEwma = 0.0;
+    bool haveService = false;
+
+    /** Rebuild the schedule from the current expectations / kernel
+     * values; returns the candidate plus its modeled runtime cost.
+     * An active store-fit-failure window forces a cold compile (the
+     * cached stores no longer fit), which the watchdog model sees as
+     * a full-cost rebuild. */
+    struct Rebuild
+    {
+        core::Schedule schedule;
+        Cycles cost = 0;
+    };
+    const auto rebuildSchedule = [&](Tick now) -> Rebuild {
+        const bool bypassStores =
+            injector && injector->storeFitFailActive(now);
+        if (bypassStores) {
+            scheduler.setStoreCache(nullptr);
+            ++storeFitFailures;
+        }
+        const std::uint64_t misses0 = storeCache.misses();
+        Rebuild rb;
+        rb.schedule = scheduler.build(expectations, kernelValues,
+                                      &engineProf);
+        if (bypassStores)
+            scheduler.setStoreCache(&storeCache);
+        checkSchedule(rb.schedule);
+        const std::uint64_t compiled =
+            schedCfg_.storeCache && !bypassStores
+                ? storeCache.misses() - misses0
+                : rb.schedule.segments.size();
+        rb.cost = cfg_.reconfigOverheadCycles +
+                  static_cast<Cycles>(compiled) *
+                      cfg_.storeCompileCycles;
+        return rb;
+    };
+
+    while (completed + shed < total) {
         // Admit every arrival that lands no later than the next
         // dispatch moment. Admission can only pull the dispatch
         // moment earlier (the batch fills up), so iterate to the
@@ -248,6 +329,33 @@ ServeRuntime::run()
                     ? Batcher::kNever
                     : std::max(engineFree, form);
             if (issued < total && nextArrival <= dispatchAt) {
+                if (cfg_.admissionControl && haveService) {
+                    const double backlog =
+                        engineFree > nextArrival
+                            ? static_cast<double>(engineFree -
+                                                  nextArrival)
+                            : 0.0;
+                    // Projected completion: engine backlog, plus the
+                    // batches already queued ahead of this arrival,
+                    // plus its own service. Without the queued term
+                    // an open-loop overload admits everything before
+                    // the engine's busy horizon ever moves.
+                    const double queuedAhead =
+                        static_cast<double>(batcher.queued()) /
+                        cfg_.batching.maxBatch;
+                    if (backlog + (1.0 + queuedAhead) * serviceEwma >
+                        cfg_.shedLatencyFactor * deadlineTicks) {
+                        // Shed: draw (and discard) the routing so
+                        // the dynamism stream stays aligned with a
+                        // non-shedding run of the same seed.
+                        (void)reqGen.next();
+                        lastArrival = nextArrival;
+                        ++issued;
+                        ++shed;
+                        nextArrival = arrivals.next();
+                        continue;
+                    }
+                }
                 Request r;
                 r.id = issued;
                 r.arrival = nextArrival;
@@ -260,14 +368,32 @@ ServeRuntime::run()
             }
             break;
         }
-        ADYNA_ASSERT(batcher.queued() > 0,
-                     "serving loop stalled with requests pending");
+        if (batcher.queued() == 0)
+            break; // every remaining arrival was shed
 
         // Dispatch every batch formable at the dispatch moment in
         // one engine period: batches formed while the engine was
         // busy stream through the pipeline back to back.
         const Tick dispatchAt =
             std::max(engineFree, batcher.nextFormTick());
+
+        // Fault events due by the dispatch moment strike before the
+        // batch leaves. A healthy-tile change forces a fail-over
+        // rebuild onto the survivors — never subject to the
+        // watchdog, because the installed schedule targets dead
+        // tiles and keeping it is strictly worse than any rebuild
+        // cost. The static setting (failover off) keeps serving on
+        // the stale schedule and eats the degraded lockstep
+        // execution instead.
+        if (injector && injector->advanceTo(dispatchAt, chip) &&
+            cfg_.failover && !schedCfg_.worstCase) {
+            scheduler.setHealthyTiles(chip.healthyTiles());
+            Rebuild rb = rebuildSchedule(dispatchAt);
+            schedule = std::move(rb.schedule);
+            engineFree = dispatchAt + rb.cost;
+            ++failovers;
+            continue; // re-admit against the new engine-free time
+        }
         std::vector<FormedBatch> formed;
         while (batcher.queued() > 0 &&
                batcher.nextFormTick() <= dispatchAt)
@@ -281,6 +407,14 @@ ServeRuntime::run()
             chip, schedule, routings, &engineProf, dispatchAt);
         engineFree = res.endTime;
         batches += formed.size();
+        if (!res.batchEnds.empty()) {
+            const double service = static_cast<double>(
+                res.batchEnds.back() - dispatchAt);
+            serviceEwma = haveService
+                              ? 0.8 * serviceEwma + 0.2 * service
+                              : service;
+            haveService = true;
+        }
 
         // Window boundary: score the drift and, in adaptive mode,
         // close the loop through the scheduler. Checked per request
@@ -301,15 +435,26 @@ ServeRuntime::run()
                     cfg_.resampleKernels && !policy_.exactKernels,
                     expectations, kernelValues);
                 engineProf.resetTables();
-                schedule = scheduler.build(expectations,
-                                           kernelValues,
-                                           &engineProf);
-                checkSchedule(schedule);
-                monitor.setReference(std::move(reference));
-                // The dispatch barrier already drained the pipeline;
-                // charge the kernel/metadata reload on top.
-                engineFree += cfg_.reconfigOverheadCycles;
-                ++reschedules;
+                Rebuild rb = rebuildSchedule(engineFree);
+                if (cfg_.rescheduleBudgetCycles > 0 &&
+                    rb.cost > cfg_.rescheduleBudgetCycles) {
+                    // Watchdog: the rebuild blew its cycle budget.
+                    // Abandon it, keep the last-known-good schedule
+                    // (and its reference, so the monitor keeps
+                    // scoring against what is actually installed),
+                    // and charge only the budget the watchdog let
+                    // the rebuild burn before killing it.
+                    engineFree += cfg_.rescheduleBudgetCycles;
+                    ++watchdogFallbacks;
+                } else {
+                    schedule = std::move(rb.schedule);
+                    monitor.setReference(std::move(reference));
+                    // The dispatch barrier already drained the
+                    // pipeline; charge the kernel/metadata reload on
+                    // top.
+                    engineFree += cfg_.reconfigOverheadCycles;
+                    ++reschedules;
+                }
             }
             driftProf.resetTables();
         };
@@ -368,6 +513,24 @@ ServeRuntime::run()
     }
     report.execHits = engine.execHits();
     report.execMisses = engine.execMisses();
+    report.shedRequests = shed;
+    report.failovers = failovers;
+    report.watchdogFallbacks = watchdogFallbacks;
+    report.storeFitFailures = storeFitFailures;
+    report.faultActive = injector.has_value() ||
+                         cfg_.admissionControl ||
+                         cfg_.rescheduleBudgetCycles > 0;
+    if (injector) {
+        const fault::FaultStats fs = injector->stats(chip);
+        report.failedTiles = fs.failedTiles;
+        report.downLinks = fs.downLinks;
+        report.degradedLinks = fs.degradedLinks;
+        report.probeDrops = fs.probeDrops;
+        report.probeRetries = fs.probeRetries;
+        report.probeGiveUps = fs.probeGiveUps;
+        report.nocDetours = fs.detourRoutes;
+        report.unroutablePaths = fs.unroutablePaths;
+    }
     return report;
 }
 

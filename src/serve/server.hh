@@ -30,6 +30,7 @@
 #include "core/engine.hh"
 #include "core/scheduler.hh"
 #include "costmodel/mapper.hh"
+#include "fault/fault.hh"
 #include "graph/dyngraph.hh"
 #include "serve/arrival.hh"
 #include "serve/batcher.hh"
@@ -69,6 +70,44 @@ struct ServeConfig
 
     /** Run Algorithm 1 kernel re-sampling at each re-schedule. */
     bool resampleKernels = true;
+
+    // ---- fault tolerance / overload protection ---------------------
+    // All defaults leave every simulation path untouched, so a
+    // default-configured run stays byte-identical to the pre-fault
+    // runtime (the empty-plan equivalence gate).
+
+    /** Fault timeline replayed on the chip clock (see fault/fault.hh
+     * for the plan grammar); empty injects nothing. */
+    fault::FaultPlan faultPlan;
+
+    /** Seed for the probe-drop streams; 0 derives one from `seed`. */
+    std::uint64_t faultSeed = 0;
+
+    /** Re-schedule onto the surviving tiles when the healthy-tile
+     * set changes (fail-over); false keeps the installed schedule and
+     * eats the degraded lockstep execution instead. */
+    bool failover = true;
+
+    /** Watchdog budget for a drift-triggered re-schedule, cycles: a
+     * rebuild whose modeled cost (reconfigOverheadCycles +
+     * compiled stores x storeCompileCycles) exceeds the budget is
+     * abandoned and the last-known-good schedule keeps serving.
+     * 0 disables the watchdog. Fail-over rebuilds are exempt — the
+     * old schedule targets dead tiles, so falling back to it is
+     * strictly worse than any rebuild cost. */
+    Cycles rescheduleBudgetCycles = 0;
+
+    /** Modeled cycles to compile one kernel store (the watchdog's
+     * per-store cost term). */
+    Cycles storeCompileCycles = 2000;
+
+    /** Deadline-aware admission control: shed arrivals whose
+     * projected completion would overshoot the SLO deadline by
+     * shedLatencyFactor, bounding queue growth under overload. */
+    bool admissionControl = false;
+
+    /** Shed when projected latency > factor x deadline. */
+    double shedLatencyFactor = 1.5;
 };
 
 /** Everything one serving run reports. */
@@ -125,6 +164,39 @@ struct ServeReport
 
     /** Completion tick of the last request. */
     Tick horizonTicks = 0;
+
+    // ---- fault tolerance / overload protection ---------------------
+    // Serialized into the JSON report only while faultActive is set,
+    // so default-configured runs keep the pre-fault report bytes.
+
+    /** Arrivals shed by admission control (never enqueued). */
+    std::uint64_t shedRequests = 0;
+
+    /** Degraded re-schedules forced by a healthy-tile change. */
+    int failovers = 0;
+
+    /** Drift re-schedules abandoned by the watchdog. */
+    int watchdogFallbacks = 0;
+
+    /** Re-schedules built under an active store-fit-failure window
+     * (compiled without kernel-store cache reuse). */
+    int storeFitFailures = 0;
+
+    // Live fault state at the end of the run.
+    int failedTiles = 0;
+    int downLinks = 0;
+    int degradedLinks = 0;
+
+    // NoC fault-handling counters.
+    std::uint64_t probeDrops = 0;
+    std::uint64_t probeRetries = 0;
+    std::uint64_t probeGiveUps = 0;
+    std::uint64_t nocDetours = 0;
+    std::uint64_t unroutablePaths = 0;
+
+    /** Any fault-tolerance machinery was active this run (a fault
+     * plan, admission control, or a watchdog budget). */
+    bool faultActive = false;
 };
 
 /** One serving run as a JSON object (for BENCH_serve.json). */

@@ -1,0 +1,96 @@
+#include "serve/validate.hh"
+
+#include "common/logging.hh"
+
+namespace adyna::serve {
+
+void
+validateArrivalConfig(const ArrivalConfig &cfg)
+{
+    if (cfg.ratePerSec <= 0.0)
+        ADYNA_FATAL("ArrivalConfig.ratePerSec must be > 0 "
+                    "requests/sec (got ",
+                    cfg.ratePerSec, ")");
+    if (cfg.freqGhz <= 0.0)
+        ADYNA_FATAL("ArrivalConfig.freqGhz must be > 0 (got ",
+                    cfg.freqGhz, ")");
+    if (cfg.kind == ArrivalKind::Bursty) {
+        if (cfg.burstRateMultiplier < 1.0)
+            ADYNA_FATAL("ArrivalConfig.burstRateMultiplier must be "
+                        ">= 1 (got ",
+                        cfg.burstRateMultiplier, ")");
+        if (cfg.burstFraction <= 0.0 || cfg.burstFraction >= 1.0)
+            ADYNA_FATAL("ArrivalConfig.burstFraction must be in "
+                        "(0, 1) (got ",
+                        cfg.burstFraction, ")");
+        if (cfg.burstDwellSec <= 0.0)
+            ADYNA_FATAL("ArrivalConfig.burstDwellSec must be > 0 "
+                        "seconds (got ",
+                        cfg.burstDwellSec, ")");
+    }
+    if (cfg.kind == ArrivalKind::Replay && cfg.traceFile.empty())
+        ADYNA_FATAL("ArrivalConfig.traceFile must name an "
+                    "arrival-timestamp file when kind is Replay");
+}
+
+void
+validateBatchPolicy(const BatchPolicy &policy)
+{
+    if (policy.maxBatch < 1)
+        ADYNA_FATAL("BatchPolicy.maxBatch must be >= 1 (got ",
+                    policy.maxBatch, ")");
+}
+
+void
+validateSloConfig(const SloConfig &cfg)
+{
+    if (cfg.deadlineMs <= 0.0)
+        ADYNA_FATAL("SloConfig.deadlineMs must be > 0 milliseconds "
+                    "(got ",
+                    cfg.deadlineMs, ")");
+}
+
+void
+validateDriftConfig(const DriftConfig &cfg)
+{
+    if (cfg.windowRequests <= 0)
+        ADYNA_FATAL("DriftConfig.windowRequests must be > 0 (got ",
+                    cfg.windowRequests, ")");
+    if (cfg.threshold < 0.0)
+        ADYNA_FATAL("DriftConfig.threshold must be >= 0 (got ",
+                    cfg.threshold, ")");
+    if (cfg.noiseMultiplier < 0.0)
+        ADYNA_FATAL("DriftConfig.noiseMultiplier must be >= 0 (got ",
+                    cfg.noiseMultiplier, ")");
+    if (cfg.hysteresisWindows < 1)
+        ADYNA_FATAL("DriftConfig.hysteresisWindows must be >= 1 "
+                    "(got ",
+                    cfg.hysteresisWindows, ")");
+    if (cfg.cooldownWindows < 0)
+        ADYNA_FATAL("DriftConfig.cooldownWindows must be >= 0 (got ",
+                    cfg.cooldownWindows, ")");
+    if (cfg.l1Buckets < 1)
+        ADYNA_FATAL("DriftConfig.l1Buckets must be >= 1 (got ",
+                    cfg.l1Buckets, ")");
+}
+
+void
+validateServeConfig(const ServeConfig &cfg)
+{
+    validateArrivalConfig(cfg.arrival);
+    validateBatchPolicy(cfg.batching);
+    validateSloConfig(cfg.slo);
+    validateDriftConfig(cfg.drift);
+    if (cfg.numRequests <= 0)
+        ADYNA_FATAL("ServeConfig.numRequests must be > 0 (got ",
+                    cfg.numRequests, ")");
+    if (cfg.profileBatches < 0)
+        ADYNA_FATAL("ServeConfig.profileBatches must be >= 0 (got ",
+                    cfg.profileBatches, ")");
+    if (cfg.shedLatencyFactor <= 0.0)
+        ADYNA_FATAL("ServeConfig.shedLatencyFactor must be > 0 "
+                    "(got ",
+                    cfg.shedLatencyFactor, ")");
+}
+
+} // namespace adyna::serve

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Serving-config validation: every user-facing knob of the serving
+ * runtime is range-checked up front with a clear, field-naming error
+ * message (ADYNA_FATAL, exit code 1) instead of failing deep inside
+ * the run with an internal assertion. ServeRuntime validates its
+ * ServeConfig on construction; the free functions are exposed so CLI
+ * front-ends can validate before building the heavier runtime state.
+ */
+
+#ifndef ADYNA_SERVE_VALIDATE_HH
+#define ADYNA_SERVE_VALIDATE_HH
+
+#include "serve/server.hh"
+
+namespace adyna::serve {
+
+/** Fatal on non-positive rates, out-of-range burst parameters, or a
+ * Replay config without a trace file. */
+void validateArrivalConfig(const ArrivalConfig &cfg);
+
+/** Fatal on a zero/negative maxBatch. */
+void validateBatchPolicy(const BatchPolicy &policy);
+
+/** Fatal on a non-positive deadline. */
+void validateSloConfig(const SloConfig &cfg);
+
+/** Fatal on non-positive windows / buckets or negative thresholds,
+ * hysteresis, or cooldown. */
+void validateDriftConfig(const DriftConfig &cfg);
+
+/** Validate every nested config plus the serve-level knobs
+ * (numRequests, profileBatches, shedLatencyFactor, fault plan
+ * targets). */
+void validateServeConfig(const ServeConfig &cfg);
+
+} // namespace adyna::serve
+
+#endif // ADYNA_SERVE_VALIDATE_HH

@@ -10,6 +10,7 @@
 
 #include "arch/chip.hh"
 #include "baselines/designs.hh"
+#include "common/rng.hh"
 #include "core/engine.hh"
 #include "core/scheduler.hh"
 #include "core/system.hh"
@@ -74,6 +75,50 @@ TEST(Engine, NocSlicesCoverEveryByte)
             }
             EXPECT_EQ(sum, total) << total << "/" << parts;
             EXPECT_LE(hi - lo, 1u) << total << "/" << parts;
+        }
+    }
+}
+
+TEST(Engine, NocSlicesPartitionExactlyUnderDetours)
+{
+    // Same partition invariant with the NoC under link faults: the
+    // per-source slices must still cover every byte, and each slice's
+    // transfer must account its bytes on the (possibly detoured)
+    // route it actually took — detours change hop counts, never the
+    // payload split.
+    arch::Noc noc{hw()};
+    adyna::Rng rng(77);
+    const int tiles = hw().tiles();
+    for (int f = 0; f < 24; ++f)
+        noc.setLinkDown(
+            static_cast<TileId>(rng.uniformInt(0, tiles - 1)),
+            static_cast<int>(rng.uniformInt(0, 3)), true);
+    ASSERT_GT(noc.downLinks(), 0);
+
+    for (Bytes total : {Bytes{4096}, Bytes{100003}}) {
+        for (std::size_t parts :
+             {std::size_t{3}, std::size_t{7}, std::size_t{12}}) {
+            Bytes sum = 0;
+            Bytes accounted = 0;
+            const Bytes before = noc.byteHopsServed();
+            for (std::size_t i = 0; i < parts; ++i) {
+                const Bytes s = nocSliceBytes(total, parts, i);
+                sum += s;
+                const TileId src = static_cast<TileId>(
+                    (i * 29) % static_cast<std::size_t>(tiles));
+                const TileId dst = static_cast<TileId>(
+                    (i * 53 + 40) % static_cast<std::size_t>(tiles));
+                const auto t = noc.transfer(0, src, dst, s);
+                // Bytes are charged exactly once per hop of the
+                // route the fault state actually selected.
+                EXPECT_EQ(t.hops,
+                          static_cast<int>(noc.route(src, dst).size()));
+                EXPECT_EQ(t.byteHops,
+                          s * static_cast<Bytes>(t.hops));
+                accounted += t.byteHops;
+            }
+            EXPECT_EQ(sum, total) << total << "/" << parts;
+            EXPECT_EQ(noc.byteHopsServed() - before, accounted);
         }
     }
 }

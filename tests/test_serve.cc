@@ -24,6 +24,7 @@
 #include "serve/drift.hh"
 #include "serve/server.hh"
 #include "serve/slo.hh"
+#include "serve/validate.hh"
 #include "trace/trace.hh"
 
 namespace {
@@ -399,6 +400,159 @@ TEST(ServeRuntime, StationaryAdaptiveMatchesStaticExactly)
     EXPECT_DOUBLE_EQ(adaptive.p99Ms, fixed.p99Ms);
     EXPECT_DOUBLE_EQ(adaptive.goodputRps, fixed.goodputRps);
     EXPECT_EQ(adaptive.horizonTicks, fixed.horizonTicks);
+}
+
+// ------------------------------------------------- config validation
+// Every rejected field must die with a message naming the field, so
+// a misconfigured CLI run points straight at the bad knob.
+
+using Validate = ::testing::Test;
+
+TEST(Validate, RejectsNonPositiveArrivalRate)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerSec = 0.0;
+    EXPECT_EXIT(validateArrivalConfig(cfg),
+                ::testing::ExitedWithCode(1), "ratePerSec");
+}
+
+TEST(Validate, RejectsNonPositiveArrivalFreq)
+{
+    ArrivalConfig cfg;
+    cfg.freqGhz = -1.0;
+    EXPECT_EXIT(validateArrivalConfig(cfg),
+                ::testing::ExitedWithCode(1), "freqGhz");
+}
+
+TEST(Validate, RejectsBurstMultiplierBelowOne)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Bursty;
+    cfg.burstRateMultiplier = 0.5;
+    EXPECT_EXIT(validateArrivalConfig(cfg),
+                ::testing::ExitedWithCode(1), "burstRateMultiplier");
+}
+
+TEST(Validate, RejectsBurstFractionOutsideUnitInterval)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Bursty;
+    cfg.burstFraction = 1.0;
+    EXPECT_EXIT(validateArrivalConfig(cfg),
+                ::testing::ExitedWithCode(1), "burstFraction");
+}
+
+TEST(Validate, RejectsNonPositiveBurstDwell)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Bursty;
+    cfg.burstDwellSec = 0.0;
+    EXPECT_EXIT(validateArrivalConfig(cfg),
+                ::testing::ExitedWithCode(1), "burstDwellSec");
+}
+
+TEST(Validate, RejectsReplayWithoutTraceFile)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Replay;
+    EXPECT_EXIT(validateArrivalConfig(cfg),
+                ::testing::ExitedWithCode(1), "traceFile");
+}
+
+TEST(Validate, RejectsZeroMaxBatch)
+{
+    BatchPolicy policy;
+    policy.maxBatch = 0;
+    EXPECT_EXIT(validateBatchPolicy(policy),
+                ::testing::ExitedWithCode(1), "maxBatch");
+}
+
+TEST(Validate, RejectsNonPositiveDeadline)
+{
+    SloConfig cfg;
+    cfg.deadlineMs = 0.0;
+    EXPECT_EXIT(validateSloConfig(cfg),
+                ::testing::ExitedWithCode(1), "deadlineMs");
+}
+
+TEST(Validate, RejectsNonPositiveDriftWindow)
+{
+    DriftConfig cfg;
+    cfg.windowRequests = 0;
+    EXPECT_EXIT(validateDriftConfig(cfg),
+                ::testing::ExitedWithCode(1), "windowRequests");
+}
+
+TEST(Validate, RejectsNegativeDriftThreshold)
+{
+    DriftConfig cfg;
+    cfg.threshold = -0.1;
+    EXPECT_EXIT(validateDriftConfig(cfg),
+                ::testing::ExitedWithCode(1), "threshold");
+}
+
+TEST(Validate, RejectsNegativeNoiseMultiplier)
+{
+    DriftConfig cfg;
+    cfg.noiseMultiplier = -1.0;
+    EXPECT_EXIT(validateDriftConfig(cfg),
+                ::testing::ExitedWithCode(1), "noiseMultiplier");
+}
+
+TEST(Validate, RejectsZeroHysteresisWindows)
+{
+    DriftConfig cfg;
+    cfg.hysteresisWindows = 0;
+    EXPECT_EXIT(validateDriftConfig(cfg),
+                ::testing::ExitedWithCode(1), "hysteresisWindows");
+}
+
+TEST(Validate, RejectsNegativeCooldownWindows)
+{
+    DriftConfig cfg;
+    cfg.cooldownWindows = -1;
+    EXPECT_EXIT(validateDriftConfig(cfg),
+                ::testing::ExitedWithCode(1), "cooldownWindows");
+}
+
+TEST(Validate, RejectsZeroL1Buckets)
+{
+    DriftConfig cfg;
+    cfg.l1Buckets = 0;
+    EXPECT_EXIT(validateDriftConfig(cfg),
+                ::testing::ExitedWithCode(1), "l1Buckets");
+}
+
+TEST(Validate, RejectsNonPositiveNumRequests)
+{
+    ServeConfig cfg;
+    cfg.numRequests = 0;
+    EXPECT_EXIT(validateServeConfig(cfg),
+                ::testing::ExitedWithCode(1), "numRequests");
+}
+
+TEST(Validate, RejectsNegativeProfileBatches)
+{
+    ServeConfig cfg;
+    cfg.profileBatches = -1;
+    EXPECT_EXIT(validateServeConfig(cfg),
+                ::testing::ExitedWithCode(1), "profileBatches");
+}
+
+TEST(Validate, RejectsNonPositiveShedFactor)
+{
+    ServeConfig cfg;
+    cfg.shedLatencyFactor = 0.0;
+    EXPECT_EXIT(validateServeConfig(cfg),
+                ::testing::ExitedWithCode(1), "shedLatencyFactor");
+}
+
+TEST(Validate, AcceptsDefaultsAndBurstyDefaults)
+{
+    validateServeConfig(ServeConfig{});
+    ArrivalConfig bursty;
+    bursty.kind = ArrivalKind::Bursty;
+    validateArrivalConfig(bursty);
 }
 
 } // namespace
