@@ -63,6 +63,22 @@ Hbm::totalBandwidth() const
 }
 
 void
+Hbm::trim(Tick before)
+{
+    for (auto &c : channels_)
+        c.trim(before);
+}
+
+std::size_t
+Hbm::reservationCount() const
+{
+    std::size_t total = 0;
+    for (const auto &c : channels_)
+        total += c.reservationCount();
+    return total;
+}
+
+void
 Hbm::reset()
 {
     for (auto &c : channels_)

@@ -46,6 +46,16 @@ class Hbm
     /** Aggregate bandwidth in bytes per cycle. */
     double totalBandwidth() const;
 
+    /**
+     * Drop channel reservations ending at or before @p before. Safe
+     * only when every later access passes earliest >= @p before; the
+     * engine calls this with the monotone period barrier.
+     */
+    void trim(Tick before);
+
+    /** Live reservations across all channels (bookkeeping bound). */
+    std::size_t reservationCount() const;
+
     void reset();
 
   private:

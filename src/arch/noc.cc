@@ -86,6 +86,14 @@ std::vector<std::size_t>
 Noc::path(TileId src, TileId dst) const
 {
     std::vector<std::size_t> out;
+    appendPathXY(src, dst, out);
+    return out;
+}
+
+void
+Noc::appendPathXY(TileId src, TileId dst,
+                  std::vector<std::size_t> &out) const
+{
     int row = cfg_.tileRow(src);
     int col = cfg_.tileCol(src);
     const int dstRow = cfg_.tileRow(dst);
@@ -108,7 +116,6 @@ Noc::path(TileId src, TileId dst) const
             linkIndex(here, dir > 0 ? kLinkSouth : kLinkNorth));
         row = (row + dir + cfg_.gridRows) % cfg_.gridRows;
     }
-    return out;
 }
 
 std::vector<std::size_t>
@@ -232,23 +239,68 @@ Noc::transfer(Tick earliest, TileId src, TileId dst, Bytes bytes)
         t.end = earliest;
         return t;
     }
-    const auto rt =
-        anyLinkFault_ ? route(src, dst) : path(src, dst);
-    t.hops = static_cast<int>(rt.size());
-    Tick latest = earliest;
-    for (std::size_t link : rt) {
-        const auto res = acquireLink(link, earliest, bytes);
-        latest = std::max(latest, res.end);
+    if (anyLinkFault_) {
+        const auto rt = route(src, dst);
+        t.hops = static_cast<int>(rt.size());
+        Tick latest = earliest;
+        for (std::size_t link : rt) {
+            const auto res = acquireLink(link, earliest, bytes);
+            latest = std::max(latest, res.end);
+        }
+        t.end =
+            latest + static_cast<Tick>(t.hops) * cfg_.nocHopLatency;
+        t.byteHops = bytes * static_cast<Bytes>(t.hops);
+        byteHops_ += t.byteHops;
+#ifdef ADYNA_SANITIZE
+        validateRoute(rt, src, dst);
+        ADYNA_ASSERT(t.hops >= 0, "negative hop count");
+        ADYNA_ASSERT(t.byteHops ==
+                         bytes * static_cast<Bytes>(t.hops),
+                     "byteHops inconsistent with the route");
+#endif
+        return t;
     }
-    t.end = latest + static_cast<Tick>(t.hops) * cfg_.nocHopLatency;
-    t.byteHops = bytes * static_cast<Bytes>(t.hops);
+
+    // Fault-free fast path: walk the X-Y route inline, reserving each
+    // link as it is visited, instead of materializing the path in a
+    // heap-allocated vector. Link visit order matches path() exactly,
+    // and BandwidthResource grants are order-sensitive only in that
+    // order, so reports stay byte-identical.
+    int row = cfg_.tileRow(src);
+    int col = cfg_.tileCol(src);
+    const int dstRow = cfg_.tileRow(dst);
+    const int dstCol = cfg_.tileCol(dst);
+    Tick latest = earliest;
+    int hopCount = 0;
+    while (col != dstCol) {
+        const int dir = torusDir(col, dstCol, cfg_.gridCols);
+        const TileId here =
+            static_cast<TileId>(row * cfg_.gridCols + col);
+        const auto link =
+            linkIndex(here, dir > 0 ? kLinkEast : kLinkWest);
+        latest = std::max(latest,
+                          acquireLink(link, earliest, bytes).end);
+        col = (col + dir + cfg_.gridCols) % cfg_.gridCols;
+        ++hopCount;
+    }
+    while (row != dstRow) {
+        const int dir = torusDir(row, dstRow, cfg_.gridRows);
+        const TileId here =
+            static_cast<TileId>(row * cfg_.gridCols + col);
+        const auto link =
+            linkIndex(here, dir > 0 ? kLinkSouth : kLinkNorth);
+        latest = std::max(latest,
+                          acquireLink(link, earliest, bytes).end);
+        row = (row + dir + cfg_.gridRows) % cfg_.gridRows;
+        ++hopCount;
+    }
+    t.hops = hopCount;
+    t.end = latest + static_cast<Tick>(hopCount) * cfg_.nocHopLatency;
+    t.byteHops = bytes * static_cast<Bytes>(hopCount);
     byteHops_ += t.byteHops;
 #ifdef ADYNA_SANITIZE
-    validateRoute(rt, src, dst);
-    ADYNA_ASSERT(t.hops >= 0, "negative hop count");
-    ADYNA_ASSERT(t.byteHops ==
-                     bytes * static_cast<Bytes>(t.hops),
-                 "byteHops inconsistent with the route");
+    ADYNA_ASSERT(hopCount == hops(src, dst),
+                 "inline walk hop count diverged from hops()");
 #endif
     return t;
 }
@@ -264,20 +316,29 @@ Noc::multicast(Tick earliest, TileId src,
         return t;
 
     // Union of the per-destination paths: each link carries the
-    // payload once (replication happens at branch points).
-    std::vector<std::size_t> links;
+    // payload once (replication happens at branch points). The link
+    // list lives in a member scratch buffer so steady-state
+    // multicasts reuse its capacity instead of allocating.
+    auto &links = scratchLinks_;
+    links.clear();
     int maxHops = 0;
     for (TileId dst : dsts) {
         if (dst == src)
             continue;
-        const auto rt =
-            anyLinkFault_ ? route(src, dst) : path(src, dst);
+        if (anyLinkFault_) {
+            const auto rt = route(src, dst);
 #ifdef ADYNA_SANITIZE
-        validateRoute(rt, src, dst);
+            validateRoute(rt, src, dst);
 #endif
-        maxHops = std::max(maxHops, static_cast<int>(rt.size()));
-        for (std::size_t link : rt)
-            links.push_back(link);
+            maxHops = std::max(maxHops, static_cast<int>(rt.size()));
+            for (std::size_t link : rt)
+                links.push_back(link);
+        } else {
+            const auto before = links.size();
+            appendPathXY(src, dst, links);
+            maxHops = std::max(
+                maxHops, static_cast<int>(links.size() - before));
+        }
     }
     std::sort(links.begin(), links.end());
     links.erase(std::unique(links.begin(), links.end()), links.end());

@@ -146,6 +146,10 @@ class Noc
     /** Torus X-Y path as a sequence of directed link indices. */
     std::vector<std::size_t> path(TileId src, TileId dst) const;
 
+    /** Append the X-Y path's directed link indices to @p out. */
+    void appendPathXY(TileId src, TileId dst,
+                      std::vector<std::size_t> &out) const;
+
     /** Y-X (rows first) variant of path(). */
     std::vector<std::size_t> pathYX(TileId src, TileId dst) const;
 
@@ -174,6 +178,9 @@ class Noc
     const HwConfig cfg_;
     std::vector<des::BandwidthResource> links_;
     Bytes byteHops_ = 0;
+
+    /** Reused multicast link-union buffer (capacity persists). */
+    std::vector<std::size_t> scratchLinks_;
 
     // Fault state. anyLinkFault_ gates every hot-path branch so the
     // healthy case costs one bool test.

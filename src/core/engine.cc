@@ -75,16 +75,43 @@ Engine::accumulate(ExecCost acc, const KernelCost &c)
     return acc;
 }
 
+Engine::ExecCost
+Engine::accumulateN(ExecCost acc, const KernelCost &c, std::int64_t n)
+{
+    if (n <= 0)
+        return acc;
+    const auto k = static_cast<std::uint64_t>(n);
+    acc.cycles += c.cycles * k;
+    acc.useful += c.usefulMacs * static_cast<MacCount>(k);
+    acc.issued += c.issuedMacs * static_cast<MacCount>(k);
+    acc.spill += c.dramSpillBytes * k;
+    acc.sram += c.sramBytes * k;
+    return acc;
+}
+
+std::uint64_t
+Engine::storeOpSignature(const StageAssign &st)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnvMix(h, st.op);
+    for (const auto &[count, store] : st.stores) {
+        h = fnvMix(h, static_cast<std::uint64_t>(count));
+        for (const kernels::Kernel &k : store->kernels())
+            h = fnvMix(h, static_cast<std::uint64_t>(k.value));
+    }
+    return h;
+}
+
 std::uint64_t
 Engine::storeSignature(const Schedule &schedule)
 {
     std::uint64_t h = 0xcbf29ce484222325ull;
-    for (const Segment &seg : schedule.segments) {
-        for (const StageAssign &st : seg.stages) {
+    for (const auto &seg : schedule.segments) {
+        for (const StageAssign &st : seg->stages) {
             h = fnvMix(h, st.op);
             for (const auto &[count, store] : st.stores) {
                 h = fnvMix(h, static_cast<std::uint64_t>(count));
-                for (const kernels::Kernel &k : store.kernels())
+                for (const kernels::Kernel &k : store->kernels())
                     h = fnvMix(h,
                                static_cast<std::uint64_t>(k.value));
             }
@@ -93,10 +120,36 @@ Engine::storeSignature(const Schedule &schedule)
     return h;
 }
 
+void
+Engine::invalidateExecMemo(const Schedule &schedule)
+{
+    // Memo values are deterministic functions of (op, tile count,
+    // executed value) given that op's stores, so only ops whose
+    // stores actually changed lose their entries. A delta
+    // re-schedule that splices most segments unchanged keeps their
+    // ops' memo warm.
+    opSigScratch_.clear();
+    for (const auto &seg : schedule.segments)
+        for (const StageAssign &st : seg->stages)
+            opSigScratch_.emplace(st.op, storeOpSignature(st));
+
+    for (auto it = execMemo_.begin(); it != execMemo_.end();) {
+        const OpId op = static_cast<OpId>(it->first >> 48);
+        const auto nit = opSigScratch_.find(op);
+        const auto oit = opSig_.find(op);
+        const bool keep = nit != opSigScratch_.end() &&
+                          oit != opSig_.end() &&
+                          nit->second == oit->second;
+        it = keep ? std::next(it) : execMemo_.erase(it);
+    }
+    opSig_.swap(opSigScratch_);
+}
+
 Engine::Engine(const graph::DynGraph &dg, arch::HwConfig hw,
                costmodel::Mapper &mapper, ExecPolicy policy)
     : dg_(dg), hw_(std::move(hw)), mapper_(mapper), policy_(policy),
-      scratchVisited_(dg.graph().size(), 0)
+      scratchVisited_(dg.graph().size(), 0),
+      snake_(arch::snakeTileOrder(hw_))
 {
     if (policy_.perBatchRepartition)
         ADYNA_ASSERT(policy_.exactKernels,
@@ -154,7 +207,7 @@ std::vector<Engine::StagePlan>
 Engine::planSegmentLegacy(const Schedule &schedule,
                           std::size_t seg_index) const
 {
-    const Segment &seg = schedule.segments[seg_index];
+    const Segment &seg = *schedule.segments[seg_index];
     std::vector<StagePlan> plans(seg.stages.size());
 
     std::vector<char> &visited = scratchVisited_;
@@ -198,7 +251,7 @@ Engine::planSegmentLegacy(const Schedule &schedule,
                 break;
             if (s2 == seg_index)
                 continue;
-            for (const StageAssign &st : schedule.segments[s2].stages) {
+            for (const StageAssign &st : schedule.segments[s2]->stages) {
                 std::vector<std::pair<OpId, bool>> producers;
                 resolve(st.op, producers);
                 for (const auto &[pid, crossed] : producers) {
@@ -232,7 +285,7 @@ Engine::planSegmentIndexed(const Schedule &schedule,
                            std::size_t seg_index,
                            const std::vector<int> &seg_of) const
 {
-    const Segment &seg = schedule.segments[seg_index];
+    const Segment &seg = *schedule.segments[seg_index];
     std::vector<StagePlan> plans(seg.stages.size());
 
     for (std::size_t si = 0; si < seg.stages.size(); ++si) {
@@ -277,14 +330,16 @@ Engine::planSegmentIndexed(const Schedule &schedule,
 const std::vector<std::vector<Engine::StagePlan>> &
 Engine::cachedPlans(const Schedule &schedule)
 {
-    PlanKey key;
-    key.reserve(schedule.segments.size());
-    for (const Segment &seg : schedule.segments) {
-        std::vector<OpId> ops;
-        ops.reserve(seg.stages.size());
-        for (const StageAssign &st : seg.stages)
+    // The lookup key is rebuilt into a member scratch buffer so a
+    // cache hit (the steady state) allocates nothing; insertion on a
+    // miss copies it.
+    PlanKey &key = scratchKey_;
+    key.resize(schedule.segments.size());
+    for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
+        auto &ops = key[s];
+        ops.clear();
+        for (const StageAssign &st : schedule.segments[s]->stages)
             ops.push_back(st.op);
-        key.push_back(std::move(ops));
     }
 
     const auto it = planCache_.find(key);
@@ -305,8 +360,7 @@ Engine::cachedPlans(const Schedule &schedule)
     plans.reserve(schedule.segments.size());
     for (std::size_t s = 0; s < schedule.segments.size(); ++s)
         plans.push_back(planSegmentIndexed(schedule, s, segOf));
-    return planCache_.emplace(std::move(key), std::move(plans))
-        .first->second;
+    return planCache_.emplace(key, std::move(plans)).first->second;
 }
 
 PeriodResult
@@ -315,25 +369,48 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                   arch::Profiler *profiler, Tick barrier)
 {
     PeriodResult result;
+    runPeriod(chip, schedule, batches, profiler, barrier, result);
+    return result;
+}
+
+void
+Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
+                  const std::vector<trace::BatchRouting> &batches,
+                  arch::Profiler *profiler, Tick barrier,
+                  PeriodResult &result)
+{
     const std::size_t numBatches = batches.size();
+    result.endTime = 0;
     result.batchEnds.assign(numBatches, barrier);
+    // Reuse the map nodes and vector capacity of the previous
+    // period; ops that end up recording nothing are dropped at the
+    // end so the content matches a freshly built result exactly.
+    for (auto &[op, cycles] : result.stageCycles)
+        cycles.clear();
+
+    // Every HBM access this period uses earliest >= barrier, and the
+    // barrier is monotone across periods on one chip, so reservations
+    // ending at or before it can no longer affect any grant.
+    chip.hbm().trim(barrier);
 
     // Memoized exec costs are valid only against the kernel stores
-    // they were dispatched from; a re-schedule (new stores) drops
-    // them.
+    // they were dispatched from; a re-schedule drops the entries of
+    // the ops whose stores changed (and only those).
     if (policy_.execCostMemo) {
         const std::uint64_t sig = storeSignature(schedule);
         if (sig != execMemoSig_) {
-            execMemo_.clear();
+            invalidateExecMemo(schedule);
             execMemoSig_ = sig;
         }
     }
 
-    const auto snake = arch::snakeTileOrder(hw_);
+    const std::vector<TileId> &snake = snake_;
     // Switch/merge on the host CPU (M-tenant): a serial processor
     // that executes routing tasks in time order (gap-filling, one
-    // cycle-unit per tick).
-    des::GapBandwidthResource hostCpu(1.0);
+    // cycle-unit per tick). Member state so its interval buffer is
+    // reused; reset restores the fresh-per-period semantics.
+    des::GapBandwidthResource &hostCpu = hostCpu_;
+    hostCpu.reset();
 
     // Record per-switch branch loads once per batch.
     if (profiler) {
@@ -349,7 +426,7 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
 
     Tick segBarrier = barrier;
     for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
-        const Segment &seg = schedule.segments[s];
+        const Segment &seg = *schedule.segments[s];
         if (seg.stages.empty())
             continue;
         std::vector<StagePlan> legacyPlans;
@@ -369,12 +446,16 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
 
         repartCount_.clear(); // fresh partition per segment
 
-        // Per-stage start/completion times and per-batch used tiles.
-        std::vector<std::vector<Tick>> starts(
-            seg.stages.size(), std::vector<Tick>(numBatches, 0));
-        std::vector<std::vector<Tick>> ends(
-            seg.stages.size(), std::vector<Tick>(numBatches, 0));
-        std::vector<std::vector<TileId>> usedTiles(seg.stages.size());
+        // Per-stage start/completion times (flattened to
+        // [stage * numBatches + batch]) and per-batch used tiles,
+        // all in member scratch whose capacity persists.
+        starts_.assign(seg.stages.size() * numBatches, 0);
+        ends_.assign(seg.stages.size() * numBatches, 0);
+        if (usedTiles_.size() < seg.stages.size())
+            usedTiles_.resize(seg.stages.size());
+        const auto at = [numBatches](std::size_t si, std::size_t b) {
+            return si * numBatches + b;
+        };
 
         Tick segEnd = segBarrier;
         for (std::size_t b = 0; b < numBatches; ++b) {
@@ -389,7 +470,8 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
             };
 
             // Tile-sharing configuration per pair for this batch.
-            std::vector<int> pairConfig(seg.pairs.size(), 0);
+            pairConfig_.assign(seg.pairs.size(), 0);
+            std::vector<int> &pairConfig = pairConfig_;
             if (policy_.tileSharing) {
                 for (std::size_t p = 0; p < seg.pairs.size(); ++p) {
                     const SharePair &pair = seg.pairs[p];
@@ -425,7 +507,8 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
             // stage's ideal share drifts substantially, as frequent
             // subarray reassignment would thrash the pipeline.
             if (policy_.perBatchRepartition) {
-                std::vector<double> works(seg.stages.size(), 0.0);
+                works_.assign(seg.stages.size(), 0.0);
+                std::vector<double> &works = works_;
                 double total = 0.0;
                 for (std::size_t si = 0; si < seg.stages.size(); ++si) {
                     works[si] =
@@ -436,7 +519,8 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                     total += works[si];
                 }
                 const int T = hw_.tiles();
-                std::vector<int> ideal(seg.stages.size(), 0);
+                ideal_.assign(seg.stages.size(), 0);
+                std::vector<int> &ideal = ideal_;
                 int used = 0;
                 for (std::size_t si = 0; si < seg.stages.size(); ++si) {
                     ideal[si] = std::max(
@@ -467,7 +551,7 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                     }
                 }
                 if (move)
-                    repartCount_ = std::move(ideal);
+                    std::swap(repartCount_, ideal_);
             }
             const std::vector<int> &repartCount = repartCount_;
 
@@ -481,8 +565,11 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                 if (profiler && dg_.isDynamic(st.op))
                     profiler->recordValue(st.op, vActual);
 
-                // Effective tile group for this batch.
-                std::vector<TileId> tiles;
+                // Effective tile group for this batch, built in
+                // place in the per-stage scratch slot (its capacity
+                // survives across batches and periods).
+                std::vector<TileId> &tiles = usedTiles_[si];
+                tiles.clear();
                 if (policy_.perBatchRepartition) {
                     const int count = repartCount[si];
                     for (int t = 0; t < count; ++t)
@@ -511,7 +598,6 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                     tiles.assign(st.tiles.begin(),
                                  st.tiles.begin() + st.baseTiles);
                 }
-                usedTiles[si] = tiles;
                 const int tileCount = static_cast<int>(tiles.size());
 
                 // Empty sub-batch with fitting: nothing to execute.
@@ -521,10 +607,11 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                         if (e.producerStage >= 0)
                             ready = std::max(
                                 ready,
-                                ends[static_cast<std::size_t>(
-                                    e.producerStage)][b]);
-                    starts[si][b] = ready;
-                    ends[si][b] = ready;
+                                ends_[at(static_cast<std::size_t>(
+                                             e.producerStage),
+                                         b)]);
+                    starts_[at(si, b)] = ready;
+                    ends_[at(si, b)] = ready;
                     segEnd = std::max(segEnd, ready);
                     continue;
                 }
@@ -565,19 +652,25 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                     ADYNA_ASSERT(storeIt != st.stores.end(),
                                  "no kernel store for op ", st.op,
                                  " at ", tileCount, " tiles");
-                    const auto &store = storeIt->second;
+                    const auto &store = *storeIt->second;
                     const auto d = store.dispatch(
                         std::max<std::int64_t>(vExec, 1));
                     const Mapping &m = store.at(d.index).mapping;
                     rowSplit = m.splitFactor(graph::Dim::N) > 1 ||
                                tileCount == 1;
                     const std::int64_t full = d.perPass;
-                    for (std::int64_t pass = 0; pass + 1 < d.passes;
-                         ++pass)
-                        cost = accumulate(
-                            cost, evalKernel(node, m, full,
-                                             policy_.kernelFitting,
-                                             hw_.tech));
+                    // Every non-final pass evaluates the kernel with
+                    // identical arguments; one evaluation scaled by
+                    // the pass count is exact (all-integer costs), so
+                    // the per-row event work collapses to a per-stage
+                    // aggregate without changing a single byte.
+                    if (d.passes > 1)
+                        cost = accumulateN(
+                            cost,
+                            evalKernel(node, m, full,
+                                       policy_.kernelFitting,
+                                       hw_.tech),
+                            d.passes - 1);
                     const std::int64_t lastRows =
                         vExec - (d.passes - 1) * full;
                     cost = accumulate(
@@ -630,15 +723,15 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                     if (internal && policy_.pipelining && !viaHost) {
                         const std::size_t pi =
                             static_cast<std::size_t>(e.producerStage);
-                        const auto &src = usedTiles[pi];
+                        const auto &src = usedTiles_[pi];
                         const Tick sync = chip.noc().probeAck(
-                            starts[pi][b], src.front(),
+                            starts_[at(pi, b)], src.front(),
                             tiles.front());
-                        Tick t0 = starts[pi][b] + sync;
+                        Tick t0 = starts_[at(pi, b)] + sync;
                         // Double-buffered input slots: wait for the
                         // slot freed by batch b-2.
                         if (b >= 2)
-                            t0 = std::max(t0, ends[si][b - 2]);
+                            t0 = std::max(t0, ends_[at(si, b - 2)]);
                         Tick done = t0;
                         if (rowSplit) {
                             // Row-split consumer: each destination
@@ -678,13 +771,15 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                         }
                         startLB = std::max(startLB, t0);
                         endLB = std::max(
-                            {endLB, done, ends[pi][b] + sync});
+                            {endLB, done, ends_[at(pi, b)] + sync});
                     } else {
                         // DRAM round trip (and host switch/merge).
-                        Tick t0 = internal
-                                      ? ends[static_cast<std::size_t>(
-                                            e.producerStage)][b]
-                                      : segBarrier;
+                        Tick t0 =
+                            internal
+                                ? ends_[at(static_cast<std::size_t>(
+                                               e.producerStage),
+                                           b)]
+                                : segBarrier;
                         if (viaHost) {
                             t0 = hostCpu
                                      .acquire(t0,
@@ -742,8 +837,8 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                     execCycles, endLB > start ? endLB - start : 0);
                 const auto res =
                     chip.occupyTiles(start, tiles, duration);
-                starts[si][b] = res.start;
-                ends[si][b] = res.end;
+                starts_[at(si, b)] = res.start;
+                ends_[at(si, b)] = res.end;
                 segEnd = std::max(segEnd, res.end);
                 chip.recordMacs(cost.issued, cost.useful);
                 chip.chargePeEnergy(hw_.tech.eMacPj *
@@ -764,7 +859,7 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                         chip.chargeHbmEnergy(outBytes);
                         segEnd = std::max(segEnd, acc.end);
                         if (!policy_.pipelining)
-                            ends[si][b] = acc.end;
+                            ends_[at(si, b)] = acc.end;
                     }
                 }
             }
@@ -772,13 +867,21 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
             // Batch completion at the last stage of this segment.
             Tick batchEnd = result.batchEnds[b];
             for (std::size_t si = 0; si < seg.stages.size(); ++si)
-                batchEnd = std::max(batchEnd, ends[si][b]);
+                batchEnd = std::max(batchEnd, ends_[at(si, b)]);
             result.batchEnds[b] = batchEnd;
         }
         segBarrier = std::max(segEnd, chip.allTilesFreeAt());
         result.endTime = segBarrier;
     }
-    return result;
+
+    // Drop ops that recorded nothing this period so the map's key
+    // set matches a freshly built result (erase frees only nodes,
+    // never allocates).
+    for (auto it = result.stageCycles.begin();
+         it != result.stageCycles.end();) {
+        it = it->second.empty() ? result.stageCycles.erase(it)
+                                : std::next(it);
+    }
 }
 
 } // namespace adyna::core

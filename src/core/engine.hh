@@ -19,6 +19,7 @@
 #include "arch/profiler.hh"
 #include "core/schedule.hh"
 #include "costmodel/mapper.hh"
+#include "des/resource.hh"
 #include "graph/dyngraph.hh"
 #include "trace/trace.hh"
 
@@ -135,6 +136,18 @@ class Engine
                                &batches,
                            arch::Profiler *profiler, Tick barrier);
 
+    /**
+     * Allocation-free variant: results land in @p out, whose vectors
+     * and map nodes are reused across calls. With the plan cache and
+     * exec memo warm (same schedule, same dyn-value set), a
+     * steady-state call performs zero heap allocations — the
+     * invariant the allocation-guard test enforces.
+     */
+    void runPeriod(arch::Chip &chip, const Schedule &schedule,
+                   const std::vector<trace::BatchRouting> &batches,
+                   arch::Profiler *profiler, Tick barrier,
+                   PeriodResult &out);
+
     const ExecPolicy &policy() const { return policy_; }
 
     /** Exec-cost memo statistics (monotone over the engine's life;
@@ -237,11 +250,26 @@ class Engine
     static ExecCost accumulate(ExecCost acc,
                                const costmodel::KernelCost &c);
 
+    /** Accumulate @p c scaled by @p n passes. All fields are
+     * integers, so this equals @p n repeated accumulate() calls. */
+    static ExecCost accumulateN(ExecCost acc,
+                                const costmodel::KernelCost &c,
+                                std::int64_t n);
+
     /** Identity of the kernel stores memoized exec costs depend on:
      * a hash over every stage's op, tile counts, and compiled
      * values (mappings and images derive deterministically from
      * those plus the fixed tech parameters). */
     static std::uint64_t storeSignature(const Schedule &schedule);
+
+    /** Per-op slice of storeSignature(): the stores one op's memo
+     * entries depend on (the segment-level invalidation key). */
+    static std::uint64_t storeOpSignature(const StageAssign &st);
+
+    /** Drop exec-memo entries of ops whose stores changed relative
+     * to the previous schedule, keeping every other op's entries
+     * warm across a delta re-schedule. */
+    void invalidateExecMemo(const Schedule &schedule);
 
     const graph::DynGraph &dg_;
     arch::HwConfig hw_; // by value: small, and callers may pass
@@ -265,11 +293,47 @@ class Engine
     std::vector<int> repartCount_;
 
     /** Exec-cost memo keyed by packed (op, tile count, executed
-     * value); cleared when the schedule's stores change. */
+     * value); entries are invalidated per op when that op's stores
+     * change (whole-schedule signature match is the no-op fast
+     * path). */
     std::unordered_map<std::uint64_t, ExecEntry> execMemo_;
     std::uint64_t execMemoSig_ = 0;
     std::uint64_t execHits_ = 0;
     std::uint64_t execMisses_ = 0;
+
+    /** Per-op store signatures of the schedule the memo was filled
+     * against, plus the scratch map for the next comparison. */
+    std::map<OpId, std::uint64_t> opSig_;
+    std::map<OpId, std::uint64_t> opSigScratch_;
+
+    // --- reusable runPeriod scratch state ---------------------------
+    // Hoisted out of the hot loop so a steady-state period performs
+    // zero allocations: capacity persists across batches, segments,
+    // and calls.
+
+    /** Snake tile order (fixed by the hw config). */
+    std::vector<TileId> snake_;
+
+    /** Host-CPU routing resource, reset at each period start. */
+    des::GapBandwidthResource hostCpu_{1.0};
+
+    /** Reused plan-cache lookup key (insertion copies it). */
+    PlanKey scratchKey_;
+
+    /** Flattened per-stage/per-batch start and end times,
+     * indexed [stage * numBatches + batch]. */
+    std::vector<Tick> starts_;
+    std::vector<Tick> ends_;
+
+    /** Per-stage effective tile groups for the current batch. */
+    std::vector<std::vector<TileId>> usedTiles_;
+
+    /** Per-pair tile-sharing configuration for the current batch. */
+    std::vector<int> pairConfig_;
+
+    /** M-tenant repartition scratch (loads and ideal counts). */
+    std::vector<double> works_;
+    std::vector<int> ideal_;
 };
 
 } // namespace adyna::core

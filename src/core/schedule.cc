@@ -13,14 +13,23 @@ Segment::stageOf(OpId op) const
     return -1;
 }
 
+Segment &
+Schedule::mutableSegment(std::size_t i)
+{
+    auto clone = std::make_shared<Segment>(*segments[i]);
+    Segment &ref = *clone;
+    segments[i] = std::move(clone);
+    return ref;
+}
+
 std::size_t
 Schedule::totalKernels() const
 {
     std::size_t total = 0;
-    for (const Segment &seg : segments)
-        for (const StageAssign &st : seg.stages)
+    for (const auto &seg : segments)
+        for (const StageAssign &st : seg->stages)
             for (const auto &[tiles, store] : st.stores)
-                total += store.size();
+                total += store->size();
     return total;
 }
 
@@ -31,7 +40,7 @@ Schedule::str() const
     os << "Schedule: " << segments.size() << " segments, "
        << totalKernels() << " kernels\n";
     for (std::size_t s = 0; s < segments.size(); ++s) {
-        const Segment &seg = segments[s];
+        const Segment &seg = *segments[s];
         os << " segment " << s << ": " << seg.stages.size()
            << " stages, " << seg.pairs.size() << " share pairs, "
            << (seg.residentWeightBytes >> 20) << " MiB weights\n";

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,9 +34,14 @@ struct StageAssign
     /** Tiles used in the default configuration. */
     int baseTiles = 1;
 
-    /** Kernel stores per tile-group size (sharing configurations
-     * need kernels for each possible size, Section VII). */
-    std::map<int, kernels::KernelStore> stores;
+    /**
+     * Kernel stores per tile-group size (sharing configurations
+     * need kernels for each possible size, Section VII). Held by
+     * shared_ptr so schedule copies — warm rebuilds, delta splices,
+     * cache-served builds — share the compiled images instead of
+     * deep-copying them; stores are immutable once built.
+     */
+    std::map<int, std::shared_ptr<const kernels::KernelStore>> stores;
 
     /** Weights stay resident in the scratchpads (vs streamed from
      * DRAM every batch). */
@@ -80,7 +86,21 @@ struct Segment
 /** A full dataflow schedule. */
 struct Schedule
 {
-    std::vector<Segment> segments;
+    /**
+     * Segments are immutable once built and held by shared_ptr, so
+     * copying a schedule — and, critically, splicing untouched
+     * segments from a last-known-good schedule during a delta
+     * re-schedule — costs refcount bumps instead of deep copies of
+     * every stage's tile ranges and store maps. Mutate through
+     * mutableSegment(), which clones first (copy-on-write).
+     */
+    std::vector<std::shared_ptr<const Segment>> segments;
+
+    /** Clone-on-write access to segment @p i: replaces the shared
+     * segment with a private copy and returns it. For tests and
+     * tools that edit a built schedule; never needed on the build or
+     * serve paths. */
+    Segment &mutableSegment(std::size_t i);
 
     /** Total kernels stored, over all stages and tile counts. */
     std::size_t totalKernels() const;

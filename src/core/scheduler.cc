@@ -61,6 +61,7 @@ Scheduler::setHealthyTiles(std::vector<TileId> healthy)
     for (TileId t : healthy)
         ADYNA_ASSERT(static_cast<int>(t) < hw_.tiles(),
                      "healthy tile ", t, " outside the grid");
+    segCacheValid_ = false; // the partition budgets healthy tiles
     if (healthy.empty() ||
         static_cast<int>(healthy.size()) == hw_.tiles()) {
         // Empty (the documented "clear" form) or everything healthy:
@@ -122,9 +123,11 @@ Scheduler::expectedWork(OpId op,
     return rows * perRow;
 }
 
-std::vector<std::vector<OpId>>
+const std::vector<std::vector<OpId>> &
 Scheduler::segmentOps() const
 {
+    if (segCacheValid_)
+        return segCache_;
     const std::vector<OpId> ops = stageOps();
 
     // Atom of each op: a switch region [switch..merge] must stay
@@ -190,7 +193,9 @@ Scheduler::segmentOps() const
     }
     if (!current.empty())
         segments.push_back(std::move(current));
-    return segments;
+    segCache_ = std::move(segments);
+    segCacheValid_ = true;
+    return segCache_;
 }
 
 int
@@ -224,10 +229,97 @@ Scheduler::build(const std::map<OpId, double> &expectations,
                      &kernel_values,
                  const arch::Profiler *profiler) const
 {
-    Schedule schedule;
-    const auto segs = segmentOps();
+    const auto &segs = segmentOps();
+    std::vector<Segment> built;
+    built.reserve(segs.size());
+    for (const auto &segOps : segs)
+        built.push_back(buildSegment(segOps, expectations, profiler));
+    compileStores(built, kernel_values);
 
-    for (const auto &segOps : segs) {
+    Schedule schedule;
+    schedule.segments.reserve(built.size());
+    for (Segment &seg : built)
+        schedule.segments.push_back(
+            std::make_shared<const Segment>(std::move(seg)));
+    return schedule;
+}
+
+Schedule
+Scheduler::buildDelta(const Schedule &base,
+                      const std::map<OpId, double> &expectations,
+                      const std::map<OpId, std::vector<std::int64_t>>
+                          &kernel_values,
+                      const arch::Profiler *profiler,
+                      const std::vector<OpId> &changed_ops,
+                      DeltaStats *stats) const
+{
+    const auto &segs = segmentOps();
+
+    // changed_ops is a handful of dynamic ops at most, so a linear
+    // scan beats hashing it into a set (which would allocate on the
+    // serve loop's pure-splice fast path).
+    const auto isChanged = [&changed_ops](OpId op) {
+        return std::find(changed_ops.begin(), changed_ops.end(),
+                         op) != changed_ops.end();
+    };
+
+    // A base segment is reusable when it covers exactly the same ops
+    // in the same order -- tile allocation and sharing only depend on
+    // the segment's own ops, so segments are independent given the
+    // partition.
+    const auto sameOps = [](const Segment &seg,
+                            const std::vector<OpId> &ops) {
+        if (seg.stages.size() != ops.size())
+            return false;
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            if (seg.stages[i].op != ops[i])
+                return false;
+        return true;
+    };
+
+    Schedule schedule;
+    schedule.segments.reserve(segs.size());
+    std::vector<Segment> rebuiltSegs;
+    std::vector<std::size_t> rebuiltAt;
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+        bool touched = false;
+        for (OpId op : segs[i])
+            touched |= isChanged(op);
+        if (!touched && i < base.segments.size() &&
+            sameOps(*base.segments[i], segs[i])) {
+            // Splice: a refcount bump on the base's immutable
+            // segment — stages, tile ranges, and compiled stores are
+            // shared, not copied.
+            schedule.segments.push_back(base.segments[i]);
+        } else {
+            rebuiltAt.push_back(i);
+            rebuiltSegs.push_back(
+                buildSegment(segs[i], expectations, profiler));
+            schedule.segments.emplace_back(); // frozen below
+        }
+    }
+    // Only rebuilt segments need stores; a pure splice skips the
+    // compile pass entirely.
+    if (!rebuiltSegs.empty()) {
+        compileStores(rebuiltSegs, kernel_values);
+        for (std::size_t j = 0; j < rebuiltSegs.size(); ++j)
+            schedule.segments[rebuiltAt[j]] =
+                std::make_shared<const Segment>(
+                    std::move(rebuiltSegs[j]));
+    }
+    if (stats) {
+        stats->segmentsTotal = segs.size();
+        stats->segmentsRebuilt = rebuiltAt.size();
+    }
+    return schedule;
+}
+
+Segment
+Scheduler::buildSegment(const std::vector<OpId> &segOps,
+                        const std::map<OpId, double> &expectations,
+                        const arch::Profiler *profiler) const
+{
+    {
         Segment seg;
 
         // ---- branch grouping --------------------------------------
@@ -497,13 +589,20 @@ Scheduler::build(const std::map<OpId, double> &expectations,
             }
         }
 
-        schedule.segments.push_back(std::move(seg));
+        return seg;
     }
+}
 
-    // ---- kernel stores -------------------------------------------
+void
+Scheduler::compileStores(std::vector<Segment> &segments,
+                         const std::map<OpId,
+                                        std::vector<std::int64_t>>
+                             &kernel_values) const
+{
     // Phase 1 (serial): the value set and tile counts each stage
     // needs, across every segment, so phase 2 can compile all stages
-    // concurrently.
+    // concurrently. Runs before the segments are frozen behind
+    // shared_ptr<const> — spliced segments never pass through here.
     struct StoreJob
     {
         StageAssign *stage = nullptr;
@@ -511,7 +610,7 @@ Scheduler::build(const std::map<OpId, double> &expectations,
         std::vector<int> counts;
     };
     std::vector<StoreJob> storeJobs;
-    for (Segment &seg : schedule.segments) {
+    for (Segment &seg : segments) {
         for (StageAssign &st : seg.stages) {
             const OpNode &node = dg_.graph().node(st.op);
 
@@ -595,13 +694,15 @@ Scheduler::build(const std::map<OpId, double> &expectations,
             if (cache) {
                 job.stage->stores.emplace(
                     count,
-                    *cache->getOrCompile(node, job.values, count,
-                                         mapper_, hw_.tech));
+                    cache->getOrCompile(node, job.values, count,
+                                        mapper_, hw_.tech));
             } else {
                 job.stage->stores.emplace(
                     count,
-                    kernels::compileStore(node, job.values, count,
-                                          mapper_, hw_.tech));
+                    std::make_shared<const kernels::KernelStore>(
+                        kernels::compileStore(node, job.values,
+                                              count, mapper_,
+                                              hw_.tech)));
             }
         }
     };
@@ -611,7 +712,6 @@ Scheduler::build(const std::map<OpId, double> &expectations,
         for (std::size_t i = 0; i < storeJobs.size(); ++i)
             buildStores(i);
     }
-    return schedule;
 }
 
 } // namespace adyna::core

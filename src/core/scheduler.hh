@@ -49,6 +49,18 @@ struct SchedulerConfig
     bool storeCache = true;
 };
 
+/** What a delta re-schedule actually rebuilt (observability for the
+ * serve loop and the perf harness). */
+struct DeltaStats
+{
+    /** Segments in the produced schedule. */
+    std::size_t segmentsTotal = 0;
+
+    /** Segments rebuilt from scratch; the rest were spliced from the
+     * base schedule, sharing its compiled kernel stores. */
+    std::size_t segmentsRebuilt = 0;
+};
+
 /** Builds schedules for one dynamic operator graph on one chip. */
 class Scheduler
 {
@@ -71,6 +83,31 @@ class Scheduler
                    const std::map<OpId, std::vector<std::int64_t>>
                        &kernel_values,
                    const arch::Profiler *profiler) const;
+
+    /**
+     * Delta re-schedule: rebuild only the segments touched by
+     * @p changed_ops, splicing every other segment from @p base
+     * (sharing its compiled kernel stores instead of recompiling).
+     *
+     * A segment is spliced when its op partition matches the base
+     * schedule's and none of its ops appear in @p changed_ops;
+     * otherwise it is rebuilt through the exact full-build path, so
+     * with the same @p profiler and unchanged per-op inputs the
+     * result is byte-identical to build(). An empty @p changed_ops
+     * with a matching partition therefore returns a pure splice —
+     * the serve loop's sub-tolerance-drift fast path.
+     *
+     * The caller owns the contract that @p expectations and
+     * @p kernel_values only differ from the base build's inputs on
+     * ops listed in @p changed_ops.
+     */
+    Schedule buildDelta(const Schedule &base,
+                        const std::map<OpId, double> &expectations,
+                        const std::map<OpId, std::vector<std::int64_t>>
+                            &kernel_values,
+                        const arch::Profiler *profiler,
+                        const std::vector<OpId> &changed_ops,
+                        DeltaStats *stats = nullptr) const;
 
     /** Per-op uniform initial kernel values (Section VII). */
     std::map<OpId, std::vector<std::int64_t>> initialKernelValues() const;
@@ -128,8 +165,29 @@ class Scheduler
     double expectedWork(OpId op,
                         const std::map<OpId, double> &expectations) const;
 
-    /** Partition stage ops into segments respecting atoms. */
-    std::vector<std::vector<OpId>> segmentOps() const;
+    /** Partition stage ops into segments respecting atoms. The
+     * partition only depends on the graph, the hw config, and the
+     * healthy-tile set, so it is computed once and memoized until
+     * setHealthyTiles() invalidates it — the delta re-schedule
+     * pure-splice path reduces to segment copies. */
+    const std::vector<std::vector<OpId>> &segmentOps() const;
+
+    /** Build one segment (branch grouping, allocation units, tile
+     * counts, residency, ranges, stages, tile sharing) for @p
+     * seg_ops. Kernel stores are left empty — compileStores() fills
+     * them. */
+    Segment buildSegment(const std::vector<OpId> &seg_ops,
+                         const std::map<OpId, double> &expectations,
+                         const arch::Profiler *profiler) const;
+
+    /** Fetch or compile kernel stores for every stage of the
+     * freshly built @p segments (before they are frozen behind
+     * shared_ptr<const> in a Schedule). Spliced segments keep the
+     * base schedule's stores and never pass through here. */
+    void compileStores(std::vector<Segment> &segments,
+                       const std::map<OpId,
+                                      std::vector<std::int64_t>>
+                           &kernel_values) const;
 
     /** Snake tile order restricted to the healthy tiles (the full
      * snake order when no degradation is installed). */
@@ -145,6 +203,11 @@ class Scheduler
 
     /** Sorted healthy-tile subset; empty = every tile is healthy. */
     std::vector<TileId> healthyTiles_;
+
+    /** Memoized segmentOps() result (single-threaded: builds never
+     * run concurrently on one scheduler). */
+    mutable std::vector<std::vector<OpId>> segCache_;
+    mutable bool segCacheValid_ = false;
 };
 
 } // namespace adyna::core

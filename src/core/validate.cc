@@ -22,7 +22,7 @@ validateSchedule(const Schedule &schedule, const graph::DynGraph &dg,
     // ---- coverage: every stage op in exactly one segment ----------
     std::map<OpId, int> segOf;
     for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
-        for (const StageAssign &st : schedule.segments[s].stages) {
+        for (const StageAssign &st : schedule.segments[s]->stages) {
             if (segOf.count(st.op))
                 add(static_cast<int>(s), st.op,
                     "op appears in multiple segments");
@@ -41,7 +41,7 @@ validateSchedule(const Schedule &schedule, const graph::DynGraph &dg,
     for (std::size_t i = 0; i < dg.topo().size(); ++i)
         topoPos[dg.topo()[i]] = i;
     for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
-        const auto &stages = schedule.segments[s].stages;
+        const auto &stages = schedule.segments[s]->stages;
         for (std::size_t i = 1; i < stages.size(); ++i) {
             if (topoPos[stages[i - 1].op] > topoPos[stages[i].op])
                 add(static_cast<int>(s), stages[i].op,
@@ -65,7 +65,7 @@ validateSchedule(const Schedule &schedule, const graph::DynGraph &dg,
 
     // ---- per-stage checks --------------------------------------------
     for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
-        const Segment &seg = schedule.segments[s];
+        const Segment &seg = *schedule.segments[s];
         for (const StageAssign &st : seg.stages) {
             const auto &node = dg.graph().node(st.op);
             if (st.baseTiles < 1 ||
@@ -105,15 +105,15 @@ validateSchedule(const Schedule &schedule, const graph::DynGraph &dg,
                             std::to_string(count));
                     continue;
                 }
-                if (it->second.empty()) {
+                if (it->second->empty()) {
                     add(static_cast<int>(s), st.op,
                         "empty kernel store");
                     continue;
                 }
-                if (it->second.values().back() < node.dims.n())
+                if (it->second->values().back() < node.dims.n())
                     add(static_cast<int>(s), st.op,
                         "kernel store does not cover the worst case");
-                metadata += it->second.metadataBytes();
+                metadata += it->second->metadataBytes();
             }
             if (metadata > hw.tech.kernelSpadBudget())
                 add(static_cast<int>(s), st.op,

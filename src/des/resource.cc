@@ -64,8 +64,10 @@ GapBandwidthResource::acquire(Tick earliest, Bytes bytes)
     busyTicks_ += dur;
 
     // First idle gap of length >= dur starting at or after earliest.
+    // Expired entries before head_ are skipped: their ends precede
+    // every admissible earliest, so they cannot move the candidate.
     Tick candidate = earliest;
-    std::size_t insertAt = 0;
+    std::size_t insertAt = head_;
     for (; insertAt < busy_.size(); ++insertAt) {
         const Reservation &r = busy_[insertAt];
         if (candidate + dur <= r.start)
@@ -73,27 +75,51 @@ GapBandwidthResource::acquire(Tick earliest, Bytes bytes)
         candidate = std::max(candidate, r.end);
     }
     const Reservation granted{candidate, candidate + dur};
-    busy_.insert(busy_.begin() +
-                     static_cast<std::ptrdiff_t>(insertAt),
-                 granted);
 
-    // Merge adjacent intervals to keep the list short.
-    std::vector<Reservation> merged;
-    merged.reserve(busy_.size());
-    for (const Reservation &r : busy_) {
-        if (!merged.empty() && r.start <= merged.back().end)
-            merged.back().end = std::max(merged.back().end, r.end);
-        else
-            merged.push_back(r);
+    // Splice in place. Intervals are disjoint, so the grant can only
+    // touch (not overlap) its neighbours; extending a neighbour
+    // replaces the old rebuild-the-whole-vector merge pass. A grant
+    // is never merged into the expired prefix: that would hide busy
+    // time from the gap search, which starts at head_.
+    const bool touchPrev = insertAt > head_ &&
+                           busy_[insertAt - 1].end == granted.start;
+    const bool touchNext = insertAt < busy_.size() &&
+                           granted.end == busy_[insertAt].start;
+    if (touchPrev && touchNext) {
+        busy_[insertAt - 1].end = busy_[insertAt].end;
+        busy_.erase(busy_.begin() +
+                    static_cast<std::ptrdiff_t>(insertAt));
+    } else if (touchPrev) {
+        busy_[insertAt - 1].end = granted.end;
+    } else if (touchNext) {
+        busy_[insertAt].start = granted.start;
+    } else {
+        busy_.insert(busy_.begin() +
+                         static_cast<std::ptrdiff_t>(insertAt),
+                     granted);
     }
-    busy_ = std::move(merged);
     return granted;
+}
+
+void
+GapBandwidthResource::trim(Tick before)
+{
+    while (head_ < busy_.size() && busy_[head_].end <= before)
+        ++head_;
+    // Compact once the expired prefix dominates, so the vector stays
+    // bounded by the live working set instead of growing forever.
+    if (head_ > 16 && head_ * 2 > busy_.size()) {
+        busy_.erase(busy_.begin(),
+                    busy_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+    }
 }
 
 void
 GapBandwidthResource::reset()
 {
     busy_.clear();
+    head_ = 0;
     busyTicks_ = 0;
     bytesServed_ = 0;
 }

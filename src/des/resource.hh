@@ -92,12 +92,33 @@ class GapBandwidthResource
     Bytes bytesServed() const { return bytesServed_; }
     Tick busyTicks() const { return busyTicks_; }
 
+    /**
+     * Drop reservations that end at or before @p before. Caller
+     * contract: every future acquire() passes earliest >= @p before
+     * (the engine trims at the period barrier, which is monotone).
+     * Under that contract an expired interval can never change a
+     * grant, so trimming is behaviour-preserving; it keeps the live
+     * interval list bounded under steady-state traffic instead of
+     * grow-only.
+     */
+    void trim(Tick before);
+
+    /** Live (non-expired) reservations currently tracked. */
+    std::size_t reservationCount() const
+    {
+        return busy_.size() - head_;
+    }
+
     void reset();
 
   private:
     double rate_;
-    /** Sorted, disjoint busy intervals [start, end). */
+    /** Sorted, disjoint busy intervals [start, end). Entries before
+     * head_ are expired (end <= last trim barrier) and excluded from
+     * the gap search; the prefix is compacted away once it dominates
+     * the vector, so erasure cost amortizes to O(1) per trim. */
     std::vector<Reservation> busy_;
+    std::size_t head_ = 0;
     Tick busyTicks_ = 0;
     Bytes bytesServed_ = 0;
 };

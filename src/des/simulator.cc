@@ -1,23 +1,213 @@
 #include "des/simulator.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
 
 namespace adyna::des {
 
+// ---------------------------------------------------------------------
+// Calendar-queue Simulator
+// ---------------------------------------------------------------------
+
 void
-Simulator::schedule(Tick when, EventFn fn)
+Simulator::setHandler(std::uint8_t kind, Handler fn, void *ctx)
+{
+    ADYNA_ASSERT(kind != kClosureKind,
+                 "kind 0 is reserved for the closure path");
+    ADYNA_ASSERT(kind < kMaxKinds, "event kind out of range: ",
+                 static_cast<int>(kind));
+    handlers_[kind] = HandlerEntry{fn, ctx};
+}
+
+std::uint32_t
+Simulator::allocSlot(Tick when, std::uint8_t kind, std::uint64_t a,
+                     std::uint64_t b)
+{
+    std::uint32_t slot;
+    if (freeHead_ != kNil) {
+        slot = freeHead_;
+        freeHead_ = next_[slot];
+    } else {
+        slot = static_cast<std::uint32_t>(when_.size());
+        when_.emplace_back();
+        seq_.emplace_back();
+        payloadA_.emplace_back();
+        payloadB_.emplace_back();
+        next_.emplace_back();
+        kind_.emplace_back();
+    }
+    when_[slot] = when;
+    seq_[slot] = nextSeq_++;
+    payloadA_[slot] = a;
+    payloadB_[slot] = b;
+    next_[slot] = kNil;
+    kind_[slot] = kind;
+    return slot;
+}
+
+void
+Simulator::releaseSlot(std::uint32_t slot)
+{
+    next_[slot] = freeHead_;
+    freeHead_ = slot;
+}
+
+void
+Simulator::appendToBucket(std::uint32_t slot)
+{
+    const auto b =
+        static_cast<std::size_t>(when_[slot] & kRingMask);
+    if (bucketHead_[b] == kNil)
+        bucketHead_[b] = slot;
+    else
+        next_[bucketTail_[b]] = slot;
+    bucketTail_[b] = slot;
+    ++ringCount_;
+}
+
+void
+Simulator::enqueueSlot(std::uint32_t slot)
+{
+    if (!bucketsInit_) {
+        bucketHead_.fill(kNil);
+        bucketTail_.fill(kNil);
+        bucketsInit_ = true;
+    }
+    if (when_[slot] < windowBase_ + kRingBuckets) {
+        // Appending preserves FIFO within a tick because each bucket
+        // spans exactly one tick and seq numbers are append-ordered.
+        appendToBucket(slot);
+    } else {
+        heap_.push_back(slot);
+        std::push_heap(heap_.begin(), heap_.end(),
+                       [this](std::uint32_t a, std::uint32_t b) {
+                           return heapLater(a, b);
+                       });
+    }
+}
+
+void
+Simulator::refillWindow()
+{
+    const auto later = [this](std::uint32_t a, std::uint32_t b) {
+        return heapLater(a, b);
+    };
+    windowBase_ = when_[heap_.front()];
+    cursor_ = windowBase_;
+    // Migrating in (when, seq) heap order keeps each bucket's append
+    // order equal to seq order: every event scheduled after this
+    // migration has a larger seq than everything migrated now.
+    while (!heap_.empty() &&
+           when_[heap_.front()] < windowBase_ + kRingBuckets) {
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        const auto slot = heap_.back();
+        heap_.pop_back();
+        appendToBucket(slot);
+    }
+}
+
+bool
+Simulator::peekNext(Tick &when)
+{
+    if (ringCount_ == 0) {
+        if (heap_.empty())
+            return false;
+        refillWindow();
+    }
+    while (bucketHead_[cursor_ & kRingMask] == kNil)
+        ++cursor_;
+    when = cursor_;
+    return true;
+}
+
+void
+Simulator::post(Tick when, std::uint8_t kind, std::uint64_t a,
+                std::uint64_t b)
 {
     ADYNA_ASSERT(when >= now_, "scheduling into the past: ", when,
                  " < now ", now_);
-    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+    enqueueSlot(allocSlot(when, kind, a, b));
+}
+
+void
+Simulator::postIn(Tick delay, std::uint8_t kind, std::uint64_t a,
+                  std::uint64_t b)
+{
+    post(now_ + delay, kind, a, b);
+}
+
+void
+Simulator::schedule(Tick when, EventFn fn)
+{
+    std::uint32_t idx;
+    if (!closureFree_.empty()) {
+        idx = closureFree_.back();
+        closureFree_.pop_back();
+        closures_[idx] = std::move(fn);
+    } else {
+        idx = static_cast<std::uint32_t>(closures_.size());
+        closures_.push_back(std::move(fn));
+    }
+    post(when, kClosureKind, idx, 0);
 }
 
 void
 Simulator::scheduleIn(Tick delay, EventFn fn)
 {
     schedule(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::reserve(std::size_t slots)
+{
+    when_.reserve(slots);
+    seq_.reserve(slots);
+    payloadA_.reserve(slots);
+    payloadB_.reserve(slots);
+    next_.reserve(slots);
+    kind_.reserve(slots);
+    heap_.reserve(slots);
+    closures_.reserve(slots);
+    closureFree_.reserve(slots);
+}
+
+bool
+Simulator::step()
+{
+    Tick when;
+    if (!peekNext(when))
+        return false;
+    const auto b = static_cast<std::size_t>(when & kRingMask);
+    const auto slot = bucketHead_[b];
+    bucketHead_[b] = next_[slot];
+    if (bucketHead_[b] == kNil)
+        bucketTail_[b] = kNil;
+    --ringCount_;
+
+    now_ = when_[slot];
+    ++processed_;
+    const auto kind = kind_[slot];
+    const auto a = payloadA_[slot];
+    const auto pb = payloadB_[slot];
+    // Release before dispatch so a handler that schedules reuses this
+    // very slot instead of growing the arena.
+    releaseSlot(slot);
+
+    if (kind == kClosureKind) {
+        const auto idx = static_cast<std::uint32_t>(a);
+        EventFn fn = std::move(closures_[idx]);
+        closures_[idx] = nullptr;
+        closureFree_.push_back(idx);
+        fn();
+    } else {
+        const auto &h = handlers_[kind];
+        ADYNA_ASSERT(h.fn, "no handler for event kind ",
+                     static_cast<int>(kind));
+        h.fn(h.ctx, a, pb);
+    }
+    return true;
 }
 
 void
@@ -30,13 +220,47 @@ Simulator::run()
 Tick
 Simulator::runUntil(Tick limit)
 {
+    Tick when;
+    while (peekNext(when) && when <= limit)
+        step();
+    return now_;
+}
+
+// ---------------------------------------------------------------------
+// LegacySimulator (the seed implementation, kept as reference)
+// ---------------------------------------------------------------------
+
+void
+LegacySimulator::schedule(Tick when, EventFn fn)
+{
+    ADYNA_ASSERT(when >= now_, "scheduling into the past: ", when,
+                 " < now ", now_);
+    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+void
+LegacySimulator::scheduleIn(Tick delay, EventFn fn)
+{
+    schedule(now_ + delay, std::move(fn));
+}
+
+void
+LegacySimulator::run()
+{
+    while (step()) {
+    }
+}
+
+Tick
+LegacySimulator::runUntil(Tick limit)
+{
     while (!queue_.empty() && queue_.top().when <= limit)
         step();
     return now_;
 }
 
 bool
-Simulator::step()
+LegacySimulator::step()
 {
     if (queue_.empty())
         return false;

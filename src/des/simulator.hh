@@ -6,11 +6,34 @@
  * by this engine: callbacks scheduled at absolute or relative ticks,
  * executed in (tick, insertion-order) order. One tick equals one
  * accelerator clock cycle (1 ns at the default 1 GHz).
+ *
+ * The event queue is an arena-backed SoA calendar queue. Event slots
+ * live in parallel vectors (tick, sequence number, kind, packed
+ * payload, intrusive next-link) recycled through a free-list, so a
+ * steady-state simulation performs zero allocations. Near-future
+ * events land in a ring of one-tick-wide buckets covering a sliding
+ * window of kRingBuckets ticks; each bucket is an intrusive FIFO
+ * list, so same-tick events fire in insertion order without ever
+ * comparing sequence numbers. Far-future events overflow into a
+ * binary heap ordered by (tick, seq) and migrate into the ring when
+ * the window jumps forward past the drained buckets.
+ *
+ * Events are dispatched by a small-enum kind through a flat handler
+ * table (one indirect call, no std::function). Kind 0 is reserved
+ * for the legacy closure API (schedule()), whose std::function
+ * objects live in a pooled side table; the typed post() path never
+ * touches a closure.
+ *
+ * LegacySimulator keeps the original priority_queue + std::function
+ * implementation as the behavioural reference: the tie-break
+ * stability tests and the events/sec A/B benchmark run both engines
+ * over the same stream and require identical firing order.
  */
 
 #ifndef ADYNA_DES_SIMULATOR_HH
 #define ADYNA_DES_SIMULATOR_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -20,22 +43,45 @@
 
 namespace adyna::des {
 
-/** Callback executed when an event fires. */
+/** Callback executed when an event fires (closure-compat path). */
 using EventFn = std::function<void()>;
 
-/** Priority-queue based discrete-event simulator. */
+/** Arena-backed SoA calendar-queue discrete-event simulator. */
 class Simulator
 {
   public:
+    /** Typed event handler: a plain function pointer dispatched with
+     * the event's packed payload words (no closure allocation). */
+    using Handler = void (*)(void *ctx, std::uint64_t a,
+                             std::uint64_t b);
+
+    /** Event kind reserved for the closure-compat schedule() path. */
+    static constexpr std::uint8_t kClosureKind = 0;
+
+    /** Number of registrable event kinds (including kClosureKind). */
+    static constexpr std::size_t kMaxKinds = 16;
+
     Simulator() = default;
 
-    // The event queue holds closures over `this`-external state;
-    // copying a simulator is never meaningful.
+    // The event queue holds handler contexts and closures over
+    // `this`-external state; copying a simulator is never meaningful.
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
+
+    /** Register the handler dispatched for @p kind (1..kMaxKinds-1;
+     * kind 0 is the closure path). @p ctx is passed back verbatim. */
+    void setHandler(std::uint8_t kind, Handler fn, void *ctx);
+
+    /** Schedule a typed event at absolute time @p when (>= now). */
+    void post(Tick when, std::uint8_t kind, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+    /** Schedule a typed event at now() + @p delay. */
+    void postIn(Tick delay, std::uint8_t kind, std::uint64_t a = 0,
+                std::uint64_t b = 0);
 
     /** Schedule @p fn at absolute time @p when (>= now). */
     void schedule(Tick when, EventFn fn);
@@ -60,6 +106,100 @@ class Simulator
     std::uint64_t eventsProcessed() const { return processed_; }
 
     /** Number of events currently pending. */
+    std::size_t pending() const { return ringCount_ + heap_.size(); }
+
+    /** Grow the arena (and closure pool) to hold @p slots events
+     * without allocating; the zero-allocation guard warms up with
+     * this before counting. */
+    void reserve(std::size_t slots);
+
+    /** Event slots ever allocated (free + live). */
+    std::size_t arenaSlots() const { return when_.size(); }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** Ring width in ticks; power of two so the bucket index is a
+     * mask. One tick per bucket keeps every bucket FIFO-by-append. */
+    static constexpr std::size_t kRingBuckets = 1024;
+    static constexpr Tick kRingMask = kRingBuckets - 1;
+
+    std::uint32_t allocSlot(Tick when, std::uint8_t kind,
+                            std::uint64_t a, std::uint64_t b);
+    void releaseSlot(std::uint32_t slot);
+    void enqueueSlot(std::uint32_t slot);
+    void appendToBucket(std::uint32_t slot);
+
+    /** Jump the window to the earliest heap event and migrate every
+     * heap event inside the new window into the ring. Requires an
+     * empty ring and a non-empty heap. */
+    void refillWindow();
+
+    /** Tick of the next pending event, advancing the bucket cursor
+     * past drained buckets. @return false when the queue is empty. */
+    bool peekNext(Tick &when);
+
+    bool heapLater(std::uint32_t a, std::uint32_t b) const
+    {
+        if (when_[a] != when_[b])
+            return when_[a] > when_[b];
+        return seq_[a] > seq_[b];
+    }
+
+    // ---- SoA event arena -------------------------------------------
+    std::vector<Tick> when_;
+    std::vector<std::uint64_t> seq_;
+    std::vector<std::uint64_t> payloadA_;
+    std::vector<std::uint64_t> payloadB_;
+    std::vector<std::uint32_t> next_;
+    std::vector<std::uint8_t> kind_;
+    std::uint32_t freeHead_ = kNil;
+
+    // ---- calendar ring + overflow heap -----------------------------
+    std::array<std::uint32_t, kRingBuckets> bucketHead_;
+    std::array<std::uint32_t, kRingBuckets> bucketTail_;
+    Tick windowBase_ = 0; ///< ring covers [windowBase_, +kRingBuckets)
+    Tick cursor_ = 0;     ///< next tick to inspect within the window
+    std::size_t ringCount_ = 0;
+    std::vector<std::uint32_t> heap_; ///< slots at >= windowBase_+N
+
+    // ---- closure pool (kClosureKind payloadA = pool index) ---------
+    std::vector<EventFn> closures_;
+    std::vector<std::uint32_t> closureFree_;
+
+    struct HandlerEntry
+    {
+        Handler fn = nullptr;
+        void *ctx = nullptr;
+    };
+    std::array<HandlerEntry, kMaxKinds> handlers_{};
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    bool bucketsInit_ = false;
+};
+
+/**
+ * The seed engine: priority_queue of heap-allocated std::function
+ * closures. Kept verbatim as the reference implementation for the
+ * calendar queue's tie-break stability tests and the events/sec
+ * benchmark; not used by the hardware model.
+ */
+class LegacySimulator
+{
+  public:
+    LegacySimulator() = default;
+    LegacySimulator(const LegacySimulator &) = delete;
+    LegacySimulator &operator=(const LegacySimulator &) = delete;
+
+    Tick now() const { return now_; }
+    void schedule(Tick when, EventFn fn);
+    void scheduleIn(Tick delay, EventFn fn);
+    void run();
+    Tick runUntil(Tick limit);
+    bool step();
+    std::uint64_t eventsProcessed() const { return processed_; }
     std::size_t pending() const { return queue_.size(); }
 
   private:

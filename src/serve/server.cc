@@ -1,6 +1,7 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <optional>
 
@@ -56,7 +57,9 @@ toJson(const ServeReport &r)
         "\"p95_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f, "
         "\"max_ms\": %.4f, \"mean_queue_ms\": %.4f, "
         "\"slo_attainment\": %.4f, \"goodput_rps\": %.2f, "
-        "\"reschedules\": %d, \"drift_windows\": %d, "
+        "\"reschedules\": %d, \"delta_reschedules\": %d, "
+        "\"segments_rebuilt\": %llu, \"segments_spliced\": %llu, "
+        "\"drift_windows\": %d, "
         "\"last_drift_l1\": %.4f, \"drift_threshold\": %.4f, "
         "\"horizon_ticks\": %llu, "
         "\"mapper_hits\": %llu, \"mapper_misses\": %llu, "
@@ -67,8 +70,10 @@ toJson(const ServeReport &r)
         static_cast<unsigned long long>(r.batches), r.meanBatchSize,
         r.offeredRps, r.achievedRps, r.p50Ms, r.p95Ms, r.p99Ms,
         r.meanMs, r.maxMs, r.meanQueueMs, r.sloAttainment,
-        r.goodputRps, r.reschedules, r.driftWindows,
-        r.lastDriftDistance, r.driftThreshold,
+        r.goodputRps, r.reschedules, r.deltaReschedules,
+        static_cast<unsigned long long>(r.segmentsRebuilt),
+        static_cast<unsigned long long>(r.segmentsSpliced),
+        r.driftWindows, r.lastDriftDistance, r.driftThreshold,
         static_cast<unsigned long long>(r.horizonTicks),
         static_cast<unsigned long long>(r.mapperHits),
         static_cast<unsigned long long>(r.mapperMisses),
@@ -241,6 +246,15 @@ ServeRuntime::run()
     };
     checkSchedule(schedule);
 
+    // The schedule inputs the installed schedule actually embodies.
+    // Delta re-schedules compare fresh inputs against these — not
+    // against the previous refresh — so repeated sub-tolerance
+    // drifts accumulate until some op genuinely moves past the
+    // tolerance relative to what is serving.
+    std::map<OpId, double> installedExp = expectations;
+    std::map<OpId, std::vector<std::int64_t>> installedKv =
+        kernelValues;
+
     // ---- the serving loop ------------------------------------------
     ArrivalConfig arrivalCfg = cfg_.arrival;
     arrivalCfg.freqGhz = hw_.tech.freqGhz;
@@ -270,6 +284,9 @@ ServeRuntime::run()
     int failovers = 0;
     int watchdogFallbacks = 0;
     int storeFitFailures = 0;
+    int deltaReschedules = 0;
+    std::uint64_t segmentsRebuilt = 0;
+    std::uint64_t segmentsSpliced = 0;
     Tick engineFree = 0;
     Tick nextArrival = arrivals.next();
     const Tick firstArrival = nextArrival;
@@ -283,17 +300,46 @@ ServeRuntime::run()
     double serviceEwma = 0.0;
     bool haveService = false;
 
+    /** Ops whose allocation expectation moved beyond the delta
+     * tolerance relative to the installed schedule's build inputs
+     * (plus ops whose expectation appeared or vanished). */
+    const auto changedOps = [&]() {
+        std::vector<OpId> changed;
+        for (OpId op : dg_.dynamicOps()) {
+            const auto ne = expectations.find(op);
+            const auto oe = installedExp.find(op);
+            const bool haveNew = ne != expectations.end();
+            const bool haveOld = oe != installedExp.end();
+            bool moved = haveNew != haveOld;
+            if (!moved && haveNew) {
+                const double ref =
+                    std::max(std::abs(oe->second), 1.0);
+                moved = std::abs(ne->second - oe->second) >
+                        cfg_.deltaExpectationTol * ref;
+            }
+            if (moved)
+                changed.push_back(op);
+        }
+        return changed;
+    };
+
     /** Rebuild the schedule from the current expectations / kernel
      * values; returns the candidate plus its modeled runtime cost.
-     * An active store-fit-failure window forces a cold compile (the
-     * cached stores no longer fit), which the watchdog model sees as
-     * a full-cost rebuild. */
+     * @p delta, when non-null, routes through
+     * Scheduler::buildDelta, splicing segments untouched by the
+     * listed ops from the installed schedule. An active
+     * store-fit-failure window forces a cold full compile (the
+     * cached stores no longer fit — spliced ones included), which
+     * the watchdog model sees as a full-cost rebuild. */
     struct Rebuild
     {
         core::Schedule schedule;
         Cycles cost = 0;
+        bool delta = false;
+        core::DeltaStats stats;
     };
-    const auto rebuildSchedule = [&](Tick now) -> Rebuild {
+    const auto rebuildSchedule =
+        [&](Tick now, const std::vector<OpId> *delta) -> Rebuild {
         const bool bypassStores =
             injector && injector->storeFitFailActive(now);
         if (bypassStores) {
@@ -302,15 +348,23 @@ ServeRuntime::run()
         }
         const std::uint64_t misses0 = storeCache.misses();
         Rebuild rb;
-        rb.schedule = scheduler.build(expectations, kernelValues,
-                                      &engineProf);
+        if (delta && !bypassStores) {
+            rb.schedule = scheduler.buildDelta(
+                schedule, expectations, kernelValues, &engineProf,
+                *delta, &rb.stats);
+            rb.delta = true;
+        } else {
+            rb.schedule = scheduler.build(expectations, kernelValues,
+                                          &engineProf);
+        }
         if (bypassStores)
             scheduler.setStoreCache(&storeCache);
         checkSchedule(rb.schedule);
         const std::uint64_t compiled =
             schedCfg_.storeCache && !bypassStores
                 ? storeCache.misses() - misses0
-                : rb.schedule.segments.size();
+                : (rb.delta ? rb.stats.segmentsRebuilt
+                            : rb.schedule.segments.size());
         rb.cost = cfg_.reconfigOverheadCycles +
                   static_cast<Cycles>(compiled) *
                       cfg_.storeCompileCycles;
@@ -388,8 +442,10 @@ ServeRuntime::run()
         if (injector && injector->advanceTo(dispatchAt, chip) &&
             cfg_.failover && !schedCfg_.worstCase) {
             scheduler.setHealthyTiles(chip.healthyTiles());
-            Rebuild rb = rebuildSchedule(dispatchAt);
+            Rebuild rb = rebuildSchedule(dispatchAt, nullptr);
             schedule = std::move(rb.schedule);
+            installedExp = expectations;
+            installedKv = kernelValues;
             engineFree = dispatchAt + rb.cost;
             ++failovers;
             continue; // re-admit against the new engine-free time
@@ -435,7 +491,10 @@ ServeRuntime::run()
                     cfg_.resampleKernels && !policy_.exactKernels,
                     expectations, kernelValues);
                 engineProf.resetTables();
-                Rebuild rb = rebuildSchedule(engineFree);
+                const std::vector<OpId> changed = changedOps();
+                Rebuild rb = rebuildSchedule(
+                    engineFree,
+                    cfg_.deltaReschedule ? &changed : nullptr);
                 if (cfg_.rescheduleBudgetCycles > 0 &&
                     rb.cost > cfg_.rescheduleBudgetCycles) {
                     // Watchdog: the rebuild blew its cycle budget.
@@ -449,6 +508,30 @@ ServeRuntime::run()
                 } else {
                     schedule = std::move(rb.schedule);
                     monitor.setReference(std::move(reference));
+                    if (rb.delta) {
+                        // Spliced segments still embody the old
+                        // inputs, so only the changed ops' installed
+                        // references advance.
+                        ++deltaReschedules;
+                        segmentsRebuilt += rb.stats.segmentsRebuilt;
+                        segmentsSpliced += rb.stats.segmentsTotal -
+                                           rb.stats.segmentsRebuilt;
+                        for (OpId op : changed) {
+                            const auto e = expectations.find(op);
+                            if (e != expectations.end())
+                                installedExp[op] = e->second;
+                            else
+                                installedExp.erase(op);
+                            const auto k = kernelValues.find(op);
+                            if (k != kernelValues.end())
+                                installedKv[op] = k->second;
+                            else
+                                installedKv.erase(op);
+                        }
+                    } else {
+                        installedExp = expectations;
+                        installedKv = kernelValues;
+                    }
                     // The dispatch barrier already drained the
                     // pipeline; charge the kernel/metadata reload on
                     // top.
@@ -502,6 +585,9 @@ ServeRuntime::run()
     report.sloAttainment = slo.sloAttainment();
     report.goodputRps = slo.goodputRps(report.horizonTicks);
     report.reschedules = reschedules;
+    report.deltaReschedules = deltaReschedules;
+    report.segmentsRebuilt = segmentsRebuilt;
+    report.segmentsSpliced = segmentsSpliced;
     report.driftWindows = driftWindows;
     report.lastDriftDistance = monitor.lastDistance();
     report.driftThreshold = monitor.effectiveThreshold();

@@ -71,6 +71,28 @@ struct ServeConfig
     /** Run Algorithm 1 kernel re-sampling at each re-schedule. */
     bool resampleKernels = true;
 
+    /**
+     * Drift re-schedules rebuild only the segments whose ops'
+     * allocation expectations moved beyond deltaExpectationTol,
+     * splicing every other segment — with its compiled kernel
+     * stores — from the installed schedule
+     * (Scheduler::buildDelta). false forces the full rebuild path
+     * on every drift trigger. Fail-over and store-fit-failure
+     * rebuilds always rebuild in full: their premise is that the
+     * installed schedule's tiles or stores are no longer usable.
+     */
+    bool deltaReschedule = true;
+
+    /**
+     * Relative expectation shift below which an op counts as
+     * unchanged for delta segment selection. Kernel-value
+     * re-sampling alone never marks an op changed: the samples
+     * follow the same histograms that drive the expectations, so a
+     * sub-tolerance expectation shift means the installed store's
+     * value set is still representative.
+     */
+    double deltaExpectationTol = 0.05;
+
     // ---- fault tolerance / overload protection ---------------------
     // All defaults leave every simulation path untouched, so a
     // default-configured run stays byte-identical to the pre-fault
@@ -143,6 +165,15 @@ struct ServeReport
     int reschedules = 0;
     int driftWindows = 0;
     double lastDriftDistance = 0.0;
+
+    /** Drift re-schedules served through the delta-splice path
+     * (always <= reschedules; 0 when deltaReschedule is off). */
+    int deltaReschedules = 0;
+
+    /** Segments rebuilt vs spliced, summed over all delta
+     * re-schedules. */
+    std::uint64_t segmentsRebuilt = 0;
+    std::uint64_t segmentsSpliced = 0;
 
     /**
      * Cache counters of the serving run: mapper memo and

@@ -91,6 +91,10 @@ validateServeConfig(const ServeConfig &cfg)
         ADYNA_FATAL("ServeConfig.shedLatencyFactor must be > 0 "
                     "(got ",
                     cfg.shedLatencyFactor, ")");
+    if (cfg.deltaExpectationTol < 0.0)
+        ADYNA_FATAL("ServeConfig.deltaExpectationTol must be >= 0 "
+                    "(got ",
+                    cfg.deltaExpectationTol, ")");
 }
 
 } // namespace adyna::serve

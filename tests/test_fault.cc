@@ -321,7 +321,7 @@ TEST(SchedulerFault, DegradedBuildLandsOnSurvivorsOnly)
     const core::Schedule degraded = sched.build({}, {}, nullptr);
     const std::set<TileId> live(healthy.begin(), healthy.end());
     for (const auto &seg : degraded.segments)
-        for (const auto &st : seg.stages) {
+        for (const auto &st : seg->stages) {
             EXPECT_FALSE(st.tiles.empty());
             for (TileId t : st.tiles)
                 EXPECT_TRUE(live.count(t)) << "stage uses dead tile "
@@ -334,12 +334,12 @@ TEST(SchedulerFault, DegradedBuildLandsOnSurvivorsOnly)
     const core::Schedule again = sched.build({}, {}, nullptr);
     ASSERT_EQ(again.segments.size(), full.segments.size());
     for (std::size_t i = 0; i < again.segments.size(); ++i) {
-        ASSERT_EQ(again.segments[i].stages.size(),
-                  full.segments[i].stages.size());
-        for (std::size_t j = 0; j < again.segments[i].stages.size();
+        ASSERT_EQ(again.segments[i]->stages.size(),
+                  full.segments[i]->stages.size());
+        for (std::size_t j = 0; j < again.segments[i]->stages.size();
              ++j)
-            EXPECT_EQ(again.segments[i].stages[j].tiles,
-                      full.segments[i].stages[j].tiles);
+            EXPECT_EQ(again.segments[i]->stages[j].tiles,
+                      full.segments[i]->stages[j].tiles);
     }
 }
 

@@ -99,8 +99,8 @@ TEST(TileSharing, AbsorbsAntiCorrelatedSwings)
     const Schedule shared = shareSched.build({}, {}, &prof);
     const Schedule plain = plainSched.build({}, {}, &prof);
     // One pair per expert-stage depth (up and down).
-    ASSERT_EQ(shared.segments[0].pairs.size(), 2u);
-    ASSERT_TRUE(plain.segments[0].pairs.empty());
+    ASSERT_EQ(shared.segments[0]->pairs.size(), 2u);
+    ASSERT_TRUE(plain.segments[0]->pairs.empty());
 
     ExecPolicy pol;
     Engine engShared(dg, hw(), mapper, pol);
@@ -128,7 +128,7 @@ TEST(TileSharing, DisablingAtRuntimeFallsBackToBase)
     cfg.tileSharing = true;
     Scheduler sched(dg, hw(), mapper, cfg);
     const Schedule s = sched.build({}, {}, &prof);
-    ASSERT_FALSE(s.segments[0].pairs.empty());
+    ASSERT_FALSE(s.segments[0]->pairs.empty());
 
     // The engine honors policy.tileSharing = false even on a shared
     // schedule (base allocation only).
@@ -216,19 +216,19 @@ TEST(BranchGrouping, GroupedStagesShareTilesTemporally)
     const Schedule s = sched.build({}, {}, &prof);
 
     const auto &swi = dg.switchInfo(sw);
-    const int s2 = s.segments[0].stageOf(swi.branches[2][0]);
-    const int s3 = s.segments[0].stageOf(swi.branches[3][0]);
+    const int s2 = s.segments[0]->stageOf(swi.branches[2][0]);
+    const int s3 = s.segments[0]->stageOf(swi.branches[3][0]);
     ASSERT_GE(s2, 0);
     ASSERT_GE(s3, 0);
     const auto &st2 =
-        s.segments[0].stages[static_cast<std::size_t>(s2)];
+        s.segments[0]->stages[static_cast<std::size_t>(s2)];
     const auto &st3 =
-        s.segments[0].stages[static_cast<std::size_t>(s3)];
+        s.segments[0]->stages[static_cast<std::size_t>(s3)];
     EXPECT_EQ(st2.tiles, st3.tiles);
     // Hot experts keep disjoint ranges.
-    const int s0 = s.segments[0].stageOf(swi.branches[0][0]);
+    const int s0 = s.segments[0]->stageOf(swi.branches[0][0]);
     const auto &st0 =
-        s.segments[0].stages[static_cast<std::size_t>(s0)];
+        s.segments[0]->stages[static_cast<std::size_t>(s0)];
     EXPECT_NE(st0.tiles, st2.tiles);
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "arch/profiler.hh"
 #include "core/scheduler.hh"
@@ -56,7 +57,7 @@ TEST(Scheduler, AllocationCoversAllTilesOnce)
 
     std::set<TileId> used;
     int total = 0;
-    for (const StageAssign &st : s.segments[0].stages) {
+    for (const StageAssign &st : s.segments[0]->stages) {
         total += st.baseTiles;
         for (int i = 0; i < st.baseTiles; ++i)
             used.insert(st.tiles[static_cast<std::size_t>(i)]);
@@ -89,7 +90,7 @@ TEST(Scheduler, FrequencyWeightedAllocationFollowsExpectations)
     std::map<OpId, double> exps{{aId, 16.0}};
     const Schedule s = sched.build(exps, {}, nullptr);
     int ta = 0, tb = 0;
-    for (const StageAssign &st : s.segments[0].stages) {
+    for (const StageAssign &st : s.segments[0]->stages) {
         if (dg.graph().node(st.op).name == "a")
             ta = st.baseTiles;
         if (dg.graph().node(st.op).name == "b")
@@ -112,13 +113,13 @@ TEST(Scheduler, WorstCaseIgnoresExpectations)
         exps[op] = 1.0;
     const Schedule a = sched.build({}, {}, nullptr);
     const Schedule b = sched.build(exps, {}, nullptr);
-    for (std::size_t i = 0; i < a.segments[0].stages.size(); ++i)
-        EXPECT_EQ(a.segments[0].stages[i].baseTiles,
-                  b.segments[0].stages[i].baseTiles);
+    for (std::size_t i = 0; i < a.segments[0]->stages.size(); ++i)
+        EXPECT_EQ(a.segments[0]->stages[i].baseTiles,
+                  b.segments[0]->stages[i].baseTiles);
     // Worst case keeps exactly one kernel per operator.
-    for (const StageAssign &st : a.segments[0].stages)
+    for (const StageAssign &st : a.segments[0]->stages)
         for (const auto &[tiles, store] : st.stores)
-            EXPECT_EQ(store.size(), 1u);
+            EXPECT_EQ(store->size(), 1u);
 }
 
 TEST(Scheduler, PabeeSplitsIntoMultipleSegments)
@@ -132,8 +133,8 @@ TEST(Scheduler, PabeeSplitsIntoMultipleSegments)
     EXPECT_GE(s.segments.size(), 3u);
     // Every stage op appears in exactly one segment.
     std::set<OpId> seen;
-    for (const Segment &seg : s.segments)
-        for (const StageAssign &st : seg.stages) {
+    for (const auto &seg : s.segments)
+        for (const StageAssign &st : seg->stages) {
             EXPECT_FALSE(seen.count(st.op));
             seen.insert(st.op);
         }
@@ -154,7 +155,7 @@ TEST(Scheduler, SwitchRegionsStayWithinOneSegment)
         for (const auto &branch : sw.branches) {
             for (OpId op : branch) {
                 for (std::size_t i = 0; i < s.segments.size(); ++i) {
-                    if (s.segments[i].stageOf(op) >= 0) {
+                    if (s.segments[i]->stageOf(op) >= 0) {
                         if (seg == -2)
                             seg = static_cast<int>(i);
                         EXPECT_EQ(seg, static_cast<int>(i));
@@ -175,11 +176,11 @@ TEST(Scheduler, KernelStoresRespectBudgetAndCoverMax)
     Scheduler sched(dg, hw(), mapper, cfg);
     const Schedule s =
         sched.build({}, sched.initialKernelValues(), nullptr);
-    for (const StageAssign &st : s.segments[0].stages) {
+    for (const StageAssign &st : s.segments[0]->stages) {
         for (const auto &[tiles, store] : st.stores) {
-            EXPECT_LE(store.size(), 10u);
+            EXPECT_LE(store->size(), 10u);
             if (dg.isDynamic(st.op)) {
-                EXPECT_EQ(store.values().back(),
+                EXPECT_EQ(store->values().back(),
                           dg.graph().node(st.op).dims.n());
             }
         }
@@ -204,12 +205,12 @@ TEST(Scheduler, TileSharingPairsComplementaryBranches)
 
     const Schedule s = sched.build({}, {}, &prof);
     ASSERT_EQ(s.segments.size(), 1u);
-    ASSERT_EQ(s.segments[0].pairs.size(), 1u);
-    const SharePair &pair = s.segments[0].pairs[0];
+    ASSERT_EQ(s.segments[0]->pairs.size(), 1u);
+    const SharePair &pair = s.segments[0]->pairs[0];
     const StageAssign &sa =
-        s.segments[0].stages[static_cast<std::size_t>(pair.stageA)];
+        s.segments[0]->stages[static_cast<std::size_t>(pair.stageA)];
     const StageAssign &sb =
-        s.segments[0].stages[static_cast<std::size_t>(pair.stageB)];
+        s.segments[0]->stages[static_cast<std::size_t>(pair.stageB)];
     // Both sides share the same union tile range.
     EXPECT_EQ(sa.tiles, sb.tiles);
     EXPECT_TRUE(sa.shareFirst);
@@ -240,7 +241,7 @@ TEST(Scheduler, SharingDisabledProducesNoPairs)
     for (int i = 0; i < 32; ++i)
         prof.recordBranchLoads(sw, {100, 28});
     const Schedule s = sched.build({}, {}, &prof);
-    EXPECT_TRUE(s.segments[0].pairs.empty());
+    EXPECT_TRUE(s.segments[0]->pairs.empty());
 }
 
 TEST(Scheduler, BranchGroupingMergesRareBranches)
@@ -270,20 +271,20 @@ TEST(Scheduler, BranchGroupingMergesRareBranches)
     const Schedule s = sched.build({}, {}, &prof);
     // The two rare experts' stages share one tile range.
     std::vector<const StageAssign *> rare;
-    for (const StageAssign &st : s.segments[0].stages) {
+    for (const StageAssign &st : s.segments[0]->stages) {
         const auto &name = dg.graph().node(st.op).name;
         if (name == "moe.ffn") // expert names collide; find by branch
             rare.push_back(&st);
     }
     // Find the stages of branches 2 and 3 via SwitchInfo.
     const SwitchInfo &swi = dg.switches()[0];
-    const int s2 = s.segments[0].stageOf(swi.branches[2][0]);
-    const int s3 = s.segments[0].stageOf(swi.branches[3][0]);
+    const int s2 = s.segments[0]->stageOf(swi.branches[2][0]);
+    const int s3 = s.segments[0]->stageOf(swi.branches[3][0]);
     ASSERT_GE(s2, 0);
     ASSERT_GE(s3, 0);
     EXPECT_EQ(
-        s.segments[0].stages[static_cast<std::size_t>(s2)].tiles,
-        s.segments[0].stages[static_cast<std::size_t>(s3)].tiles);
+        s.segments[0]->stages[static_cast<std::size_t>(s2)].tiles,
+        s.segments[0]->stages[static_cast<std::size_t>(s3)].tiles);
 }
 
 TEST(Scheduler, InitialKernelValuesUniformAndCapped)
@@ -303,3 +304,129 @@ TEST(Scheduler, InitialKernelValuesUniformAndCapped)
 }
 
 } // namespace
+
+// ---- delta re-scheduling -------------------------------------------
+
+namespace {
+
+/** Everything a schedule compiles down to, including kernel images. */
+std::string
+deltaFingerprint(const Schedule &s)
+{
+    std::ostringstream os;
+    for (const auto &seg : s.segments) {
+        for (const auto &st : seg->stages) {
+            os << st.op << ':' << st.baseTiles << ':';
+            for (TileId t : st.tiles)
+                os << t << ',';
+            for (const auto &[count, store] : st.stores) {
+                os << '|' << count;
+                for (const auto &k : store->kernels()) {
+                    os << '/' << k.value << '#';
+                    for (unsigned byte : k.image)
+                        os << byte << '.';
+                }
+            }
+            os << ';';
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace
+
+TEST(SchedulerDelta, AllOpsChangedMatchesFullBuild)
+{
+    const auto bundle = models::buildPabee(64);
+    const DynGraph dg = parseModel(bundle.graph);
+    costmodel::Mapper mapper(hw().tech);
+    Scheduler sched(dg, hw(), mapper, SchedulerConfig{});
+    const auto kv = sched.initialKernelValues();
+    const Schedule base = sched.build({}, kv, nullptr);
+    ASSERT_GT(base.segments.size(), 1u);
+
+    std::vector<OpId> allOps;
+    for (const auto &seg : base.segments)
+        for (const auto &st : seg->stages)
+            allOps.push_back(st.op);
+
+    DeltaStats stats;
+    const Schedule rebuilt =
+        sched.buildDelta(base, {}, kv, nullptr, allOps, &stats);
+    EXPECT_EQ(stats.segmentsTotal, base.segments.size());
+    EXPECT_EQ(stats.segmentsRebuilt, base.segments.size());
+    EXPECT_EQ(deltaFingerprint(rebuilt), deltaFingerprint(base));
+}
+
+TEST(SchedulerDelta, PureSpliceSharesBaseSegments)
+{
+    const auto bundle = models::buildPabee(64);
+    const DynGraph dg = parseModel(bundle.graph);
+    costmodel::Mapper mapper(hw().tech);
+    Scheduler sched(dg, hw(), mapper, SchedulerConfig{});
+    kernels::KernelStoreCache cache;
+    sched.setStoreCache(&cache);
+    const auto kv = sched.initialKernelValues();
+    const Schedule base = sched.build({}, kv, nullptr);
+
+    const std::uint64_t missesBefore = cache.misses();
+    DeltaStats stats;
+    const Schedule spliced =
+        sched.buildDelta(base, {}, kv, nullptr, {}, &stats);
+    EXPECT_EQ(stats.segmentsRebuilt, 0u);
+    EXPECT_EQ(stats.segmentsTotal, base.segments.size());
+    // A pure splice never recompiles -- no store-cache traffic at
+    // all -- and shares the base's segment objects outright.
+    EXPECT_EQ(cache.misses(), missesBefore);
+    ASSERT_EQ(spliced.segments.size(), base.segments.size());
+    for (std::size_t i = 0; i < base.segments.size(); ++i)
+        EXPECT_EQ(spliced.segments[i].get(), base.segments[i].get());
+}
+
+TEST(SchedulerDelta, SingleChangedOpRebuildsOnlyItsSegment)
+{
+    const auto bundle = models::buildPabee(64);
+    const DynGraph dg = parseModel(bundle.graph);
+    costmodel::Mapper mapper(hw().tech);
+    Scheduler sched(dg, hw(), mapper, SchedulerConfig{});
+    const auto kv = sched.initialKernelValues();
+    const Schedule base = sched.build({}, kv, nullptr);
+    ASSERT_GT(base.segments.size(), 1u);
+
+    // Pick an op from the last segment; only that segment rebuilds,
+    // and with unchanged inputs the result is still byte-identical.
+    const OpId changed = base.segments.back()->stages.front().op;
+    DeltaStats stats;
+    const Schedule delta =
+        sched.buildDelta(base, {}, kv, nullptr, {changed}, &stats);
+    EXPECT_EQ(stats.segmentsRebuilt, 1u);
+    EXPECT_EQ(deltaFingerprint(delta), deltaFingerprint(base));
+    for (std::size_t i = 0; i + 1 < base.segments.size(); ++i)
+        EXPECT_EQ(delta.segments[i].get(), base.segments[i].get());
+    EXPECT_NE(delta.segments.back().get(),
+              base.segments.back().get());
+}
+
+TEST(SchedulerDelta, HealthyTileChangeInvalidatesPartition)
+{
+    // After a fail-over the partition differs, so buildDelta against
+    // the healthy base must rebuild every segment (no stale splice).
+    const auto bundle = models::buildPabee(64);
+    const DynGraph dg = parseModel(bundle.graph);
+    costmodel::Mapper mapper(hw().tech);
+    Scheduler sched(dg, hw(), mapper, SchedulerConfig{});
+    const auto kv = sched.initialKernelValues();
+    const Schedule base = sched.build({}, kv, nullptr);
+
+    std::vector<TileId> healthy;
+    for (int t = 0; t < hw().tiles() - 12; ++t)
+        healthy.push_back(static_cast<TileId>(t));
+    sched.setHealthyTiles(healthy);
+    DeltaStats stats;
+    const Schedule degraded =
+        sched.buildDelta(base, {}, kv, nullptr, {}, &stats);
+    EXPECT_EQ(stats.segmentsRebuilt, stats.segmentsTotal);
+    const Schedule full = sched.build({}, kv, nullptr);
+    EXPECT_EQ(deltaFingerprint(degraded), deltaFingerprint(full));
+}

@@ -556,3 +556,94 @@ TEST(Validate, AcceptsDefaultsAndBurstyDefaults)
 }
 
 } // namespace
+
+// -------------------------------------------- delta re-scheduling
+
+namespace {
+
+/** A drifting PABEE run (multi-segment, so delta re-schedules can
+ * actually splice) with the delta path on or off. */
+ServeReport
+driftServe(bool delta_reschedule, std::uint64_t seed)
+{
+    models::ModelBundle bundle = models::buildByName("pabee", 8);
+    const graph::DynGraph dg = graph::parseModel(bundle.graph);
+    trace::TraceConfig tc = bundle.traceConfig;
+    tc.batchSize = 8;
+    tc.driftStrength = 0.9;
+    tc.driftPeriod = 700;
+
+    const arch::HwConfig hw;
+    ServeConfig sc;
+    sc.arrival.ratePerSec = 2e5;
+    sc.batching.maxBatch = 8;
+    sc.batching.maxWaitCycles = 20000;
+    sc.slo.deadlineMs = 4.0;
+    sc.drift.windowRequests = 200;
+    // Slow drift keeps the calibrated noise floor low; pin the fixed
+    // threshold below the accumulated shift so the trigger does not
+    // depend on the calibration windows' sampling noise.
+    sc.drift.noiseMultiplier = 1.0;
+    sc.drift.threshold = 0.2;
+    sc.numRequests = 2400;
+    sc.profileBatches = 8;
+    sc.seed = seed;
+    sc.deltaReschedule = delta_reschedule;
+
+    ServeRuntime rt(
+        dg, tc, hw,
+        baselines::schedulerConfig(baselines::Design::Adyna),
+        baselines::execPolicy(baselines::Design::Adyna), sc,
+        "pabee");
+    kernels::KernelStoreCache stores;
+    rt.setSharedStoreCache(&stores);
+    return rt.run();
+}
+
+} // namespace
+
+TEST(ServeRuntime, DeltaRescheduleCountsSplicedSegments)
+{
+    const ServeReport r = driftServe(true, 11);
+    ASSERT_GT(r.reschedules, 0) << "drift must trigger";
+    EXPECT_GT(r.deltaReschedules, 0);
+    EXPECT_LE(r.deltaReschedules, r.reschedules);
+    // Every delta re-schedule accounts each segment as either
+    // spliced or rebuilt.
+    EXPECT_GT(r.segmentsRebuilt + r.segmentsSpliced, 0u);
+    EXPECT_GT(r.segmentsSpliced, 0u)
+        << "multi-segment drift should splice the untouched segments";
+}
+
+TEST(ServeRuntime, DeltaOffNeverSplices)
+{
+    const ServeReport r = driftServe(false, 11);
+    ASSERT_GT(r.reschedules, 0);
+    EXPECT_EQ(r.deltaReschedules, 0);
+    EXPECT_EQ(r.segmentsRebuilt, 0u);
+    EXPECT_EQ(r.segmentsSpliced, 0u);
+}
+
+TEST(ServeRuntime, DeltaPathTracksFullRebuildServing)
+{
+    // The delta path may keep sub-tolerance stores the full rebuild
+    // would refresh, so the runs need not be bit-identical -- but
+    // the serving outcome must stay equivalent: same requests, same
+    // batches, and drift triggering at the same windows.
+    const ServeReport on = driftServe(true, 11);
+    const ServeReport off = driftServe(false, 11);
+    EXPECT_EQ(on.requests, off.requests);
+    EXPECT_EQ(on.batches, off.batches);
+    EXPECT_EQ(on.reschedules, off.reschedules);
+    EXPECT_GT(on.goodputRps, 0.0);
+    EXPECT_GT(off.goodputRps, 0.0);
+}
+
+TEST(Validate, RejectsNegativeDeltaExpectationTol)
+{
+    ServeConfig cfg;
+    cfg.arrival.ratePerSec = 1e5;
+    cfg.deltaExpectationTol = -0.1;
+    EXPECT_EXIT(validateServeConfig(cfg),
+                ::testing::ExitedWithCode(1), "deltaExpectationTol");
+}

@@ -7,6 +7,7 @@
  */
 
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <sstream>
 
@@ -73,23 +74,26 @@ TEST(ValidateSchedule, FlagsCorruptedSchedules)
 
     // Drop one stage: coverage violation.
     Schedule missing = s;
-    missing.segments[0].stages.pop_back();
+    missing.mutableSegment(0).stages.pop_back();
     EXPECT_FALSE(validateSchedule(missing, dg, hw()).empty());
 
     // Out-of-range tile id.
     Schedule badTile = s;
-    badTile.segments[0].stages[0].tiles[0] =
+    badTile.mutableSegment(0).stages[0].tiles[0] =
         static_cast<TileId>(hw().tiles() + 5);
     EXPECT_FALSE(validateSchedule(badTile, dg, hw()).empty());
 
     // Remove the worst-case kernel from one dynamic stage.
     Schedule badStore = s;
-    for (auto &st : badStore.segments[0].stages) {
+    for (auto &st : badStore.mutableSegment(0).stages) {
         if (!dg.isDynamic(st.op))
             continue;
-        auto &store = st.stores.begin()->second;
-        if (store.size() > 1) {
-            store.remove(store.values().back());
+        auto &slot = st.stores.begin()->second;
+        if (slot->size() > 1) {
+            kernels::KernelStore copy = *slot;
+            copy.remove(copy.values().back());
+            slot = std::make_shared<const kernels::KernelStore>(
+                std::move(copy));
             break;
         }
     }
@@ -97,8 +101,8 @@ TEST(ValidateSchedule, FlagsCorruptedSchedules)
 
     // Swap two stages: topological-order violation.
     Schedule swapped = s;
-    std::swap(swapped.segments[0].stages[0],
-              swapped.segments[0].stages[2]);
+    auto &swapStages = swapped.mutableSegment(0).stages;
+    std::swap(swapStages[0], swapStages[2]);
     EXPECT_FALSE(validateSchedule(swapped, dg, hw()).empty());
 
     const auto issues = validateSchedule(swapped, dg, hw());
