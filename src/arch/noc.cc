@@ -50,27 +50,32 @@ Noc::linkIndex(TileId tile, int dir) const
 }
 
 TileId
-Noc::linkTarget(std::size_t link) const
+torusNeighbor(const HwConfig &cfg, TileId tile, int dir)
 {
-    const auto tile = static_cast<TileId>(link / 4);
-    const int dir = static_cast<int>(link % 4);
-    int row = cfg_.tileRow(tile);
-    int col = cfg_.tileCol(tile);
+    int row = cfg.tileRow(tile);
+    int col = cfg.tileCol(tile);
     switch (dir) {
       case kLinkEast:
-        col = (col + 1) % cfg_.gridCols;
+        col = (col + 1) % cfg.gridCols;
         break;
       case kLinkWest:
-        col = (col + cfg_.gridCols - 1) % cfg_.gridCols;
+        col = (col + cfg.gridCols - 1) % cfg.gridCols;
         break;
       case kLinkSouth:
-        row = (row + 1) % cfg_.gridRows;
+        row = (row + 1) % cfg.gridRows;
         break;
       default:
-        row = (row + cfg_.gridRows - 1) % cfg_.gridRows;
+        row = (row + cfg.gridRows - 1) % cfg.gridRows;
         break;
     }
-    return static_cast<TileId>(row * cfg_.gridCols + col);
+    return static_cast<TileId>(row * cfg.gridCols + col);
+}
+
+TileId
+Noc::linkTarget(std::size_t link) const
+{
+    return torusNeighbor(cfg_, static_cast<TileId>(link / 4),
+                         static_cast<int>(link % 4));
 }
 
 int
@@ -264,8 +269,7 @@ Noc::transfer(Tick earliest, TileId src, TileId dst, Bytes bytes)
     // Fault-free fast path: walk the X-Y route inline, reserving each
     // link as it is visited, instead of materializing the path in a
     // heap-allocated vector. Link visit order matches path() exactly,
-    // and BandwidthResource grants are order-sensitive only in that
-    // order, so reports stay byte-identical.
+    // so reports stay byte-identical.
     int row = cfg_.tileRow(src);
     int col = cfg_.tileCol(src);
     const int dstRow = cfg_.tileRow(dst);
@@ -476,6 +480,13 @@ Noc::linkBusyTicks() const
     for (const auto &link : links_)
         total += link.busyTicks();
     return total;
+}
+
+void
+Noc::trim(Tick before)
+{
+    for (auto &link : links_)
+        link.trim(before);
 }
 
 void

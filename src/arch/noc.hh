@@ -39,6 +39,12 @@ enum LinkDir : int {
     kLinkNorth = 3,
 };
 
+/** The tile reached by leaving @p tile along @p dir (a LinkDir),
+ * with torus wrap-around — the target of directed link (tile, dir).
+ * Shared by the NoC router and the multi-tenant partition-boundary
+ * analysis. */
+TileId torusNeighbor(const HwConfig &cfg, TileId tile, int dir);
+
 /** Completed NoC transfer summary. */
 struct NocTransfer
 {
@@ -135,6 +141,15 @@ class Noc
     /** Aggregate busy ticks over all links. */
     Tick linkBusyTicks() const;
 
+    /**
+     * Drop link reservations ending at or before @p before. Same
+     * contract as Hbm::trim: every later acquire must pass
+     * earliest >= @p before (the engine trims at the monotone
+     * period barrier), so expired intervals can never change a
+     * grant and the per-link interval lists stay bounded.
+     */
+    void trim(Tick before);
+
     /** Forget all reservations (fault state survives; see
      * clearFaults()). */
     void reset();
@@ -175,8 +190,18 @@ class Noc
     des::Reservation acquireLink(std::size_t link, Tick earliest,
                                  Bytes bytes);
 
+    /**
+     * Directed links as gap-filling bandwidth reservations (the
+     * same model as the HBM channels). The serial appender used
+     * previously (BandwidthResource) makes grants order-sensitive:
+     * under multi-tenant interleaving, a tenant running ahead in
+     * simulated time pushes a shared link's busy horizon to its own
+     * period end, serializing every co-tenant behind it no matter
+     * how little bandwidth either uses. Gap search keeps grants a
+     * function of the reserved intervals alone.
+     */
     const HwConfig cfg_;
-    std::vector<des::BandwidthResource> links_;
+    std::vector<des::GapBandwidthResource> links_;
     Bytes byteHops_ = 0;
 
     /** Reused multicast link-union buffer (capacity persists). */

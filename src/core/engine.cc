@@ -388,10 +388,12 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
     for (auto &[op, cycles] : result.stageCycles)
         cycles.clear();
 
-    // Every HBM access this period uses earliest >= barrier, and the
-    // barrier is monotone across periods on one chip, so reservations
-    // ending at or before it can no longer affect any grant.
+    // Every HBM access and NoC transfer this period uses
+    // earliest >= barrier, and the barrier is monotone across
+    // periods on one chip, so reservations ending at or before it
+    // can no longer affect any grant.
     chip.hbm().trim(barrier);
+    chip.noc().trim(barrier);
 
     // Memoized exec costs are valid only against the kernel stores
     // they were dispatched from; a re-schedule drops the entries of
@@ -423,6 +425,30 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
 
     const std::vector<std::vector<StagePlan>> *allPlans =
         policy_.planCache ? &cachedPlans(schedule) : nullptr;
+
+    // The inter-segment reconfiguration barrier drains only the
+    // tiles this schedule can touch. For a full-grid schedule that
+    // is every tile it ever occupies, so the value is identical to
+    // a whole-chip drain; for a schedule restricted to a tile
+    // region (multi-tenant partitions, fail-over survivors) it
+    // scopes the drain to the region — co-tenants on disjoint tiles
+    // no longer serialize each other's segment boundaries. The
+    // per-batch repartition policy draws tiles from the global
+    // snake order instead of the stage ranges, so it keeps the
+    // whole-chip barrier.
+    const bool wholeChipBarrier = policy_.perBatchRepartition;
+    if (!wholeChipBarrier) {
+        periodTileSeen_.assign(
+            static_cast<std::size_t>(hw_.tiles()), 0);
+        periodTiles_.clear();
+        for (const auto &segp : schedule.segments)
+            for (const StageAssign &st : segp->stages)
+                for (TileId tile : st.tiles)
+                    if (!periodTileSeen_[tile]) {
+                        periodTileSeen_[tile] = 1;
+                        periodTiles_.push_back(tile);
+                    }
+    }
 
     Tick segBarrier = barrier;
     for (std::size_t s = 0; s < schedule.segments.size(); ++s) {
@@ -870,7 +896,10 @@ Engine::runPeriod(arch::Chip &chip, const Schedule &schedule,
                 batchEnd = std::max(batchEnd, ends_[at(si, b)]);
             result.batchEnds[b] = batchEnd;
         }
-        segBarrier = std::max(segEnd, chip.allTilesFreeAt());
+        segBarrier = std::max(segEnd,
+                              wholeChipBarrier
+                                  ? chip.allTilesFreeAt()
+                                  : chip.tilesFreeAt(periodTiles_));
         result.endTime = segBarrier;
     }
 

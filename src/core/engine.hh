@@ -328,6 +328,11 @@ class Engine
     /** Per-stage effective tile groups for the current batch. */
     std::vector<std::vector<TileId>> usedTiles_;
 
+    /** The schedule's tile union (the segment-barrier drain scope)
+     * and its membership bitmap, rebuilt each period. */
+    std::vector<TileId> periodTiles_;
+    std::vector<char> periodTileSeen_;
+
     /** Per-pair tile-sharing configuration for the current batch. */
     std::vector<int> pairConfig_;
 

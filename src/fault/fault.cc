@@ -469,6 +469,7 @@ FaultInjector::apply(const TimedEvent &te, arch::Chip &chip,
             chip.failTile(ev.tile);
             ++stats_.tileFailEvents;
         }
+        changedTiles_.push_back(ev.tile);
         healthy_changed = true;
         break;
       case FaultKind::LinkDown:
@@ -518,11 +519,16 @@ bool
 FaultInjector::advanceTo(Tick now, arch::Chip &chip)
 {
     bool healthyChanged = false;
+    changedTiles_.clear();
     while (cursor_ < timeline_.size() &&
            timeline_[cursor_].at <= now) {
         apply(timeline_[cursor_], chip, healthyChanged);
         ++cursor_;
     }
+    std::sort(changedTiles_.begin(), changedTiles_.end());
+    changedTiles_.erase(
+        std::unique(changedTiles_.begin(), changedTiles_.end()),
+        changedTiles_.end());
     return healthyChanged;
 }
 

@@ -173,6 +173,17 @@ class FaultInjector
      */
     bool advanceTo(Tick now, arch::Chip &chip);
 
+    /**
+     * Tiles whose health flipped during the most recent advanceTo()
+     * (failures and recoveries, ascending, deduplicated). Lets a
+     * multi-tenant runtime repair only the partition that owns the
+     * struck tile instead of rebuilding the whole chip.
+     */
+    const std::vector<TileId> &changedTiles() const
+    {
+        return changedTiles_;
+    }
+
     /** A kernel-store fit-failure window covers @p now. */
     bool storeFitFailActive(Tick now) const;
 
@@ -202,6 +213,9 @@ class FaultInjector
     std::size_t cursor_ = 0;
     std::uint64_t seed_ = 0;
     FaultStats stats_;
+
+    /** Health flips of the last advanceTo() (see changedTiles()). */
+    std::vector<TileId> changedTiles_;
     /** [start, end) store-fit-failure windows, end = max() when
      * permanent. */
     std::vector<std::pair<Tick, Tick>> storeFitSpans_;

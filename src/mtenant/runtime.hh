@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The multi-tenant serving runtime: N tenants — each a workload with
+ * its own serving configuration and an SLO class — co-scheduled on
+ * one chip through spatial tile partitioning. Each tenant runs the
+ * full single-tenant serving loop (admission, batching, drift-driven
+ * delta re-scheduling, SLO tracking) restricted to its own
+ * rectangular tile region via Scheduler::setHealthyTiles, while all
+ * tenants share the physical chip: the NoC, the HBM stacks, and —
+ * under the naive SharedGrid mode — the tiles themselves. Disjoint
+ * regions execute concurrently in simulated time because tile
+ * reservations never collide; cross-tenant interference enters
+ * through the shared memory system and through bandwidth degrades on
+ * partition-boundary NoC links (see partition.hh).
+ *
+ * On top of the per-tenant loops sit three chip-level controllers:
+ *  - an elastic repartition controller that tracks each tenant's
+ *    measured completion rate (EWMA), recomputes SLO-weighted
+ *    desired shares, and — behind a deviation threshold, hysteresis,
+ *    and a cooldown — re-carves the grid, rebuilding only the
+ *    tenants whose region actually changed (unchanged tenants keep
+ *    their installed schedule and compiled stores: the partition-
+ *    level delta re-schedule);
+ *  - priority preemption: a latency-critical tenant whose latency
+ *    EWMA overshoots its deadline gets a temporary share boost and
+ *    forces an immediate repartition evaluation;
+ *  - tenant-aware fail-over: a tile fault repairs only the tenants
+ *    whose region contains a struck tile (FaultInjector::
+ *    changedTiles), not the whole chip.
+ *
+ * A 1-tenant configuration delegates to serve::ServeRuntime
+ * verbatim, so its serve report (and JSON) is byte-identical to the
+ * single-workload path — the equivalence gate that pins the
+ * multi-tenant layer as a pure extension.
+ */
+
+#ifndef ADYNA_MTENANT_RUNTIME_HH
+#define ADYNA_MTENANT_RUNTIME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/hwconfig.hh"
+#include "core/engine.hh"
+#include "core/scheduler.hh"
+#include "costmodel/mapper.hh"
+#include "fault/fault.hh"
+#include "graph/dyngraph.hh"
+#include "mtenant/partition.hh"
+#include "serve/server.hh"
+#include "serve/tenant.hh"
+#include "trace/trace.hh"
+
+namespace adyna::mtenant {
+
+/** One tenant's workload: the graph plus its dynamism model. */
+struct TenantWorkload
+{
+    const graph::DynGraph *dg = nullptr;
+
+    /** Dynamism model; batchSize must equal the tenant's
+     * batching.maxBatch (the compiled batch size). */
+    trace::TraceConfig traceCfg;
+
+    std::string name;
+};
+
+/** Elastic repartition controller policy. */
+struct RepartitionPolicy
+{
+    /** Re-carve the grid as measured load shifts; false freezes the
+     * initial partition (EvenSplit and SharedGrid are always
+     * frozen — only IsolationAware repartitions). */
+    bool elastic = true;
+
+    /** Cycles between controller checks. */
+    Cycles checkIntervalCycles = 2'000'000;
+
+    /** Largest |desired - current| tile-share deviation (per tenant)
+     * tolerated before a check counts as hot. */
+    double deviationThreshold = 0.25;
+
+    /** Consecutive hot checks required to repartition. */
+    int hysteresisChecks = 2;
+
+    /** Checks after a repartition during which no new one fires. */
+    int cooldownChecks = 2;
+
+    /** EWMA weight of the newest per-tenant rate measurement. */
+    double loadEwmaAlpha = 0.3;
+};
+
+/** Priority preemption policy for latency-critical tenants. */
+struct PreemptionPolicy
+{
+    bool enabled = true;
+
+    /** Trigger when a latency-critical tenant's latency EWMA exceeds
+     * this multiple of its deadline. */
+    double latencyFactor = 1.0;
+
+    /** Share multiplier granted to the struggling tenant. */
+    double boost = 2.0;
+
+    /** Controller checks the boost persists for. */
+    int holdChecks = 4;
+};
+
+/** Chip-level multi-tenant configuration. */
+struct MTenantConfig
+{
+    /** The tenants (validated by serve::validateTenantSpecs; one
+     * entry per TenantWorkload, same order). */
+    std::vector<serve::TenantSpec> tenants;
+
+    PartitionPolicy partition;
+    RepartitionPolicy repartition;
+    PreemptionPolicy preemption;
+
+    /** Chip-level fault timeline (per-tenant plans are rejected). */
+    fault::FaultPlan faultPlan;
+
+    /** Seed for the fault probe-drop streams; 0 derives one from the
+     * first tenant's seed. */
+    std::uint64_t faultSeed = 0;
+
+    /** Repair struck tenants' schedules when tiles fail/recover. */
+    bool failover = true;
+};
+
+/** One tenant's slice of the multi-tenant report. */
+struct TenantResult
+{
+    std::string id;
+    serve::SloClass cls = serve::SloClass::Standard;
+
+    /** Tiles of the tenant's final region. */
+    int tiles = 0;
+
+    /** The tenant's full single-tenant-equivalent serving report. */
+    serve::ServeReport serve;
+};
+
+/** Everything one multi-tenant run reports. */
+struct MTenantReport
+{
+    /** partitionKindName of the mode the run used. */
+    std::string mode;
+
+    std::vector<TenantResult> tenants;
+
+    int repartitions = 0;
+    int preemptions = 0;
+
+    /** Partition-local fail-over repairs (tenants rebuilt after a
+     * tile health change; <= sum of per-tenant failovers). */
+    int failoverRepairs = 0;
+
+    /** Boundary links carrying an interference degrade at run end. */
+    int interferenceLinks = 0;
+
+    /** Dispatches that had to re-stream the tenant's weight working
+     * set over HBM because another tenant ran on (some of) its tiles
+     * since its last dispatch. Zero under disjoint partitions except
+     * right after a repartition; nearly every alternation under the
+     * naive shared grid — the context-switch cost spatial isolation
+     * exists to avoid. */
+    int tenantSwitches = 0;
+
+    /** Sum of per-tenant deadline-meeting completions per second. */
+    double aggregateGoodputRps = 0.0;
+
+    /** Worst per-tenant p99 latency, milliseconds. */
+    double worstP99Ms = 0.0;
+
+    /** Latest completion tick across tenants. */
+    Tick horizonTicks = 0;
+};
+
+/** The run as a JSON object: chip-level counters plus a "tenants"
+ * array whose elements are each tenant's serve JSON (serve::toJson
+ * bytes) prefixed with its id / class / tile count. */
+std::string toJson(const MTenantReport &report);
+
+/** Multi-tenant serving simulation over one shared chip. */
+class MTenantRuntime
+{
+  public:
+    /** @param workloads one workload per cfg.tenants entry, same
+     * order; the graphs must outlive the runtime. */
+    MTenantRuntime(std::vector<TenantWorkload> workloads,
+                   arch::HwConfig hw, core::SchedulerConfig sched_cfg,
+                   core::ExecPolicy policy, MTenantConfig cfg);
+
+    /** Share a mapping-search memo across tenants / runtimes (same
+     * contract as ServeRuntime::setSharedMapper). */
+    void setSharedMapper(costmodel::Mapper *mapper);
+
+    /** Use @p cache for compiled-store reuse across tenants (same
+     * contract as ServeRuntime::setSharedStoreCache). The cache is
+     * keyed by tile count, so same-size regions stay warm across
+     * repartitions. */
+    void setSharedStoreCache(kernels::KernelStoreCache *cache);
+
+    /** Build kernel stores on @p pool during (re-)schedules. */
+    void setSchedulerPool(ThreadPool *pool);
+
+    /** Serve every tenant's numRequests requests and report. */
+    MTenantReport run();
+
+  private:
+    /** 1-tenant delegation to serve::ServeRuntime (byte-identical
+     * serve report). */
+    MTenantReport runSingle();
+
+    std::vector<TenantWorkload> workloads_;
+    arch::HwConfig hw_;
+    core::SchedulerConfig schedCfg_;
+    core::ExecPolicy policy_;
+    MTenantConfig cfg_;
+    costmodel::Mapper *sharedMapper_ = nullptr;
+    kernels::KernelStoreCache *sharedStoreCache_ = nullptr;
+    ThreadPool *schedulerPool_ = nullptr;
+};
+
+} // namespace adyna::mtenant
+
+#endif // ADYNA_MTENANT_RUNTIME_HH

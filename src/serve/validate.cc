@@ -1,8 +1,39 @@
 #include "serve/validate.hh"
 
+#include <set>
+
 #include "common/logging.hh"
+#include "serve/tenant.hh"
 
 namespace adyna::serve {
+
+const char *
+sloClassName(SloClass cls)
+{
+    switch (cls) {
+    case SloClass::LatencyCritical:
+        return "latency-critical";
+    case SloClass::Standard:
+        return "standard";
+    case SloClass::BestEffort:
+        return "best-effort";
+    }
+    return "?";
+}
+
+double
+sloClassWeight(SloClass cls)
+{
+    switch (cls) {
+    case SloClass::LatencyCritical:
+        return 4.0;
+    case SloClass::Standard:
+        return 2.0;
+    case SloClass::BestEffort:
+        return 1.0;
+    }
+    return 1.0;
+}
 
 void
 validateArrivalConfig(const ArrivalConfig &cfg)
@@ -95,6 +126,41 @@ validateServeConfig(const ServeConfig &cfg)
         ADYNA_FATAL("ServeConfig.deltaExpectationTol must be >= 0 "
                     "(got ",
                     cfg.deltaExpectationTol, ")");
+}
+
+void
+validateTenantSpecs(const std::vector<TenantSpec> &tenants)
+{
+    if (tenants.empty())
+        ADYNA_FATAL("a multi-tenant config needs at least one "
+                    "TenantSpec (tenants is empty)");
+    std::set<std::string> ids;
+    for (const TenantSpec &t : tenants) {
+        if (t.id.empty())
+            ADYNA_FATAL("TenantSpec.id must be non-empty (tenant #",
+                        ids.size(), ")");
+        if (!ids.insert(t.id).second)
+            ADYNA_FATAL("duplicate tenant id \"", t.id,
+                        "\" — TenantSpec.id must be unique per run");
+        validateServeConfig(t.serve);
+        // validateServeConfig already rejects rate <= 0; restate the
+        // per-tenant framing so a bad mix points at the tenant.
+        if (t.serve.arrival.ratePerSec <= 0.0)
+            ADYNA_FATAL("tenant \"", t.id,
+                        "\": arrival.ratePerSec must be > 0 "
+                        "requests/sec (got ",
+                        t.serve.arrival.ratePerSec, ")");
+        if (t.loadWeight < 0.0)
+            ADYNA_FATAL("tenant \"", t.id,
+                        "\": loadWeight must be >= 0 (0 derives it "
+                        "from the arrival rate; got ",
+                        t.loadWeight, ")");
+        if (!t.serve.faultPlan.empty())
+            ADYNA_FATAL("tenant \"", t.id,
+                        "\": per-tenant fault plans are not "
+                        "supported — configure the chip-level "
+                        "MTenantConfig.faultPlan instead");
+    }
 }
 
 } // namespace adyna::serve

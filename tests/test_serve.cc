@@ -24,6 +24,7 @@
 #include "serve/drift.hh"
 #include "serve/server.hh"
 #include "serve/slo.hh"
+#include "serve/tenant.hh"
 #include "serve/validate.hh"
 #include "trace/trace.hh"
 
@@ -217,6 +218,59 @@ TEST(Batcher, MergedRoutingSumsPerRequestDraws)
     }
 }
 
+TEST(Batcher, IndependentTenantBatchersNeverMixRequests)
+{
+    // The multi-tenant runtime keeps one Batcher per tenant;
+    // interleaved arrivals must stay in their own tenant's queue,
+    // and each tenant's merged routing must equal the merge of only
+    // its own draws.
+    models::ModelBundle bundle = models::buildByName("skipnet", 4);
+    const graph::DynGraph dg = graph::parseModel(bundle.graph);
+
+    Batcher ba(BatchPolicy{2, 1000});
+    Batcher bb(BatchPolicy{2, 1000});
+    std::vector<trace::BatchRouting> drawsA, drawsB;
+    // Tenant A gets even ids / even draw indices, B the odd ones, in
+    // one interleaved arrival order.
+    for (int i = 0; i < 4; ++i) {
+        Batcher &b = (i % 2 == 0) ? ba : bb;
+        auto &draws = (i % 2 == 0) ? drawsA : drawsB;
+        draws.push_back(
+            requestDraw(dg, bundle.traceConfig, 23, /*skip=*/i));
+        b.enqueue({static_cast<std::uint64_t>(i),
+                   static_cast<Tick>(10 * i), draws.back()});
+    }
+    ASSERT_EQ(ba.queued(), 2u);
+    ASSERT_EQ(bb.queued(), 2u);
+
+    const FormedBatch fa = ba.form(ba.nextFormTick());
+    const FormedBatch fb = bb.form(bb.nextFormTick());
+    ASSERT_EQ(fa.requests.size(), 2u);
+    ASSERT_EQ(fb.requests.size(), 2u);
+    EXPECT_EQ(fa.requests[0].id, 0u);
+    EXPECT_EQ(fa.requests[1].id, 2u);
+    EXPECT_EQ(fb.requests[0].id, 1u);
+    EXPECT_EQ(fb.requests[1].id, 3u);
+    EXPECT_EQ(ba.queued(), 0u);
+    EXPECT_EQ(bb.queued(), 0u);
+
+    const auto checkMerge = [](const FormedBatch &f,
+                               const std::vector<trace::BatchRouting>
+                                   &draws) {
+        for (const auto &[op, merged] : f.routing.outcomes) {
+            std::int64_t before = 0, after = 0;
+            for (const trace::BatchRouting &d : draws) {
+                before += d.outcomes.at(op).activeBefore;
+                after += d.outcomes.at(op).activeAfter;
+            }
+            EXPECT_EQ(merged.activeBefore, before);
+            EXPECT_EQ(merged.activeAfter, after);
+        }
+    };
+    checkMerge(fa, drawsA);
+    checkMerge(fb, drawsB);
+}
+
 // ---------------------------------------------------------- SloTracker
 
 TEST(Slo, LatencyAccountingAndGoodput)
@@ -239,6 +293,75 @@ TEST(Slo, LatencyAccountingAndGoodput)
     EXPECT_NEAR(slo.latencyPercentileMs(1.0), 4.0, 1e-9);
     // 2 met requests over a 6 ms horizon.
     EXPECT_NEAR(slo.goodputRps(6000000), 2.0 / 6e-3, 1e-6);
+}
+
+TEST(Slo, PerTenantTrackersSplitPercentilesAndGoodput)
+{
+    // One tracker per tenant (the multi-tenant layout): a
+    // latency-critical tenant with a tight deadline and a
+    // best-effort tenant with a loose one, interleaved in arrival
+    // order as one co-scheduled run would record them. Each
+    // tenant's percentiles and goodput must be computed from its
+    // own samples alone.
+    SloTracker lc(SloConfig{1.0}, 1.0); // 1 ms deadline
+    SloTracker be(SloConfig{8.0}, 1.0); // 8 ms deadline
+
+    // LC latencies: 0.4, 0.6, 2.0 ms (third misses its deadline).
+    // BE latencies: 5, 6, 7 ms (all met despite being slower).
+    lc.record(0, 100000, 400000);
+    be.record(0, 3000000, 5000000);
+    lc.record(1000000, 1200000, 1600000);
+    be.record(1000000, 5000000, 7000000);
+    lc.record(2000000, 3500000, 4000000);
+    be.record(2000000, 8000000, 9000000);
+
+    EXPECT_EQ(lc.completed(), 3u);
+    EXPECT_EQ(be.completed(), 3u);
+    EXPECT_EQ(lc.met(), 2u);
+    EXPECT_EQ(be.met(), 3u);
+    // p50 is each tenant's own middle sample; the fast tenant's
+    // tail is not dragged up by the slow tenant's samples.
+    EXPECT_NEAR(lc.latencyPercentileMs(0.5), 0.6, 1e-9);
+    EXPECT_NEAR(be.latencyPercentileMs(0.5), 6.0, 1e-9);
+    // Interpolated tail percentiles over [0.6, 2.0] and [6, 7].
+    EXPECT_NEAR(lc.latencyPercentileMs(0.95), 0.6 + 1.4 * 0.9, 1e-9);
+    EXPECT_NEAR(be.latencyPercentileMs(0.95), 6.0 + 1.0 * 0.9, 1e-9);
+    EXPECT_NEAR(lc.latencyPercentileMs(0.99), 0.6 + 1.4 * 0.98,
+                1e-9);
+    EXPECT_NEAR(be.latencyPercentileMs(0.99), 6.0 + 1.0 * 0.98,
+                1e-9);
+    // Goodput over a shared 9 ms horizon splits per tenant: 2 vs 3
+    // met requests, and the aggregate is their sum.
+    EXPECT_NEAR(lc.goodputRps(9000000), 2.0 / 9e-3, 1e-6);
+    EXPECT_NEAR(be.goodputRps(9000000), 3.0 / 9e-3, 1e-6);
+    EXPECT_NEAR(lc.goodputRps(9000000) + be.goodputRps(9000000),
+                5.0 / 9e-3, 1e-6);
+}
+
+TEST(Slo, EmptyTenantTrackerEdges)
+{
+    // A tenant that never completes anything (all shed, or zero
+    // offered load) must report neutral metrics, not NaNs.
+    SloTracker slo(SloConfig{2.0}, 1.0);
+    EXPECT_EQ(slo.completed(), 0u);
+    EXPECT_EQ(slo.met(), 0u);
+    EXPECT_DOUBLE_EQ(slo.sloAttainment(), 1.0);
+    EXPECT_DOUBLE_EQ(slo.latencyPercentileMs(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(slo.latencyPercentileMs(0.99), 0.0);
+    EXPECT_DOUBLE_EQ(slo.goodputRps(0), 0.0);
+    EXPECT_DOUBLE_EQ(slo.goodputRps(1000000), 0.0);
+    EXPECT_EQ(slo.lastEnd(), Tick{0});
+}
+
+TEST(Slo, SingleSamplePercentilesCollapse)
+{
+    SloTracker slo(SloConfig{2.0}, 1.0);
+    slo.record(0, 500000, 1500000); // 1.5 ms, met
+    for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_NEAR(slo.latencyPercentileMs(q), 1.5, 1e-12)
+            << "q=" << q;
+    EXPECT_DOUBLE_EQ(slo.sloAttainment(), 1.0);
+    EXPECT_NEAR(slo.goodputRps(1500000), 1.0 / 1.5e-3, 1e-6);
 }
 
 // -------------------------------------------------------- DriftMonitor
@@ -646,4 +769,71 @@ TEST(Validate, RejectsNegativeDeltaExpectationTol)
     cfg.deltaExpectationTol = -0.1;
     EXPECT_EXIT(validateServeConfig(cfg),
                 ::testing::ExitedWithCode(1), "deltaExpectationTol");
+}
+
+// A tenant list the multi-tenant validator accepts; each rejection
+// test below breaks exactly one field of a copy.
+static std::vector<TenantSpec>
+validTenants()
+{
+    std::vector<TenantSpec> tenants(2);
+    tenants[0].id = "lc";
+    tenants[0].cls = SloClass::LatencyCritical;
+    tenants[0].serve.arrival.ratePerSec = 1e5;
+    tenants[1].id = "be";
+    tenants[1].cls = SloClass::BestEffort;
+    tenants[1].serve.arrival.ratePerSec = 5e4;
+    return tenants;
+}
+
+TEST(Validate, AcceptsWellFormedTenantList)
+{
+    validateTenantSpecs(validTenants()); // must not die
+}
+
+TEST(Validate, RejectsEmptyTenantList)
+{
+    EXPECT_EXIT(validateTenantSpecs({}),
+                ::testing::ExitedWithCode(1), "at least one");
+}
+
+TEST(Validate, RejectsEmptyTenantId)
+{
+    auto tenants = validTenants();
+    tenants[1].id.clear();
+    EXPECT_EXIT(validateTenantSpecs(tenants),
+                ::testing::ExitedWithCode(1), "must be non-empty");
+}
+
+TEST(Validate, RejectsDuplicateTenantIds)
+{
+    auto tenants = validTenants();
+    tenants[1].id = tenants[0].id;
+    EXPECT_EXIT(validateTenantSpecs(tenants),
+                ::testing::ExitedWithCode(1), "duplicate tenant id");
+}
+
+TEST(Validate, RejectsNonPositiveTenantRate)
+{
+    auto tenants = validTenants();
+    tenants[0].serve.arrival.ratePerSec = 0.0;
+    EXPECT_EXIT(validateTenantSpecs(tenants),
+                ::testing::ExitedWithCode(1), "ratePerSec");
+}
+
+TEST(Validate, RejectsNegativeTenantLoadWeight)
+{
+    auto tenants = validTenants();
+    tenants[1].loadWeight = -0.5;
+    EXPECT_EXIT(validateTenantSpecs(tenants),
+                ::testing::ExitedWithCode(1), "loadWeight");
+}
+
+TEST(Validate, RejectsPerTenantFaultPlan)
+{
+    auto tenants = validTenants();
+    tenants[0].serve.faultPlan.events.emplace_back();
+    EXPECT_EXIT(validateTenantSpecs(tenants),
+                ::testing::ExitedWithCode(1),
+                "per-tenant fault plans");
 }
