@@ -104,6 +104,8 @@ kindFromName(const std::string &name, FaultKind &out)
         out = FaultKind::ProbeDrop;
     else if (name == "store_fit_fail")
         out = FaultKind::StoreFitFail;
+    else if (name == "chip_fail")
+        out = FaultKind::ChipFail;
     else
         return false;
     return true;
@@ -150,7 +152,19 @@ parseEvent(const std::string &text, FaultEvent &ev, std::string &err)
         return false;
     }
 
-    bool haveTile = false, haveDir = false, haveFactor = false;
+    // Bit per key so per-kind validation below can both require and
+    // reject keys; rejecting stray keys keeps every accepted event
+    // round-trippable through its canonical str() text.
+    enum KeyBit {
+        kKeyTile = 1 << 0,
+        kKeyDir = 1 << 1,
+        kKeyFactor = 1 << 2,
+        kKeyProb = 1 << 3,
+        kKeyDuration = 1 << 4,
+        kKeyChip = 1 << 5,
+        kKeyHeal = 1 << 6,
+    };
+    int seen = 0;
     if (colon != std::string::npos) {
         for (const std::string &kv :
              splitTrim(text.substr(colon + 1), ',')) {
@@ -173,24 +187,41 @@ parseEvent(const std::string &text, FaultEvent &ev, std::string &err)
                     return false;
                 }
                 ev.tile = static_cast<TileId>(t);
-                haveTile = true;
+                seen |= kKeyTile;
             } else if (key == "dir") {
                 if (!parseDir(val, ev.dir)) {
                     err = "bad dir '" + val + "' (want E|W|S|N)";
                     return false;
                 }
-                haveDir = true;
+                seen |= kKeyDir;
             } else if (key == "factor" || key == "prob") {
                 if (!parseF64(val, ev.factor)) {
                     err = "bad " + key + " '" + val + "'";
                     return false;
                 }
-                haveFactor = true;
+                seen |= key == "factor" ? kKeyFactor : kKeyProb;
             } else if (key == "duration") {
                 if (!parseU64(val, ev.duration)) {
                     err = "bad duration '" + val + "'";
                     return false;
                 }
+                seen |= kKeyDuration;
+            } else if (key == "chip") {
+                std::uint64_t c = 0;
+                if (!parseU64(val, c) ||
+                    c > static_cast<std::uint64_t>(
+                            std::numeric_limits<int>::max())) {
+                    err = "bad chip '" + val + "'";
+                    return false;
+                }
+                ev.chip = static_cast<int>(c);
+                seen |= kKeyChip;
+            } else if (key == "heal") {
+                if (!parseU64(val, ev.duration)) {
+                    err = "bad heal '" + val + "'";
+                    return false;
+                }
+                seen |= kKeyHeal;
             } else {
                 err = "unknown key '" + key + "' in '" + text + "'";
                 return false;
@@ -198,41 +229,75 @@ parseEvent(const std::string &text, FaultEvent &ev, std::string &err)
         }
     }
 
+    int required = 0;
+    int allowed = kKeyDuration;
     switch (ev.kind) {
       case FaultKind::TileFail:
-        if (!haveTile) {
-            err = "tile_fail needs tile=";
-            return false;
-        }
+        required = kKeyTile;
         break;
       case FaultKind::LinkDown:
-        if (!haveTile || !haveDir) {
-            err = "link_down needs tile= and dir=";
-            return false;
-        }
+        required = kKeyTile | kKeyDir;
         break;
       case FaultKind::LinkDegrade:
-        if (!haveTile || !haveDir || !haveFactor) {
-            err = "link_degrade needs tile=, dir= and factor=";
-            return false;
-        }
-        if (!(ev.factor > 0.0 && ev.factor < 1.0)) {
-            err = "link_degrade factor must be in (0, 1)";
-            return false;
-        }
+        required = kKeyTile | kKeyDir | kKeyFactor;
         break;
       case FaultKind::ProbeDrop:
-        if (!haveFactor) {
-            err = "probe_drop needs prob=";
-            return false;
-        }
-        if (!(ev.factor > 0.0 && ev.factor <= 1.0)) {
-            err = "probe_drop prob must be in (0, 1]";
-            return false;
-        }
+        required = kKeyProb;
         break;
       case FaultKind::StoreFitFail:
         break;
+      case FaultKind::ChipFail:
+        required = kKeyChip;
+        allowed = kKeyHeal;
+        break;
+    }
+    allowed |= required;
+    if (const int stray = seen & ~allowed) {
+        static const struct
+        {
+            int bit;
+            const char *name;
+        } kKeys[] = {{kKeyTile, "tile"},         {kKeyDir, "dir"},
+                     {kKeyFactor, "factor"},     {kKeyProb, "prob"},
+                     {kKeyDuration, "duration"}, {kKeyChip, "chip"},
+                     {kKeyHeal, "heal"}};
+        for (const auto &k : kKeys)
+            if (stray & k.bit) {
+                err = std::string("key '") + k.name +
+                      "=' not valid for " + faultKindName(ev.kind);
+                return false;
+            }
+    }
+    if (const int missing = required & ~seen) {
+        switch (ev.kind) {
+          case FaultKind::TileFail:
+            err = "tile_fail needs tile=";
+            break;
+          case FaultKind::LinkDown:
+            err = "link_down needs tile= and dir=";
+            break;
+          case FaultKind::LinkDegrade:
+            err = "link_degrade needs tile=, dir= and factor=";
+            break;
+          case FaultKind::ProbeDrop:
+            err = "probe_drop needs prob=";
+            break;
+          default:
+            err = "chip_fail needs chip=";
+            break;
+        }
+        (void)missing;
+        return false;
+    }
+    if (ev.kind == FaultKind::LinkDegrade &&
+        !(ev.factor > 0.0 && ev.factor < 1.0)) {
+        err = "link_degrade factor must be in (0, 1)";
+        return false;
+    }
+    if (ev.kind == FaultKind::ProbeDrop &&
+        !(ev.factor > 0.0 && ev.factor <= 1.0)) {
+        err = "probe_drop prob must be in (0, 1]";
+        return false;
     }
     return true;
 }
@@ -251,8 +316,10 @@ faultKindName(FaultKind kind)
         return "link_degrade";
       case FaultKind::ProbeDrop:
         return "probe_drop";
-      default:
+      case FaultKind::StoreFitFail:
         return "store_fit_fail";
+      default:
+        return "chip_fail";
     }
 }
 
@@ -263,10 +330,10 @@ FaultPlan::normalize()
                      [](const FaultEvent &a, const FaultEvent &b) {
                          return std::tuple(a.at,
                                            static_cast<int>(a.kind),
-                                           a.tile, a.dir) <
+                                           a.tile, a.dir, a.chip) <
                                 std::tuple(b.at,
                                            static_cast<int>(b.kind),
-                                           b.tile, b.dir);
+                                           b.tile, b.dir, b.chip);
                      });
 }
 
@@ -305,8 +372,20 @@ FaultPlan::str() const
             break;
           case FaultKind::StoreFitFail:
             break;
+          case FaultKind::ChipFail:
+            // chip_fail spells its heal tick `heal=`, not
+            // `duration=`, so skip the generic append below.
+            if (ev.duration > 0)
+                std::snprintf(buf, sizeof(buf),
+                              "chip=%d,heal=%llu", ev.chip,
+                              static_cast<unsigned long long>(
+                                  ev.duration));
+            else
+                std::snprintf(buf, sizeof(buf), "chip=%d", ev.chip);
+            args = buf;
+            break;
         }
-        if (ev.duration > 0) {
+        if (ev.duration > 0 && ev.kind != FaultKind::ChipFail) {
             std::snprintf(buf, sizeof(buf), "%sduration=%llu",
                           args.empty() ? "" : ",",
                           static_cast<unsigned long long>(
@@ -423,6 +502,17 @@ randomFaultPlan(const RandomFaultConfig &cfg, std::uint64_t seed)
         ev.duration = transientTicks();
         plan.events.push_back(ev);
     }
+    if (cfg.chipFails > 0)
+        ADYNA_ASSERT(cfg.podChips > 0, "bad pod size");
+    for (int i = 0; i < cfg.chipFails; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::ChipFail;
+        ev.at = strikeTick();
+        ev.chip = static_cast<int>(
+            rng.uniformInt(0, cfg.podChips - 1));
+        ev.duration = transientTicks();
+        plan.events.push_back(ev);
+    }
     plan.normalize();
     return plan;
 }
@@ -511,6 +601,27 @@ FaultInjector::apply(const TimedEvent &te, arch::Chip &chip,
       case FaultKind::StoreFitFail:
         if (!te.recover)
             ++stats_.storeFitWindows;
+        break;
+      case FaultKind::ChipFail:
+        // Pod-scope fault replayed against a single chip: the whole
+        // chip resets dark on strike and reboots on heal. The pod
+        // runtime intercepts chip_fail events at the router tier
+        // before they ever reach a per-chip injector, so this path
+        // only runs when a chip_fail plan is handed straight to a
+        // single-chip runtime.
+        for (int t = 0; t < tiles; ++t) {
+            const auto tile = static_cast<TileId>(t);
+            if (te.recover)
+                chip.recoverTile(tile);
+            else
+                chip.failTile(tile);
+            changedTiles_.push_back(tile);
+        }
+        if (te.recover)
+            ++stats_.chipHeals;
+        else
+            ++stats_.chipFailEvents;
+        healthy_changed = true;
         break;
     }
 }

@@ -19,15 +19,25 @@
  *   plan   := event (';' event)*
  *   event  := kind '@' tick [':' key '=' value (',' key '=' value)*]
  *   kind   := tile_fail | link_down | link_degrade | probe_drop
- *           | store_fit_fail
+ *           | store_fit_fail | chip_fail
  *
- * Keys per kind (duration=0 or omitted means permanent):
+ * Keys per kind (duration=0 or omitted means permanent; keys that do
+ * not belong to a kind are rejected so every accepted plan
+ * round-trips through its canonical str() text):
  *   tile_fail:      tile=<id> [duration=<cycles>]
  *   link_down:      tile=<id> dir=<E|W|S|N> [duration=<cycles>]
  *   link_degrade:   tile=<id> dir=<E|W|S|N> factor=<(0,1)>
  *                   [duration=<cycles>]
  *   probe_drop:     prob=<(0,1]> [duration=<cycles>]
  *   store_fit_fail: [duration=<cycles>]
+ *   chip_fail:      chip=<pod chip index> [heal=<cycles>]
+ *
+ * chip_fail is the pod-scope fault: a whole chip goes dark. The pod
+ * runtime (src/pod) intercepts it at the router tier — draining and
+ * re-routing the dark chip's traffic onto the surviving chips — and
+ * heal= gives the ticks until the chip reboots (0 = permanent, like
+ * duration). Replayed against a single arch::Chip instead, it fails
+ * every tile on strike and recovers every tile on heal.
  *
  * Example: "tile_fail@5000000:tile=17;probe_drop@0:prob=0.3,duration=100000"
  */
@@ -51,6 +61,7 @@ enum class FaultKind {
     LinkDegrade,  ///< a directed NoC link loses bandwidth
     ProbeDrop,    ///< probe/ack round trips start dropping
     StoreFitFail, ///< compiled kernel stores stop fitting on-chip
+    ChipFail,     ///< a whole pod chip goes dark (pod scope)
 };
 
 /** Canonical lower-case name of a fault kind. */
@@ -74,7 +85,13 @@ struct FaultEvent
      *  ProbeDrop: drop probability in (0, 1]. */
     double factor = 0.5;
 
-    /** Ticks until the fault heals; 0 = permanent. */
+    /** ChipFail: pod chip index the fault strikes. The parser only
+     * checks non-negativity; the pod runtime validates the index
+     * against its own chip count. */
+    int chip = 0;
+
+    /** Ticks until the fault heals; 0 = permanent. ChipFail spells
+     * this key `heal=` in the plan text. */
     Tick duration = 0;
 
     bool operator==(const FaultEvent &) const = default;
@@ -87,7 +104,8 @@ struct FaultPlan
 
     bool empty() const { return events.empty(); }
 
-    /** Sort events by (at, kind, tile, dir) into canonical order. */
+    /** Sort events by (at, kind, tile, dir, chip) into canonical
+     * order. */
     void normalize();
 
     /** Canonical text form; parse(str()) reproduces the plan. */
@@ -119,6 +137,10 @@ struct RandomFaultConfig
     int linkDegrades = 1;
     int probeDropWindows = 1;
     int storeFitWindows = 0;
+    int chipFails = 0;
+
+    /** Pod size the chip_fail targets are drawn from. */
+    int podChips = 4;
 
     /** Probability an event is transient (heals before the horizon)
      * rather than permanent. */
@@ -144,6 +166,8 @@ struct FaultStats
     std::uint64_t linkRecoveries = 0;
     std::uint64_t probeDropWindows = 0;
     std::uint64_t storeFitWindows = 0;
+    std::uint64_t chipFailEvents = 0;
+    std::uint64_t chipHeals = 0;
 
     // Live state at snapshot time.
     int failedTiles = 0;

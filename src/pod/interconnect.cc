@@ -1,0 +1,56 @@
+#include "pod/interconnect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adyna::pod {
+
+Interconnect::Interconnect(InterconnectConfig cfg, int chips)
+    : cfg_(cfg), chips_(chips)
+{
+    ADYNA_ASSERT(chips_ >= 1, "pod interconnect needs >= 1 chip");
+    ADYNA_ASSERT(cfg_.bytesPerCycle > 0.0,
+                 "interconnect bandwidth must be > 0");
+    busyUntil_.assign(static_cast<std::size_t>(chips_) * 2, 0);
+}
+
+std::size_t
+Interconnect::linkIndex(int chip, bool to_chip) const
+{
+    ADYNA_ASSERT(chip >= 0 && chip < chips_, "bad pod chip ", chip);
+    return static_cast<std::size_t>(chip) * 2 + (to_chip ? 0 : 1);
+}
+
+Tick
+Interconnect::transfer(int chip, bool to_chip, Tick now, Bytes bytes,
+                       PayloadClass cls)
+{
+    const std::size_t link = linkIndex(chip, to_chip);
+    const Tick start = std::max(now, busyUntil_[link]);
+    const auto serialize = static_cast<Tick>(std::ceil(
+        static_cast<double>(bytes) / cfg_.bytesPerCycle));
+    busyUntil_[link] = start + serialize;
+    ++transfers_;
+    switch (cls) {
+      case PayloadClass::Request:
+        requestBytes_ += bytes;
+        break;
+      case PayloadClass::Response:
+        responseBytes_ += bytes;
+        break;
+      case PayloadClass::Weights:
+        weightBytes_ += bytes;
+        break;
+    }
+    return busyUntil_[link] + cfg_.latencyCycles;
+}
+
+Tick
+Interconnect::linkBusyUntil(int chip, bool to_chip) const
+{
+    return busyUntil_[linkIndex(chip, to_chip)];
+}
+
+} // namespace adyna::pod

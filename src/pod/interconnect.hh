@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The inter-chip interconnect of a pod: an explicit, costed
+ * bandwidth/latency tier above the on-chip torus. Each chip hangs off
+ * the pod fabric through one ingress and one egress serial link
+ * (think a handful of SerDes lanes vs the torus's 192 B/cycle/link),
+ * and every payload that crosses the chip boundary — the request
+ * payload a routed arrival carries in, the response payload a
+ * completion carries out, and the weight working set re-streamed when
+ * a healed chip rejoins — is serialized on its link and charged the
+ * fabric's propagation latency. Links are FIFO with a busy-until
+ * horizon: a transfer starts when both the requested start time and
+ * the link's previous transfer allow, so delivery times on one link
+ * are monotone in issue order (which is what lets delivered requests
+ * feed a Batcher's monotone-arrival queue directly).
+ */
+
+#ifndef ADYNA_POD_INTERCONNECT_HH
+#define ADYNA_POD_INTERCONNECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace adyna::pod {
+
+/** Inter-chip link parameters. */
+struct InterconnectConfig
+{
+    /** Serialization bandwidth of one directed chip link, bytes per
+     * cycle. Deliberately far below the on-chip torus link rate
+     * (192 B/cycle): crossing the chip boundary is the expensive
+     * tier. */
+    double bytesPerCycle = 48.0;
+
+    /** Propagation latency charged on every transfer, cycles. */
+    Cycles latencyCycles = 2000;
+
+    /** Payload of one routed request (input activations plus
+     * metadata), bytes. */
+    Bytes requestBytes = 4096;
+
+    /** Payload of one response (output logits plus metadata),
+     * bytes. */
+    Bytes responseBytes = 2048;
+};
+
+/** What a transfer carries (per-class byte accounting). */
+enum class PayloadClass {
+    Request,  ///< router -> chip request payload
+    Response, ///< chip -> router response payload
+    Weights,  ///< HBM -> chip weight (re-)stream on (re)join
+};
+
+/** The pod fabric: one ingress + one egress link per chip. */
+class Interconnect
+{
+  public:
+    Interconnect(InterconnectConfig cfg, int chips);
+
+    /**
+     * Serialize @p bytes onto @p chip's directed link (@p to_chip
+     * picks ingress vs egress) no earlier than @p now.
+     * @return the delivery tick (serialization + propagation).
+     */
+    Tick transfer(int chip, bool to_chip, Tick now, Bytes bytes,
+                  PayloadClass cls);
+
+    /** Tick the link's last accepted transfer finishes serializing. */
+    Tick linkBusyUntil(int chip, bool to_chip) const;
+
+    std::uint64_t transfers() const { return transfers_; }
+    Bytes requestBytes() const { return requestBytes_; }
+    Bytes responseBytes() const { return responseBytes_; }
+    Bytes weightBytes() const { return weightBytes_; }
+
+    const InterconnectConfig &config() const { return cfg_; }
+
+  private:
+    std::size_t linkIndex(int chip, bool to_chip) const;
+
+    InterconnectConfig cfg_;
+    int chips_ = 0;
+
+    /** Per-link busy-until horizon: [2c] = ingress, [2c+1] =
+     * egress. */
+    std::vector<Tick> busyUntil_;
+
+    std::uint64_t transfers_ = 0;
+    Bytes requestBytes_ = 0;
+    Bytes responseBytes_ = 0;
+    Bytes weightBytes_ = 0;
+};
+
+} // namespace adyna::pod
+
+#endif // ADYNA_POD_INTERCONNECT_HH

@@ -1,0 +1,121 @@
+#include "pod/router.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace adyna::pod {
+
+const char *
+routePolicyName(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::LeastLoaded:
+        return "least_loaded";
+      case RoutePolicy::Affinity:
+        return "affinity";
+      default:
+        return "round_robin";
+    }
+}
+
+Router::Router(RouterConfig cfg, int chips)
+    : cfg_(cfg), chips_(chips)
+{
+    ADYNA_ASSERT(chips_ >= 1, "router needs >= 1 chip");
+}
+
+bool
+Router::eligible(const ChipStatus &s) const
+{
+    // Static pinning ignores health: the router keeps dispatching to
+    // a dark chip and the runtime sheds what lands there.
+    return (s.alive || !cfg_.reRouteOnFailure) && s.servesModel;
+}
+
+bool
+Router::hasRoom(const ChipStatus &s) const
+{
+    return cfg_.queueLimit == 0 || s.queued < cfg_.queueLimit;
+}
+
+RouteDecision
+Router::route(const std::vector<ChipStatus> &status, double signature)
+{
+    ADYNA_ASSERT(static_cast<int>(status.size()) == chips_,
+                 "router built for ", chips_, " chips, got ",
+                 status.size(), " statuses");
+
+    /** true when chip a beats chip b under the policy (both must be
+     * eligible). Strict, so the lowest id wins every tie. */
+    const auto better = [&](int a, int b) {
+        const ChipStatus &sa = status[static_cast<std::size_t>(a)];
+        const ChipStatus &sb = status[static_cast<std::size_t>(b)];
+        if (cfg_.policy == RoutePolicy::Affinity) {
+            const double da =
+                std::abs(sa.installedLoadMean - signature);
+            const double db =
+                std::abs(sb.installedLoadMean - signature);
+            if (da != db)
+                return da < db;
+        }
+        if (sa.load != sb.load)
+            return sa.load < sb.load;
+        return a < b;
+    };
+
+    int preferred = RouteDecision::kShed;
+    int chosen = RouteDecision::kShed;
+    if (cfg_.policy == RoutePolicy::RoundRobin) {
+        // First eligible chip at or after the cursor; first eligible
+        // chip with queue room is the pick.
+        for (int i = 0; i < chips_; ++i) {
+            const int c = (cursor_ + i) % chips_;
+            const ChipStatus &s =
+                status[static_cast<std::size_t>(c)];
+            if (!eligible(s))
+                continue;
+            if (preferred == RouteDecision::kShed)
+                preferred = c;
+            if (hasRoom(s)) {
+                chosen = c;
+                break;
+            }
+        }
+        if (chosen != RouteDecision::kShed)
+            cursor_ = (chosen + 1) % chips_;
+    } else {
+        for (int c = 0; c < chips_; ++c) {
+            const ChipStatus &s =
+                status[static_cast<std::size_t>(c)];
+            if (!eligible(s))
+                continue;
+            if (preferred == RouteDecision::kShed ||
+                better(c, preferred))
+                preferred = c;
+            if (hasRoom(s) &&
+                (chosen == RouteDecision::kShed || better(c, chosen)))
+                chosen = c;
+        }
+    }
+
+    RouteDecision out;
+    out.chip = chosen;
+    if (chosen == RouteDecision::kShed) {
+        ++shed_;
+        return out;
+    }
+    out.diverted = chosen != preferred;
+    if (out.diverted)
+        ++diverted_;
+    if (cfg_.policy == RoutePolicy::Affinity) {
+        out.affinityHit = !out.diverted;
+        if (out.affinityHit)
+            ++affinityHits_;
+        else
+            ++affinityMisses_;
+    }
+    return out;
+}
+
+} // namespace adyna::pod

@@ -1,0 +1,1137 @@
+#include "pod/runtime.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "arch/chip.hh"
+#include "arch/profiler.hh"
+#include "common/logging.hh"
+#include "core/sampling.hh"
+#include "core/validate.hh"
+#include "serve/validate.hh"
+
+namespace adyna::pod {
+
+namespace {
+
+/** Same synthetic total-load series the single-chip runtime feeds
+ * its drift monitor (see serve/server.cc for the rationale). */
+constexpr OpId kLoadSeriesOp = 0xFFFFFFFFu;
+
+void
+recordRequest(arch::Profiler &prof, const graph::DynGraph &dg,
+              const trace::BatchRouting &routing)
+{
+    prof.noteBatch();
+    std::int64_t totalLoad = 0;
+    for (OpId op : dg.dynamicOps()) {
+        const std::int64_t v = routing.dynValue(dg, op);
+        prof.recordValue(op, v);
+        totalLoad += v;
+    }
+    prof.recordValue(kLoadSeriesOp, totalLoad);
+}
+
+/** Mean per-request dynamic load an expectation set embodies: the
+ * affinity target the router compares request signatures
+ * (trace::totalDynLoad, a per-sample scalar) against. Expectations
+ * are compiled-batch statistics, so divide the batch size out. */
+double
+loadMean(const graph::DynGraph &dg,
+         const std::map<OpId, double> &expectations,
+         std::int64_t batch_size)
+{
+    double sum = 0.0;
+    for (OpId op : dg.dynamicOps()) {
+        const auto it = expectations.find(op);
+        if (it != expectations.end())
+            sum += it->second;
+    }
+    return sum / static_cast<double>(batch_size);
+}
+
+/** One chip back-end's complete serving state: the single-chip
+ * runtime's locals, packaged so K of them serve behind one router. */
+struct ChipBackend
+{
+    int id = 0;
+    int model = 0;
+    const PodWorkload *wl = nullptr;
+    std::uint64_t seed = 0;
+
+    core::Scheduler scheduler;
+    core::Engine engine;
+    arch::Chip chip;
+    arch::Profiler engineProf;
+    arch::Profiler driftProf;
+    serve::DriftMonitor monitor;
+    serve::Batcher batcher;
+    serve::SloTracker slo;
+
+    /** Per-chip (tile/link/probe/store-fit) fault timeline. */
+    std::optional<fault::FaultInjector> injector;
+
+    /** Requests routed to this chip but still crossing the
+     * interconnect (delivery-ordered — deliveries on one directed
+     * link serialize, so arrival ticks are non-decreasing). They
+     * enter the Batcher only once the pod clock reaches their
+     * delivery tick, preserving the single-chip invariant that
+     * everything queued has already arrived. */
+    std::deque<serve::Request> inflight;
+
+    std::map<OpId, double> expectations;
+    std::map<OpId, double> installedExp;
+    std::map<OpId, std::vector<std::int64_t>> kernelValues;
+    std::map<OpId, std::vector<std::int64_t>> installedKv;
+    core::Schedule schedule;
+
+    /** The installed schedule's mean per-request dynamic load (the
+     * router's affinity target). */
+    double installedLoadMean = 0.0;
+
+    /** Weight working set re-streamed over the interconnect on
+     * (re)join. */
+    Bytes weightBytes = 0;
+
+    bool dark = false;
+    Tick engineFree = 0;
+
+    // Delivered-arrival bookkeeping (per-chip offered rate).
+    bool haveArrival = false;
+    Tick firstArrival = 0;
+    Tick lastArrival = 0;
+
+    std::uint64_t routed = 0;
+    std::uint64_t rerouted = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    int reschedules = 0;
+    int driftWindows = 0;
+    int failovers = 0;
+    int watchdogFallbacks = 0;
+    int storeFitFailures = 0;
+    int deltaReschedules = 0;
+    std::uint64_t segmentsRebuilt = 0;
+    std::uint64_t segmentsSpliced = 0;
+    double serviceEwma = 0.0;
+    bool haveService = false;
+
+    // Shared-cache activity around this chip's own builds.
+    std::uint64_t mapperHits = 0;
+    std::uint64_t mapperMisses = 0;
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+
+    ChipBackend(int chip_id, int model_idx, const PodWorkload &w,
+                std::uint64_t sd, const arch::HwConfig &hw,
+                costmodel::Mapper &mapper,
+                const core::SchedulerConfig &sched_cfg,
+                const core::ExecPolicy &policy,
+                const serve::ServeConfig &serve_cfg)
+        : id(chip_id), model(model_idx), wl(&w), seed(sd),
+          scheduler(*w.dg, hw, mapper, sched_cfg),
+          engine(*w.dg, hw, mapper, policy), chip(hw),
+          monitor(serve_cfg.drift), batcher(serve_cfg.batching),
+          slo(serve_cfg.slo, hw.tech.freqGhz)
+    {
+    }
+};
+
+/** A pod-scope chip_fail strike or heal on the pod timeline. */
+struct PodFaultEvent
+{
+    Tick at = 0;
+    int chip = 0;
+    bool recover = false;
+};
+
+std::vector<PodFaultEvent>
+podFaultTimeline(const fault::FaultPlan &plan)
+{
+    constexpr Tick kForever = ~Tick{0};
+    std::vector<PodFaultEvent> out;
+    for (const fault::FaultEvent &ev : plan.events) {
+        out.push_back({ev.at, ev.chip, false});
+        if (ev.duration > 0 && ev.at <= kForever - ev.duration)
+            out.push_back({ev.at + ev.duration, ev.chip, true});
+    }
+    // Strikes before heals at equal ticks, then by chip id.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const PodFaultEvent &a,
+                        const PodFaultEvent &b) {
+                         return std::tuple(a.at, a.recover, a.chip) <
+                                std::tuple(b.at, b.recover, b.chip);
+                     });
+    return out;
+}
+
+} // namespace
+
+const char *
+placementName(Placement placement)
+{
+    switch (placement) {
+      case Placement::Replicated:
+        return "replicated";
+      default:
+        return "partitioned";
+    }
+}
+
+std::string
+toJson(const PodReport &r)
+{
+    char buf[1280];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"policy\": \"%s\", \"placement\": \"%s\", "
+        "\"chip_count\": %d, \"requests\": %llu, "
+        "\"shed_requests\": %llu, \"dark_chip_sheds\": %llu, "
+        "\"rerouted\": %llu, \"drained\": %llu, "
+        "\"diverted\": %llu, \"affinity_hits\": %llu, "
+        "\"affinity_misses\": %llu, \"chip_fail_events\": %llu, "
+        "\"chip_heals\": %llu, \"ic_transfers\": %llu, "
+        "\"ic_request_bytes\": %llu, \"ic_response_bytes\": %llu, "
+        "\"ic_weight_bytes\": %llu, \"offered_rps\": %.2f, "
+        "\"achieved_rps\": %.2f, \"p50_ms\": %.4f, "
+        "\"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"slo_attainment\": %.4f, \"goodput_rps\": %.2f, "
+        "\"horizon_ticks\": %llu, \"chips\": [",
+        r.policy.c_str(), r.placement.c_str(), r.chipCount,
+        static_cast<unsigned long long>(r.requests),
+        static_cast<unsigned long long>(r.shedRequests),
+        static_cast<unsigned long long>(r.darkChipSheds),
+        static_cast<unsigned long long>(r.rerouted),
+        static_cast<unsigned long long>(r.drained),
+        static_cast<unsigned long long>(r.diverted),
+        static_cast<unsigned long long>(r.affinityHits),
+        static_cast<unsigned long long>(r.affinityMisses),
+        static_cast<unsigned long long>(r.chipFailEvents),
+        static_cast<unsigned long long>(r.chipHeals),
+        static_cast<unsigned long long>(r.icTransfers),
+        static_cast<unsigned long long>(r.icRequestBytes),
+        static_cast<unsigned long long>(r.icResponseBytes),
+        static_cast<unsigned long long>(r.icWeightBytes),
+        r.offeredRps, r.achievedRps, r.p50Ms, r.p95Ms, r.p99Ms,
+        r.sloAttainment, r.goodputRps,
+        static_cast<unsigned long long>(r.horizonTicks));
+    std::string out = buf;
+    // The chips array is emitted in ascending chip-id order (the
+    // vector is built that way), so BENCH_pod.json diffs stay
+    // deterministic across --jobs values. Each element is the chip's
+    // serve JSON bytes with an identity prefix spliced in — the
+    // 1-chip equivalence gate compares exactly the serve::toJson
+    // substring.
+    for (std::size_t i = 0; i < r.chips.size(); ++i) {
+        const ChipResult &c = r.chips[i];
+        std::string obj = serve::toJson(c.serve);
+        char pre[224];
+        std::snprintf(pre, sizeof(pre),
+                      "\"chip\": %d, \"model\": \"%s\", "
+                      "\"dark\": %s, \"routed\": %llu, "
+                      "\"rerouted\": %llu, \"drained\": %llu, ",
+                      c.id, c.model.c_str(),
+                      c.dark ? "true" : "false",
+                      static_cast<unsigned long long>(c.routed),
+                      static_cast<unsigned long long>(c.rerouted),
+                      static_cast<unsigned long long>(c.drained));
+        obj.insert(1, pre);
+        if (i > 0)
+            out += ", ";
+        out += obj;
+    }
+    out += "]}";
+    return out;
+}
+
+PodRuntime::PodRuntime(std::vector<PodWorkload> workloads,
+                       arch::HwConfig hw,
+                       core::SchedulerConfig sched_cfg,
+                       core::ExecPolicy policy, PodConfig cfg)
+    : workloads_(std::move(workloads)), hw_(hw),
+      schedCfg_(sched_cfg), policy_(policy), cfg_(std::move(cfg))
+{
+    serve::validateServeConfig(cfg_.serve);
+    ADYNA_ASSERT(cfg_.chips >= 1, "a pod needs >= 1 chip (got ",
+                 cfg_.chips, ")");
+    ADYNA_ASSERT(!workloads_.empty(), "a pod needs >= 1 workload");
+    double fracSum = 0.0;
+    for (std::size_t m = 0; m < workloads_.size(); ++m) {
+        const PodWorkload &w = workloads_[m];
+        ADYNA_ASSERT(w.dg != nullptr, "pod workload ", m,
+                     ": PodWorkload.dg must be set");
+        ADYNA_ASSERT(
+            w.traceCfg.batchSize ==
+                static_cast<std::int64_t>(
+                    cfg_.serve.batching.maxBatch),
+            "pod workload \"", w.name,
+            "\": the workload graph must be compiled at the "
+            "batcher's maxBatch (got trace batchSize ",
+            w.traceCfg.batchSize, " vs maxBatch ",
+            cfg_.serve.batching.maxBatch, ")");
+        ADYNA_ASSERT(w.trafficFraction > 0.0, "pod workload \"",
+                     w.name, "\": trafficFraction must be > 0");
+        fracSum += w.trafficFraction;
+    }
+    ADYNA_ASSERT(fracSum > 0.99 && fracSum < 1.01,
+                 "pod traffic fractions must sum to 1, got ",
+                 fracSum);
+    if (cfg_.placement == Placement::Replicated)
+        ADYNA_ASSERT(workloads_.size() == 1,
+                     "replicated placement serves one model (got ",
+                     workloads_.size(), ")");
+    else
+        ADYNA_ASSERT(
+            cfg_.chips >= static_cast<int>(workloads_.size()),
+            "partitioned placement needs >= 1 chip per model (",
+            workloads_.size(), " models on ", cfg_.chips, " chips)");
+    ADYNA_ASSERT(cfg_.chips == 1 || !cfg_.serve.admissionControl,
+                 "per-chip admissionControl must be off in a pod: "
+                 "the router's queueLimit is the pod's admission "
+                 "backpressure");
+    for (const fault::FaultEvent &ev : cfg_.faultPlan.events) {
+        ADYNA_ASSERT(ev.kind == fault::FaultKind::ChipFail,
+                     "the pod fault plan is chip scope: only "
+                     "chip_fail events allowed (put ",
+                     fault::faultKindName(ev.kind),
+                     " into chipFaultPlans)");
+        ADYNA_ASSERT(ev.chip >= 0 && ev.chip < cfg_.chips,
+                     "chip_fail targets chip ", ev.chip, " of a ",
+                     cfg_.chips, "-chip pod");
+    }
+    ADYNA_ASSERT(cfg_.chipFaultPlans.empty() ||
+                     cfg_.chipFaultPlans.size() ==
+                         static_cast<std::size_t>(cfg_.chips),
+                 "chipFaultPlans must be empty or hold one plan per "
+                 "chip (got ",
+                 cfg_.chipFaultPlans.size(), " for ", cfg_.chips,
+                 " chips)");
+    for (const fault::FaultPlan &plan : cfg_.chipFaultPlans)
+        for (const fault::FaultEvent &ev : plan.events)
+            ADYNA_ASSERT(ev.kind != fault::FaultKind::ChipFail,
+                         "chip_fail is pod scope: put it into "
+                         "PodConfig::faultPlan");
+
+    // Model -> chip-group assignment. Replicated: every chip serves
+    // model 0. Partitioned: contiguous groups, one chip minimum,
+    // remaining chips to the models with the largest unmet ideal
+    // share (frac * chips) — deterministic, ties to the lowest model.
+    chipModel_.assign(static_cast<std::size_t>(cfg_.chips), 0);
+    if (cfg_.placement == Placement::Partitioned) {
+        const std::size_t m = workloads_.size();
+        std::vector<int> counts(m, 1);
+        int remaining = cfg_.chips - static_cast<int>(m);
+        while (remaining-- > 0) {
+            std::size_t pick = 0;
+            double bestDeficit = -1.0;
+            for (std::size_t i = 0; i < m; ++i) {
+                const double deficit =
+                    workloads_[i].trafficFraction * cfg_.chips -
+                    counts[i];
+                if (deficit > bestDeficit) {
+                    bestDeficit = deficit;
+                    pick = i;
+                }
+            }
+            ++counts[pick];
+        }
+        int next = 0;
+        for (std::size_t i = 0; i < m; ++i)
+            for (int c = 0; c < counts[i]; ++c)
+                chipModel_[static_cast<std::size_t>(next++)] =
+                    static_cast<int>(i);
+    }
+}
+
+void
+PodRuntime::setSharedMapper(costmodel::Mapper *mapper)
+{
+    sharedMapper_ = mapper;
+}
+
+void
+PodRuntime::setSharedStoreCache(kernels::KernelStoreCache *cache)
+{
+    sharedStoreCache_ = cache;
+}
+
+void
+PodRuntime::setSchedulerPool(ThreadPool *pool)
+{
+    schedulerPool_ = pool;
+}
+
+PodReport
+PodRuntime::runSingle()
+{
+    serve::ServeConfig serveCfg = cfg_.serve;
+    // A 1-chip pod's faults all land on chip 0: merge the pod-scope
+    // chip_fail events with the chip's own plan and let the
+    // single-chip injector replay both.
+    if (!cfg_.faultPlan.empty() || !cfg_.chipFaultPlans.empty()) {
+        fault::FaultPlan merged = cfg_.faultPlan;
+        if (!cfg_.chipFaultPlans.empty())
+            merged.events.insert(
+                merged.events.end(),
+                cfg_.chipFaultPlans[0].events.begin(),
+                cfg_.chipFaultPlans[0].events.end());
+        merged.normalize();
+        if (!merged.empty()) {
+            serveCfg.faultPlan = std::move(merged);
+            serveCfg.faultSeed = cfg_.faultSeed;
+        }
+    }
+    serve::ServeRuntime rt(*workloads_[0].dg, workloads_[0].traceCfg,
+                           hw_, schedCfg_, policy_, serveCfg,
+                           workloads_[0].name);
+    if (sharedMapper_)
+        rt.setSharedMapper(sharedMapper_);
+    if (sharedStoreCache_)
+        rt.setSharedStoreCache(sharedStoreCache_);
+    if (schedulerPool_)
+        rt.setSchedulerPool(schedulerPool_);
+
+    PodReport report;
+    report.policy = routePolicyName(cfg_.router.policy);
+    report.placement = placementName(cfg_.placement);
+    report.chipCount = 1;
+    ChipResult cr;
+    cr.id = 0;
+    cr.model = workloads_[0].name;
+    cr.serve = rt.run();
+    cr.routed = cr.serve.requests + cr.serve.shedRequests;
+    report.requests = cr.serve.requests;
+    report.offeredRps = cr.serve.offeredRps;
+    report.achievedRps = cr.serve.achievedRps;
+    report.p50Ms = cr.serve.p50Ms;
+    report.p95Ms = cr.serve.p95Ms;
+    report.p99Ms = cr.serve.p99Ms;
+    report.sloAttainment = cr.serve.sloAttainment;
+    report.goodputRps = cr.serve.goodputRps;
+    report.horizonTicks = cr.serve.horizonTicks;
+    report.chips.push_back(std::move(cr));
+    return report;
+}
+
+PodReport
+PodRuntime::run()
+{
+    // One chip serving one model needs no router and no
+    // interconnect: delegate to the single-chip runtime so the serve
+    // report is byte-identical to the single-chip path.
+    if (cfg_.chips == 1 && workloads_.size() == 1)
+        return runSingle();
+
+    const int K = cfg_.chips;
+    const auto kNever = serve::Batcher::kNever;
+
+    std::optional<costmodel::Mapper> localMapper;
+    if (!sharedMapper_)
+        localMapper.emplace(hw_.tech);
+    costmodel::Mapper &mapper =
+        sharedMapper_ ? *sharedMapper_ : *localMapper;
+    kernels::KernelStoreCache &storeCache =
+        sharedStoreCache_ ? *sharedStoreCache_
+                          : kernels::KernelStoreCache::global();
+
+    Interconnect ic(cfg_.interconnect, K);
+    Router router(cfg_.router, K);
+
+    const std::uint64_t faultSeedBase =
+        cfg_.faultSeed ? cfg_.faultSeed
+                       : cfg_.serve.seed ^ 0xda3e39cb94b95bdbULL;
+
+    // ---- per-chip back-ends ----------------------------------------
+    std::vector<std::unique_ptr<ChipBackend>> chips;
+    chips.reserve(static_cast<std::size_t>(K));
+    for (int c = 0; c < K; ++c) {
+        const int model = chipModel_[static_cast<std::size_t>(c)];
+        const PodWorkload &wl =
+            workloads_[static_cast<std::size_t>(model)];
+        const std::uint64_t chipSeed =
+            cfg_.serve.seed ^
+            (0x6a09e667f3bcc909ULL *
+             static_cast<std::uint64_t>(c + 1));
+        chips.push_back(std::make_unique<ChipBackend>(
+            c, model, wl, chipSeed, hw_, mapper, schedCfg_, policy_,
+            cfg_.serve));
+        ChipBackend &b = *chips.back();
+        b.weightBytes = wl.dg->graph().totalWeightBytes();
+        b.scheduler.setStoreCache(&storeCache);
+        if (schedulerPool_)
+            b.scheduler.setThreadPool(schedulerPool_);
+        if (!cfg_.chipFaultPlans.empty() &&
+            !cfg_.chipFaultPlans[static_cast<std::size_t>(c)]
+                 .empty())
+            b.injector.emplace(
+                cfg_.chipFaultPlans[static_cast<std::size_t>(c)],
+                faultSeedBase ^ (0x2545f4914f6cdd1dULL *
+                                 static_cast<std::uint64_t>(c)));
+    }
+
+    const auto checkSchedule = [&](ChipBackend &b,
+                                   const core::Schedule &sch) {
+        const auto issues =
+            core::validateSchedule(sch, *b.wl->dg, hw_);
+        ADYNA_ASSERT(issues.empty(), "pod chip ", b.id,
+                     ": invalid schedule:\n",
+                     core::issuesToString(issues));
+    };
+
+    /** Rebuild one chip's schedule (the single-chip runtime's
+     * rebuildSchedule, with per-chip cache-activity accounting). */
+    struct Rebuild
+    {
+        core::Schedule schedule;
+        Cycles cost = 0;
+        bool delta = false;
+        core::DeltaStats stats;
+    };
+    const auto rebuildSchedule =
+        [&](ChipBackend &b, Tick now,
+            const std::vector<OpId> *delta) -> Rebuild {
+        const serve::ServeConfig &s = cfg_.serve;
+        const bool bypassStores =
+            b.injector && b.injector->storeFitFailActive(now);
+        if (bypassStores) {
+            b.scheduler.setStoreCache(nullptr);
+            ++b.storeFitFailures;
+        }
+        const std::uint64_t mh0 = mapper.hits();
+        const std::uint64_t mm0 = mapper.misses();
+        const std::uint64_t sh0 = storeCache.hits();
+        const std::uint64_t sm0 = storeCache.misses();
+        Rebuild rb;
+        if (delta && !bypassStores) {
+            rb.schedule = b.scheduler.buildDelta(
+                b.schedule, b.expectations, b.kernelValues,
+                &b.engineProf, *delta, &rb.stats);
+            rb.delta = true;
+        } else {
+            rb.schedule = b.scheduler.build(
+                b.expectations, b.kernelValues, &b.engineProf);
+        }
+        if (bypassStores)
+            b.scheduler.setStoreCache(&storeCache);
+        checkSchedule(b, rb.schedule);
+        const std::uint64_t compiled =
+            schedCfg_.storeCache && !bypassStores
+                ? storeCache.misses() - sm0
+                : (rb.delta ? rb.stats.segmentsRebuilt
+                            : rb.schedule.segments.size());
+        rb.cost = s.reconfigOverheadCycles +
+                  static_cast<Cycles>(compiled) *
+                      s.storeCompileCycles;
+        b.mapperHits += mapper.hits() - mh0;
+        b.mapperMisses += mapper.misses() - mm0;
+        b.storeHits += storeCache.hits() - sh0;
+        b.storeMisses += storeCache.misses() - sm0;
+        return rb;
+    };
+
+    // ---- per-chip bring-up: profiling, drift reference, first
+    // schedule, initial weight stream over the interconnect ----------
+    for (auto &bp : chips) {
+        ChipBackend &b = *bp;
+        const serve::ServeConfig &s = cfg_.serve;
+        const graph::DynGraph &dg = *b.wl->dg;
+
+        b.kernelValues = b.scheduler.initialKernelValues();
+        if (!schedCfg_.worstCase && s.profileBatches > 0) {
+            trace::TraceGenerator probe(dg, b.wl->traceCfg,
+                                        b.seed ^
+                                            0x517cc1b727220a95ULL);
+            for (int i = 0; i < s.profileBatches; ++i) {
+                const trace::BatchRouting routing = probe.next();
+                b.engineProf.noteBatch();
+                for (const auto &[sw, oc] : routing.outcomes)
+                    b.engineProf.recordBranchLoads(sw,
+                                                   oc.branchCounts);
+                for (OpId op : dg.dynamicOps())
+                    b.engineProf.recordValue(
+                        op, routing.dynValue(dg, op));
+            }
+            core::refreshScheduleInputs(
+                b.engineProf,
+                s.resampleKernels && !policy_.exactKernels,
+                b.expectations, b.kernelValues);
+            b.engineProf.resetTables();
+        }
+
+        // Drift reference + noise floor (see serve/server.cc).
+        {
+            trace::TraceConfig reqCfg = b.wl->traceCfg;
+            reqCfg.batchSize = 1;
+            trace::TraceGenerator refProbe(
+                dg, reqCfg, b.seed ^ 0x517cc1b727220a95ULL);
+            const int half = s.drift.windowRequests;
+            for (int i = 0; i < half; ++i)
+                recordRequest(b.driftProf, dg, refProbe.next());
+            auto reference = b.driftProf.tablesSnapshot();
+            b.driftProf.resetTables();
+            for (int i = 0; i < half; ++i)
+                recordRequest(b.driftProf, dg, refProbe.next());
+            b.monitor.setReference(reference);
+            b.monitor.setNoiseFloor(
+                b.monitor.distanceTo(b.driftProf));
+            for (const auto &[op, hist] :
+                 b.driftProf.tablesSnapshot())
+                reference[op].merge(hist);
+            b.monitor.setReference(std::move(reference));
+            b.driftProf.resetTables();
+        }
+
+        {
+            const std::uint64_t mh0 = mapper.hits();
+            const std::uint64_t mm0 = mapper.misses();
+            const std::uint64_t sh0 = storeCache.hits();
+            const std::uint64_t sm0 = storeCache.misses();
+            b.schedule = b.scheduler.build(
+                b.expectations, b.kernelValues,
+                schedCfg_.worstCase ? nullptr : &b.engineProf);
+            b.mapperHits += mapper.hits() - mh0;
+            b.mapperMisses += mapper.misses() - mm0;
+            b.storeHits += storeCache.hits() - sh0;
+            b.storeMisses += storeCache.misses() - sm0;
+        }
+        checkSchedule(b, b.schedule);
+        b.installedExp = b.expectations;
+        b.installedKv = b.kernelValues;
+        b.installedLoadMean =
+            loadMean(dg, b.installedExp, b.wl->traceCfg.batchSize);
+
+        // The model's weight working set streams in over the chip's
+        // ingress link before it can serve (all chips in parallel —
+        // each has its own link).
+        b.engineFree = ic.transfer(b.id, true, 0, b.weightBytes,
+                                   PayloadClass::Weights);
+    }
+
+    // ---- pod front-end ---------------------------------------------
+    serve::ArrivalConfig arrivalCfg = cfg_.serve.arrival;
+    arrivalCfg.freqGhz = hw_.tech.freqGhz;
+    serve::ArrivalProcess arrivals(
+        arrivalCfg, cfg_.serve.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<double> fractions;
+    fractions.reserve(workloads_.size());
+    for (const PodWorkload &w : workloads_)
+        fractions.push_back(w.trafficFraction);
+    serve::TrafficSplitter splitter(
+        std::move(fractions),
+        cfg_.serve.seed ^ 0x94d049bb133111ebULL);
+    std::vector<trace::TraceGenerator> reqGens;
+    reqGens.reserve(workloads_.size());
+    for (std::size_t m = 0; m < workloads_.size(); ++m) {
+        trace::TraceConfig reqCfg = workloads_[m].traceCfg;
+        reqCfg.batchSize = 1;
+        reqGens.emplace_back(*workloads_[m].dg, reqCfg,
+                             cfg_.serve.seed ^
+                                 (0xbf58476d1ce4e5b9ULL *
+                                  static_cast<std::uint64_t>(m)));
+    }
+    serve::SloTracker podSlo(cfg_.serve.slo, hw_.tech.freqGhz);
+
+    const auto total =
+        static_cast<std::uint64_t>(cfg_.serve.numRequests);
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shedFront = 0;    ///< router shed (no chip / full)
+    std::uint64_t darkChipSheds = 0;
+    std::uint64_t reroutedTotal = 0;
+    std::uint64_t drainedTotal = 0;
+    std::uint64_t chipFailEvents = 0;
+    std::uint64_t chipHeals = 0;
+    Tick nextArrival = arrivals.next();
+    const Tick firstArrival = nextArrival;
+    Tick lastArrival = nextArrival;
+
+    // The pod arrival tick and model of every issued request, by id
+    // (ids are dense). Re-routed requests keep their id, so their
+    // end-to-end latency stays anchored at the original arrival.
+    std::vector<Tick> podArrivalOf(total, 0);
+    std::vector<int> modelOf(total, 0);
+
+    std::vector<PodFaultEvent> podFaults =
+        podFaultTimeline(cfg_.faultPlan);
+    std::size_t podFaultCursor = 0;
+
+    /** Route-time status snapshot of every chip. */
+    const auto statuses = [&](int model, Tick now) {
+        std::vector<ChipStatus> st(static_cast<std::size_t>(K));
+        for (int c = 0; c < K; ++c) {
+            const ChipBackend &b = *chips[static_cast<std::size_t>(c)];
+            ChipStatus &s = st[static_cast<std::size_t>(c)];
+            s.alive = !b.dark;
+            s.servesModel = b.model == model;
+            s.queued = b.batcher.queued() + b.inflight.size();
+            const double backlog =
+                b.engineFree > now
+                    ? static_cast<double>(b.engineFree - now)
+                    : 0.0;
+            // Before the first completion there is no service
+            // estimate; charge one tick per queued request so equal
+            // bring-up backlogs (every chip streaming weights in
+            // parallel) still tie-break on queue depth instead of
+            // funnelling the whole cold-start burst to chip 0.
+            const double perRequest =
+                b.haveService ? b.serviceEwma /
+                                    cfg_.serve.batching.maxBatch
+                              : 1.0;
+            s.load = backlog + static_cast<double>(s.queued) *
+                                   perRequest;
+            s.installedLoadMean = b.installedLoadMean;
+        }
+        return st;
+    };
+
+    /** Deliver one routed request onto a chip over the
+     * interconnect. */
+    const auto deliverTo = [&](int c, serve::Request r, Tick when,
+                               bool is_reroute) {
+        ChipBackend &b = *chips[static_cast<std::size_t>(c)];
+        const Tick delivered =
+            ic.transfer(c, true, when, cfg_.interconnect.requestBytes,
+                        PayloadClass::Request);
+        r.arrival = delivered;
+        b.inflight.push_back(std::move(r));
+        ++b.routed;
+        if (is_reroute) {
+            ++b.rerouted;
+            ++reroutedTotal;
+        }
+        if (!b.haveArrival) {
+            b.firstArrival = delivered;
+            b.haveArrival = true;
+        }
+        b.lastArrival = delivered;
+    };
+
+    /** Move every in-flight request delivered by @p up_to into the
+     * chip's admission queue. */
+    const auto flushDeliveries = [](ChipBackend &b, Tick up_to) {
+        bool any = false;
+        while (!b.inflight.empty() &&
+               b.inflight.front().arrival <= up_to) {
+            b.batcher.enqueue(std::move(b.inflight.front()));
+            b.inflight.pop_front();
+            any = true;
+        }
+        return any;
+    };
+
+    /** Draw, route, and deliver (or shed) the next pod arrival. */
+    const auto routeArrival = [&]() {
+        const Tick at = nextArrival;
+        const int model = splitter.next();
+        serve::Request r;
+        r.id = issued;
+        r.routing = reqGens[static_cast<std::size_t>(model)].next();
+        podArrivalOf[issued] = at;
+        modelOf[issued] = model;
+        lastArrival = at;
+        ++issued;
+        const double sig = static_cast<double>(trace::totalDynLoad(
+            *workloads_[static_cast<std::size_t>(model)].dg,
+            r.routing));
+        const RouteDecision dec =
+            router.route(statuses(model, at), sig);
+        if (dec.chip == RouteDecision::kShed)
+            ++shedFront;
+        else if (chips[static_cast<std::size_t>(dec.chip)]->dark)
+            // Static pinning dispatched onto a dark chip: the
+            // request is lost (brownout, not collapse).
+            ++darkChipSheds;
+        else
+            deliverTo(dec.chip, std::move(r), at, false);
+        nextArrival = arrivals.next();
+    };
+
+    /** Apply every pod-scope chip_fail strike / heal due at or
+     * before @p up_to. A strike drains the dark chip's queue and
+     * re-routes it onto the survivors (adaptive) or sheds it
+     * (static pinning); a heal re-streams the weight working set
+     * over the interconnect before the chip rejoins. */
+    const auto applyPodFaults = [&](Tick up_to) {
+        bool any = false;
+        while (podFaultCursor < podFaults.size() &&
+               podFaults[podFaultCursor].at <= up_to) {
+            const PodFaultEvent &ev = podFaults[podFaultCursor];
+            ChipBackend &b =
+                *chips[static_cast<std::size_t>(ev.chip)];
+            if (!ev.recover && !b.dark) {
+                b.dark = true;
+                ++chipFailEvents;
+                std::vector<serve::Request> drained =
+                    b.batcher.drain();
+                for (serve::Request &r : b.inflight)
+                    drained.push_back(std::move(r));
+                b.inflight.clear();
+                b.drained += drained.size();
+                drainedTotal += drained.size();
+                for (serve::Request &r : drained) {
+                    if (!cfg_.router.reRouteOnFailure) {
+                        ++darkChipSheds;
+                        continue;
+                    }
+                    const int model = modelOf[r.id];
+                    const double sig =
+                        static_cast<double>(trace::totalDynLoad(
+                            *workloads_[static_cast<std::size_t>(
+                                            model)]
+                                 .dg,
+                            r.routing));
+                    const RouteDecision dec =
+                        router.route(statuses(model, ev.at), sig);
+                    if (dec.chip == RouteDecision::kShed ||
+                        chips[static_cast<std::size_t>(dec.chip)]
+                            ->dark)
+                        ++shedFront;
+                    else
+                        deliverTo(dec.chip, std::move(r), ev.at,
+                                  true);
+                }
+            } else if (ev.recover && b.dark) {
+                b.dark = false;
+                ++chipHeals;
+                const Tick ready =
+                    ic.transfer(ev.chip, true, ev.at, b.weightBytes,
+                                PayloadClass::Weights);
+                b.engineFree = std::max(b.engineFree, ready);
+            }
+            ++podFaultCursor;
+            any = true;
+        }
+        return any;
+    };
+
+    /** Ops whose expectation moved past the delta tolerance (the
+     * single-chip runtime's changedOps). */
+    const auto changedOps = [&](ChipBackend &b) {
+        std::vector<OpId> changed;
+        for (OpId op : b.wl->dg->dynamicOps()) {
+            const auto ne = b.expectations.find(op);
+            const auto oe = b.installedExp.find(op);
+            const bool haveNew = ne != b.expectations.end();
+            const bool haveOld = oe != b.installedExp.end();
+            bool moved = haveNew != haveOld;
+            if (!moved && haveNew) {
+                const double ref =
+                    std::max(std::abs(oe->second), 1.0);
+                moved = std::abs(ne->second - oe->second) >
+                        cfg_.serve.deltaExpectationTol * ref;
+            }
+            if (moved)
+                changed.push_back(op);
+        }
+        return changed;
+    };
+
+    /** Close one drift window for a chip (the single-chip runtime's
+     * closeWindow, plus the affinity target refresh). */
+    const auto closeWindow = [&](ChipBackend &b) {
+        const serve::ServeConfig &s = cfg_.serve;
+        ++b.driftWindows;
+        const bool fire = b.monitor.observe(b.driftProf);
+        if (fire && s.driftReschedule && !schedCfg_.worstCase) {
+            auto reference = b.driftProf.tablesSnapshot();
+            core::refreshScheduleInputs(
+                b.engineProf,
+                s.resampleKernels && !policy_.exactKernels,
+                b.expectations, b.kernelValues);
+            b.engineProf.resetTables();
+            const std::vector<OpId> changed = changedOps(b);
+            Rebuild rb = rebuildSchedule(
+                b, b.engineFree,
+                s.deltaReschedule ? &changed : nullptr);
+            if (s.rescheduleBudgetCycles > 0 &&
+                rb.cost > s.rescheduleBudgetCycles) {
+                b.engineFree += s.rescheduleBudgetCycles;
+                ++b.watchdogFallbacks;
+            } else {
+                b.schedule = std::move(rb.schedule);
+                b.monitor.setReference(std::move(reference));
+                if (rb.delta) {
+                    ++b.deltaReschedules;
+                    b.segmentsRebuilt += rb.stats.segmentsRebuilt;
+                    b.segmentsSpliced += rb.stats.segmentsTotal -
+                                         rb.stats.segmentsRebuilt;
+                    for (OpId op : changed) {
+                        const auto e = b.expectations.find(op);
+                        if (e != b.expectations.end())
+                            b.installedExp[op] = e->second;
+                        else
+                            b.installedExp.erase(op);
+                        const auto k = b.kernelValues.find(op);
+                        if (k != b.kernelValues.end())
+                            b.installedKv[op] = k->second;
+                        else
+                            b.installedKv.erase(op);
+                    }
+                } else {
+                    b.installedExp = b.expectations;
+                    b.installedKv = b.kernelValues;
+                }
+                // The chip now serves a different distribution:
+                // refresh the router's affinity target.
+                b.installedLoadMean =
+                    loadMean(*b.wl->dg, b.installedExp,
+                             b.wl->traceCfg.batchSize);
+                b.engineFree += s.reconfigOverheadCycles;
+                ++b.reschedules;
+            }
+        }
+        b.driftProf.resetTables();
+    };
+
+    // ---- the pod serving loop --------------------------------------
+    for (;;) {
+        // The next pod event horizon: the earliest dispatch moment
+        // across the live chips with admitted work (lowest id wins
+        // ties — deterministic), or the earliest pending
+        // interconnect delivery, whichever comes first. Dispatch
+        // moments only consider *delivered* requests; a request
+        // still crossing the interconnect cannot shorten them, so no
+        // batch ever forms before its members physically arrive.
+        Tick best = kNever;
+        int bestIdx = -1;
+        Tick nextDelivery = kNever;
+        for (int c = 0; c < K; ++c) {
+            ChipBackend &b = *chips[static_cast<std::size_t>(c)];
+            if (b.dark)
+                continue;
+            if (!b.inflight.empty())
+                nextDelivery = std::min(
+                    nextDelivery, b.inflight.front().arrival);
+            if (b.batcher.queued() == 0)
+                continue;
+            const Tick d =
+                std::max(b.engineFree, b.batcher.nextFormTick());
+            if (d < best) {
+                best = d;
+                bestIdx = c;
+            }
+        }
+        const Tick horizon = std::min(best, nextDelivery);
+
+        // Route every pod arrival due by the horizon (or the next
+        // arrival alone when the pod is idle — it defines the
+        // clock), then re-pick.
+        bool routedAny = false;
+        if (issued < total) {
+            if (horizon == kNever) {
+                routeArrival();
+                routedAny = true;
+            } else {
+                while (issued < total && nextArrival <= horizon) {
+                    routeArrival();
+                    routedAny = true;
+                }
+            }
+        }
+        if (routedAny)
+            continue;
+        if (horizon == kNever)
+            break; // no queues, no deliveries, no arrivals: done
+
+        // Pod-scope chip faults due by the horizon strike before
+        // anything else moves; they change the picture, so re-pick.
+        if (applyPodFaults(horizon))
+            continue;
+
+        // Interconnect deliveries due by the horizon land next;
+        // admitted work can move dispatch moments, so re-pick.
+        bool flushedAny = false;
+        for (int c = 0; c < K; ++c)
+            flushedAny |= flushDeliveries(
+                *chips[static_cast<std::size_t>(c)], horizon);
+        if (flushedAny)
+            continue;
+
+        // Nothing pending before it: dispatch the best chip.
+        ChipBackend &b = *chips[static_cast<std::size_t>(bestIdx)];
+
+        // Per-chip (tile-scope) faults replay on the chip's own
+        // clock with the single-chip fail-over path.
+        if (b.injector && b.injector->advanceTo(best, b.chip) &&
+            cfg_.serve.failover && !schedCfg_.worstCase) {
+            const std::vector<TileId> alive = b.chip.healthyTiles();
+            if (!alive.empty()) {
+                b.scheduler.setHealthyTiles(alive);
+                Rebuild rb = rebuildSchedule(b, best, nullptr);
+                b.schedule = std::move(rb.schedule);
+                b.installedExp = b.expectations;
+                b.installedKv = b.kernelValues;
+                b.installedLoadMean =
+                    loadMean(*b.wl->dg, b.installedExp,
+                             b.wl->traceCfg.batchSize);
+                b.engineFree = best + rb.cost;
+                ++b.failovers;
+                continue; // re-pick against the new engine-free time
+            }
+        }
+
+        // ---- dispatch the chosen chip ------------------------------
+        std::vector<serve::FormedBatch> formed;
+        while (b.batcher.queued() > 0 &&
+               b.batcher.nextFormTick() <= best)
+            formed.push_back(b.batcher.form(best));
+
+        std::vector<trace::BatchRouting> routings;
+        routings.reserve(formed.size());
+        for (const serve::FormedBatch &fb : formed)
+            routings.push_back(fb.routing);
+
+        const core::PeriodResult res = b.engine.runPeriod(
+            b.chip, b.schedule, routings, &b.engineProf, best);
+        b.engineFree = res.endTime;
+        b.batches += formed.size();
+        if (!res.batchEnds.empty()) {
+            const double service =
+                static_cast<double>(res.batchEnds.back() - best);
+            b.serviceEwma = b.haveService
+                                ? 0.8 * b.serviceEwma + 0.2 * service
+                                : service;
+            b.haveService = true;
+        }
+
+        for (std::size_t bi = 0; bi < formed.size(); ++bi) {
+            for (const serve::Request &r : formed[bi].requests) {
+                // The response serializes back over the chip's
+                // egress link; end-to-end latency is pod arrival to
+                // response delivery.
+                const Tick respTick = ic.transfer(
+                    bestIdx, false, res.batchEnds[bi],
+                    cfg_.interconnect.responseBytes,
+                    PayloadClass::Response);
+                b.slo.record(podArrivalOf[r.id], best, respTick);
+                podSlo.record(podArrivalOf[r.id], best, respTick);
+                ++b.completed;
+                ++completed;
+                recordRequest(b.driftProf, *b.wl->dg, r.routing);
+                if (b.driftProf.windowBatches() >=
+                    static_cast<std::uint64_t>(
+                        cfg_.serve.drift.windowRequests))
+                    closeWindow(b);
+            }
+        }
+    }
+    (void)completed;
+
+    // ---- report -----------------------------------------------------
+    PodReport report;
+    report.policy = routePolicyName(cfg_.router.policy);
+    report.placement = placementName(cfg_.placement);
+    report.chipCount = K;
+    report.requests = completed;
+    report.shedRequests = shedFront;
+    report.darkChipSheds = darkChipSheds;
+    report.rerouted = reroutedTotal;
+    report.drained = drainedTotal;
+    report.diverted = router.diverted();
+    report.affinityHits = router.affinityHits();
+    report.affinityMisses = router.affinityMisses();
+    report.chipFailEvents = chipFailEvents;
+    report.chipHeals = chipHeals;
+    report.icTransfers = ic.transfers();
+    report.icRequestBytes = ic.requestBytes();
+    report.icResponseBytes = ic.responseBytes();
+    report.icWeightBytes = ic.weightBytes();
+    const double tickSec = 1.0 / (hw_.tech.freqGhz * 1e9);
+    if (issued > 1 && lastArrival > firstArrival)
+        report.offeredRps =
+            static_cast<double>(issued - 1) /
+            (static_cast<double>(lastArrival - firstArrival) *
+             tickSec);
+    report.horizonTicks = podSlo.lastEnd();
+    if (report.horizonTicks > 0)
+        report.achievedRps =
+            static_cast<double>(completed) /
+            (static_cast<double>(report.horizonTicks) * tickSec);
+    report.p50Ms = podSlo.latencyPercentileMs(0.50);
+    report.p95Ms = podSlo.latencyPercentileMs(0.95);
+    report.p99Ms = podSlo.latencyPercentileMs(0.99);
+    report.sloAttainment = podSlo.sloAttainment();
+    report.goodputRps = podSlo.goodputRps(report.horizonTicks);
+
+    const bool podFaultActive = !cfg_.faultPlan.empty();
+    for (int c = 0; c < K; ++c) {
+        ChipBackend &b = *chips[static_cast<std::size_t>(c)];
+        serve::ServeReport r;
+        r.workload = b.wl->name;
+        r.mode =
+            cfg_.serve.driftReschedule ? "adaptive" : "static";
+        r.requests = b.completed;
+        r.batches = b.batches;
+        r.meanBatchSize =
+            b.batches == 0 ? 0.0
+                           : static_cast<double>(b.completed) /
+                                 static_cast<double>(b.batches);
+        if (b.routed > 1 && b.lastArrival > b.firstArrival)
+            r.offeredRps = static_cast<double>(b.routed - 1) /
+                           (static_cast<double>(b.lastArrival -
+                                                b.firstArrival) *
+                            tickSec);
+        r.horizonTicks = b.slo.lastEnd();
+        if (r.horizonTicks > 0)
+            r.achievedRps =
+                static_cast<double>(b.completed) /
+                (static_cast<double>(r.horizonTicks) * tickSec);
+        r.p50Ms = b.slo.latencyPercentileMs(0.50);
+        r.p95Ms = b.slo.latencyPercentileMs(0.95);
+        r.p99Ms = b.slo.latencyPercentileMs(0.99);
+        r.meanMs = b.slo.meanLatencyMs();
+        r.maxMs = b.slo.maxLatencyMs();
+        r.meanQueueMs = b.slo.meanQueueMs();
+        r.sloAttainment = b.slo.sloAttainment();
+        r.goodputRps = b.slo.goodputRps(r.horizonTicks);
+        r.reschedules = b.reschedules;
+        r.deltaReschedules = b.deltaReschedules;
+        r.segmentsRebuilt = b.segmentsRebuilt;
+        r.segmentsSpliced = b.segmentsSpliced;
+        r.driftWindows = b.driftWindows;
+        r.lastDriftDistance = b.monitor.lastDistance();
+        r.driftThreshold = b.monitor.effectiveThreshold();
+        r.mapperHits = b.mapperHits;
+        r.mapperMisses = b.mapperMisses;
+        if (schedCfg_.storeCache) {
+            r.storeHits = b.storeHits;
+            r.storeMisses = b.storeMisses;
+        }
+        r.execHits = b.engine.execHits();
+        r.execMisses = b.engine.execMisses();
+        r.failovers = b.failovers;
+        r.watchdogFallbacks = b.watchdogFallbacks;
+        r.storeFitFailures = b.storeFitFailures;
+        r.faultActive = podFaultActive || b.injector.has_value() ||
+                        cfg_.serve.rescheduleBudgetCycles > 0;
+        if (b.injector) {
+            const fault::FaultStats fs = b.injector->stats(b.chip);
+            r.failedTiles = fs.failedTiles;
+            r.downLinks = fs.downLinks;
+            r.degradedLinks = fs.degradedLinks;
+            r.probeDrops = fs.probeDrops;
+            r.probeRetries = fs.probeRetries;
+            r.probeGiveUps = fs.probeGiveUps;
+            r.nocDetours = fs.detourRoutes;
+            r.unroutablePaths = fs.unroutablePaths;
+        }
+
+        ChipResult cr;
+        cr.id = b.id;
+        cr.model = b.wl->name;
+        cr.dark = b.dark;
+        cr.routed = b.routed;
+        cr.rerouted = b.rerouted;
+        cr.drained = b.drained;
+        cr.serve = std::move(r);
+        report.chips.push_back(std::move(cr));
+    }
+    return report;
+}
+
+} // namespace adyna::pod

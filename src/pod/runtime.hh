@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The multi-chip pod runtime: K independent chip back-ends — each a
+ * full single-chip serving loop with its own Chip (NoC, HBM, fault
+ * state), Scheduler, Engine, drift monitor, and admission queue —
+ * behind a front-end Router, with every chip-boundary payload charged
+ * on the pod Interconnect (see interconnect.hh / router.hh). This is
+ * the ROADMAP's "millions of users" scale-out tier: one open-loop
+ * arrival stream at pod-aggregate rate fans out over the chips, and
+ * goodput should scale near-linearly with K.
+ *
+ * Placement is replicated (one model on every chip) or partitioned
+ * (each model owns a contiguous chip group sized by its traffic
+ * fraction; a TrafficSplitter draws each arrival's model). Routing
+ * sees per-chip status snapshots — health, queue depth, projected
+ * backlog, and the installed schedule's load signature — so the
+ * schedule-affinity policy can steer requests toward chips whose
+ * installed schedule already matches them, keeping drift monitors
+ * quiet.
+ *
+ * Pod-level fail-over composes with src/fault: the pod's fault plan
+ * holds chip_fail events (whole chips going dark, optionally healing)
+ * that the runtime intercepts at the router tier — the dark chip's
+ * queue is drained and re-routed onto the survivors (adaptive) or
+ * shed (static pinning), arrivals are steered or shed likewise, and a
+ * healing chip re-streams its weight working set over the
+ * interconnect before rejoining. Per-chip fault plans (tile/link/
+ * probe/store-fit kinds) replay on each chip's own clock with the
+ * single-chip fail-over path. Brownout backpressure (the router's
+ * queueLimit) sheds at the front door instead of letting queues
+ * collapse the survivors.
+ *
+ * A 1-chip, 1-model pod delegates to serve::ServeRuntime verbatim,
+ * so its serve report (and JSON bytes) is identical to the
+ * single-chip path — the equivalence gate that pins the pod layer as
+ * a pure extension.
+ */
+
+#ifndef ADYNA_POD_RUNTIME_HH
+#define ADYNA_POD_RUNTIME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/hwconfig.hh"
+#include "core/engine.hh"
+#include "core/scheduler.hh"
+#include "costmodel/mapper.hh"
+#include "fault/fault.hh"
+#include "graph/dyngraph.hh"
+#include "pod/interconnect.hh"
+#include "pod/router.hh"
+#include "serve/server.hh"
+#include "trace/trace.hh"
+
+namespace adyna::pod {
+
+/** One served model: the graph, its dynamism model, and its share of
+ * the pod's traffic. */
+struct PodWorkload
+{
+    const graph::DynGraph *dg = nullptr;
+
+    /** Dynamism model; batchSize must equal the pod's
+     * batching.maxBatch (the compiled batch size). */
+    trace::TraceConfig traceCfg;
+
+    std::string name;
+
+    /** Fraction of pod arrivals this model receives (fractions must
+     * sum to 1; drives both the arrival split and the partitioned
+     * chip-group sizing). */
+    double trafficFraction = 1.0;
+};
+
+/** How models map onto chips. */
+enum class Placement {
+    Replicated,  ///< one model, served by every chip
+    Partitioned, ///< each model owns a contiguous chip group
+};
+
+/** Canonical lower-case name of a placement. */
+const char *placementName(Placement placement);
+
+/** Pod-level configuration. */
+struct PodConfig
+{
+    /** Back-end chips in the pod. */
+    int chips = 2;
+
+    Placement placement = Placement::Replicated;
+    RouterConfig router;
+    InterconnectConfig interconnect;
+
+    /**
+     * The per-chip serving template: arrival is the pod-aggregate
+     * open-loop stream, numRequests the pod-wide total; batching /
+     * slo / drift / re-scheduling knobs apply to every chip alike.
+     * admissionControl must stay off for K > 1 — the router's
+     * queueLimit is the pod's admission backpressure.
+     */
+    serve::ServeConfig serve;
+
+    /** Pod-scope fault timeline: chip_fail events only (see
+     * fault/fault.hh), chip indices in [0, chips). */
+    fault::FaultPlan faultPlan;
+
+    /** Per-chip fault timelines (tile/link/probe/store-fit kinds;
+     * chip_fail is rejected here — it is pod scope). Empty, or one
+     * plan per chip. */
+    std::vector<fault::FaultPlan> chipFaultPlans;
+
+    /** Seed for fault probe streams; 0 derives one from serve.seed. */
+    std::uint64_t faultSeed = 0;
+};
+
+/** One chip's slice of the pod report. */
+struct ChipResult
+{
+    int id = 0;
+
+    /** Name of the model this chip serves. */
+    std::string model;
+
+    /** The chip was dark at the end of the run. */
+    bool dark = false;
+
+    /** Requests the router delivered to this chip (including
+     * re-routes onto it). */
+    std::uint64_t routed = 0;
+
+    /** Requests re-routed onto this chip off a dark chip's queue. */
+    std::uint64_t rerouted = 0;
+
+    /** Requests drained off this chip's queue when it went dark. */
+    std::uint64_t drained = 0;
+
+    /** The chip's full single-chip-equivalent serving report. */
+    serve::ServeReport serve;
+};
+
+/** Everything one pod run reports. */
+struct PodReport
+{
+    /** routePolicyName of the router policy. */
+    std::string policy;
+
+    /** placementName of the model placement. */
+    std::string placement;
+
+    int chipCount = 0;
+
+    /** Pod-wide completions. */
+    std::uint64_t requests = 0;
+
+    /** Arrivals shed at the front door (router backpressure or no
+     * eligible chip). */
+    std::uint64_t shedRequests = 0;
+
+    /** Requests lost to a dark chip under static pinning (routed to
+     * it while dark, or drained un-re-routable). */
+    std::uint64_t darkChipSheds = 0;
+
+    /** Requests re-routed off dark chips onto survivors. */
+    std::uint64_t rerouted = 0;
+
+    /** Requests drained off dark chips' queues. */
+    std::uint64_t drained = 0;
+
+    /** Requests backpressure diverted off the policy's first
+     * choice. */
+    std::uint64_t diverted = 0;
+
+    // Affinity policy accounting (zero under other policies).
+    std::uint64_t affinityHits = 0;
+    std::uint64_t affinityMisses = 0;
+
+    // chip_fail events applied.
+    std::uint64_t chipFailEvents = 0;
+    std::uint64_t chipHeals = 0;
+
+    // Interconnect accounting.
+    std::uint64_t icTransfers = 0;
+    Bytes icRequestBytes = 0;
+    Bytes icResponseBytes = 0;
+    Bytes icWeightBytes = 0;
+
+    /** Mean offered load measured from the realized pod arrivals. */
+    double offeredRps = 0.0;
+
+    /** Pod-wide completions per second over the serving horizon. */
+    double achievedRps = 0.0;
+
+    // Pod-level end-to-end latency (arrival at the router to
+    // response delivery back through the interconnect).
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+
+    double sloAttainment = 0.0;
+    double goodputRps = 0.0;
+
+    /** Latest response-delivery tick. */
+    Tick horizonTicks = 0;
+
+    /** Per-chip results, ordered by chip id (byte-stable JSON). */
+    std::vector<ChipResult> chips;
+};
+
+/** The run as a JSON object: pod-level counters plus a "chips" array
+ * (ordered by chip id) whose elements are each chip's serve JSON
+ * (serve::toJson bytes) prefixed with its id / model / routing
+ * counters. */
+std::string toJson(const PodReport &report);
+
+/** Multi-chip pod serving simulation. */
+class PodRuntime
+{
+  public:
+    /** @param workloads the served models (one under Replicated);
+     * the graphs must outlive the runtime. */
+    PodRuntime(std::vector<PodWorkload> workloads, arch::HwConfig hw,
+               core::SchedulerConfig sched_cfg,
+               core::ExecPolicy policy, PodConfig cfg);
+
+    /** Share a mapping-search memo across chips / runtimes (same
+     * contract as ServeRuntime::setSharedMapper). */
+    void setSharedMapper(costmodel::Mapper *mapper);
+
+    /** Use @p cache for compiled-store reuse across chips (same
+     * contract as ServeRuntime::setSharedStoreCache). */
+    void setSharedStoreCache(kernels::KernelStoreCache *cache);
+
+    /** Build kernel stores on @p pool during (re-)schedules. */
+    void setSchedulerPool(ThreadPool *pool);
+
+    /** Serve PodConfig::serve.numRequests requests and report. */
+    PodReport run();
+
+  private:
+    /** 1-chip, 1-model delegation to serve::ServeRuntime
+     * (byte-identical serve report). */
+    PodReport runSingle();
+
+    std::vector<PodWorkload> workloads_;
+    arch::HwConfig hw_;
+    core::SchedulerConfig schedCfg_;
+    core::ExecPolicy policy_;
+    PodConfig cfg_;
+
+    /** chipModel_[c] = index into workloads_ chip c serves. */
+    std::vector<int> chipModel_;
+
+    costmodel::Mapper *sharedMapper_ = nullptr;
+    kernels::KernelStoreCache *sharedStoreCache_ = nullptr;
+    ThreadPool *schedulerPool_ = nullptr;
+};
+
+} // namespace adyna::pod
+
+#endif // ADYNA_POD_RUNTIME_HH

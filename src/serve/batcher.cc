@@ -59,4 +59,14 @@ Batcher::form(Tick now)
     return out;
 }
 
+std::vector<Request>
+Batcher::drain()
+{
+    std::vector<Request> out(
+        std::make_move_iterator(queue_.begin()),
+        std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    return out;
+}
+
 } // namespace adyna::serve

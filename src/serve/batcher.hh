@@ -86,6 +86,16 @@ class Batcher
      */
     FormedBatch form(Tick now);
 
+    /**
+     * Empty the queue, returning the queued requests in arrival
+     * order. Used by the pod runtime when a chip goes dark: the dark
+     * chip's queue is drained and re-routed onto the survivors (or
+     * shed, under static pinning). The monotone-arrival guard keeps
+     * its high-water mark, so a drained batcher still rejects
+     * out-of-order re-use.
+     */
+    std::vector<Request> drain();
+
     std::size_t queued() const { return queue_.size(); }
 
     const BatchPolicy &policy() const { return policy_; }

@@ -58,6 +58,15 @@ mergeRoutings(const std::vector<const BatchRouting *> &parts)
     return out;
 }
 
+std::int64_t
+totalDynLoad(const graph::DynGraph &dg, const BatchRouting &routing)
+{
+    std::int64_t total = 0;
+    for (OpId op : dg.dynamicOps())
+        total += routing.dynValue(dg, op);
+    return total;
+}
+
 TraceGenerator::TraceGenerator(const graph::DynGraph &dg, TraceConfig cfg,
                                std::uint64_t seed)
     : dg_(dg), cfg_(cfg), rng_(seed), seed_(seed)

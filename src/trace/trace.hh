@@ -64,6 +64,17 @@ struct BatchRouting
  */
 BatchRouting mergeRoutings(const std::vector<const BatchRouting *> &parts);
 
+/**
+ * Total dynamic load of one routing: the sum of dynValue over the
+ * graph's dynamic operators. The serving runtimes record this exact
+ * series into their drift monitors, and the pod router uses it as a
+ * request's routing signature for schedule-affinity dispatch — the
+ * same scalar on both sides, so "route to the chip whose installed
+ * expectations match" compares like with like.
+ */
+std::int64_t totalDynLoad(const graph::DynGraph &dg,
+                          const BatchRouting &routing);
+
 /** Parameters of the synthetic dynamism model. */
 struct TraceConfig
 {

@@ -39,11 +39,13 @@ TEST(FaultPlan, ParseRoundTripsThroughStr)
         "link_down@100:tile=7,dir=E;"
         "link_degrade@200:tile=8,dir=S,factor=0.25,duration=50;"
         "probe_drop@300:prob=0.5,duration=400;"
-        "store_fit_fail@600:duration=100";
+        "store_fit_fail@600:duration=100;"
+        "chip_fail@700:chip=1;"
+        "chip_fail@800:chip=3,heal=2500";
     FaultPlan plan;
     std::string err;
     ASSERT_TRUE(parseFaultPlan(text, plan, &err)) << err;
-    EXPECT_EQ(plan.events.size(), 6u);
+    EXPECT_EQ(plan.events.size(), 8u);
 
     FaultPlan again;
     ASSERT_TRUE(parseFaultPlan(plan.str(), again, &err)) << err;
@@ -73,6 +75,12 @@ TEST(FaultPlan, ParseRejectsMalformedText)
         "link_degrade@10:tile=1,dir=E,factor=0",   // factor <= 0
         "probe_drop@10:prob=2",     // prob > 1
         "tile_fail@10:tile=",       // empty value
+        "chip_fail@10",             // missing chip
+        "chip_fail@10:chip=-1",     // negative chip
+        "chip_fail@10:chip=1,duration=5", // chip_fail spells it heal=
+        "chip_fail@10:chip=1,tile=0",     // tile is not chip scope
+        "tile_fail@10:tile=1,chip=0",     // chip is not tile scope
+        "tile_fail@10:tile=1,dir=E",      // stray key for the kind
         "@@@",
     };
     for (const char *text : bad) {
@@ -120,6 +128,50 @@ TEST(FaultPlan, RandomPlanIsDeterministicPerSeed)
     std::string err;
     ASSERT_TRUE(parseFaultPlan(a.str(), parsed, &err)) << err;
     EXPECT_EQ(a, parsed);
+}
+
+TEST(FaultPlan, ChipFailRoundTripsAndOrdersByChip)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(parseFaultPlan(
+        "chip_fail@500:chip=2,heal=1000;chip_fail@500:chip=0", plan,
+        &err))
+        << err;
+    ASSERT_EQ(plan.events.size(), 2u);
+    // normalize() orders equal-tick events by (kind, tile, dir,
+    // chip): the chip index is the tie-break here.
+    EXPECT_EQ(plan.events[0].chip, 0);
+    EXPECT_EQ(plan.events[1].chip, 2);
+    EXPECT_EQ(plan.events[1].duration, 1000u);
+    EXPECT_EQ(plan.str(),
+              "chip_fail@500:chip=0;chip_fail@500:chip=2,heal=1000");
+
+    FaultPlan again;
+    ASSERT_TRUE(parseFaultPlan(plan.str(), again, &err)) << err;
+    EXPECT_EQ(plan, again);
+}
+
+TEST(FaultPlan, RandomPlanCoversChipFails)
+{
+    RandomFaultConfig cfg;
+    cfg.tileFails = 0;
+    cfg.linkDowns = 0;
+    cfg.linkDegrades = 0;
+    cfg.probeDropWindows = 0;
+    cfg.chipFails = 4;
+    cfg.podChips = 3;
+    const FaultPlan plan = randomFaultPlan(cfg, 11);
+    EXPECT_EQ(plan.events.size(), 4u);
+    for (const FaultEvent &e : plan.events) {
+        EXPECT_EQ(e.kind, FaultKind::ChipFail);
+        EXPECT_GE(e.chip, 0);
+        EXPECT_LT(e.chip, cfg.podChips);
+    }
+    FaultPlan parsed;
+    std::string err;
+    ASSERT_TRUE(parseFaultPlan(plan.str(), parsed, &err)) << err;
+    EXPECT_EQ(plan, parsed);
 }
 
 // ------------------------------------------------------ Chip faults

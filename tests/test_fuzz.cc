@@ -146,6 +146,7 @@ TEST_P(FaultFuzz, ParserSurvivesMutatedValidPlans)
     cfg.linkDegrades = 2;
     cfg.probeDropWindows = 1;
     cfg.storeFitWindows = 1;
+    cfg.chipFails = 1;
     const fault::FaultPlan seedPlan =
         fault::randomFaultPlan(cfg, GetParam());
     const std::string valid = seedPlan.str();

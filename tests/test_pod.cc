@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Unit tests for the multi-chip pod runtime: Router policy behaviour
+ * (least-loaded tie-breaks, round-robin cycling, affinity hit/miss
+ * accounting, backpressure divert-then-shed, adaptive vs static
+ * fail-over eligibility), Interconnect serialization/latency/FIFO
+ * math and per-class byte accounting, the K=1 byte-identity gate
+ * against serve::ServeRuntime, multi-chip determinism, chip-loss
+ * drain + re-route, heal-time weight re-streaming, and partitioned
+ * placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/designs.hh"
+#include "fault/fault.hh"
+#include "graph/parser.hh"
+#include "kernels/store_cache.hh"
+#include "models/models.hh"
+#include "pod/interconnect.hh"
+#include "pod/router.hh"
+#include "pod/runtime.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace adyna;
+using namespace adyna::pod;
+
+// --------------------------------------------------------- Router
+
+std::vector<ChipStatus>
+flatStatus(int chips)
+{
+    return std::vector<ChipStatus>(static_cast<std::size_t>(chips));
+}
+
+TEST(Router, LeastLoadedPicksLightestAndTiesToLowestId)
+{
+    Router r({}, 3);
+    auto st = flatStatus(3);
+
+    // All equal: the lowest id wins the tie.
+    EXPECT_EQ(r.route(st, 0.0).chip, 0);
+
+    st[1].load = 5.0;
+    st[2].load = 2.0;
+    st[0].load = 9.0;
+    EXPECT_EQ(r.route(st, 0.0).chip, 2);
+
+    st[1].load = 2.0; // tie between 1 and 2 -> lowest id
+    EXPECT_EQ(r.route(st, 0.0).chip, 1);
+}
+
+TEST(Router, RoundRobinCyclesEligibleChips)
+{
+    RouterConfig rc;
+    rc.policy = RoutePolicy::RoundRobin;
+    Router r(rc, 3);
+    const auto st = flatStatus(3);
+    std::vector<int> picks;
+    for (int i = 0; i < 6; ++i)
+        picks.push_back(r.route(st, 0.0).chip);
+    EXPECT_EQ(picks, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+
+    // A dark chip drops out of the rotation under adaptive routing.
+    auto dark = st;
+    dark[1].alive = false;
+    picks.clear();
+    for (int i = 0; i < 4; ++i)
+        picks.push_back(r.route(dark, 0.0).chip);
+    EXPECT_EQ(picks, (std::vector<int>{0, 2, 0, 2}));
+}
+
+TEST(Router, BackpressureDivertsThenSheds)
+{
+    RouterConfig rc;
+    rc.queueLimit = 2;
+    Router r(rc, 2);
+    auto st = flatStatus(2);
+    st[0].load = 0.0;
+    st[1].load = 10.0;
+
+    // Chip 0 is the policy's first choice but is full: divert to 1.
+    st[0].queued = 2;
+    const RouteDecision d = r.route(st, 0.0);
+    EXPECT_EQ(d.chip, 1);
+    EXPECT_TRUE(d.diverted);
+    EXPECT_EQ(r.diverted(), 1u);
+    EXPECT_EQ(r.shed(), 0u);
+
+    // Every chip full: shed at the front door.
+    st[1].queued = 2;
+    const RouteDecision s = r.route(st, 0.0);
+    EXPECT_EQ(s.chip, RouteDecision::kShed);
+    EXPECT_FALSE(s.diverted);
+    EXPECT_EQ(r.diverted(), 1u);
+    EXPECT_EQ(r.shed(), 1u);
+}
+
+TEST(Router, AffinityPicksNearestSignatureAndCountsHits)
+{
+    RouterConfig rc;
+    rc.policy = RoutePolicy::Affinity;
+    rc.queueLimit = 4;
+    Router r(rc, 2);
+    auto st = flatStatus(2);
+    st[0].installedLoadMean = 10.0;
+    st[1].installedLoadMean = 20.0;
+
+    const RouteDecision hi = r.route(st, 19.0);
+    EXPECT_EQ(hi.chip, 1);
+    EXPECT_TRUE(hi.affinityHit);
+    const RouteDecision lo = r.route(st, 11.0);
+    EXPECT_EQ(lo.chip, 0);
+    EXPECT_TRUE(lo.affinityHit);
+    EXPECT_EQ(r.affinityHits(), 2u);
+    EXPECT_EQ(r.affinityMisses(), 0u);
+
+    // Equidistant signature: ties break to the lower load, then id.
+    st[0].load = 3.0;
+    EXPECT_EQ(r.route(st, 15.0).chip, 1);
+    st[1].load = 3.0;
+    EXPECT_EQ(r.route(st, 15.0).chip, 0);
+
+    // Backpressure off the nearest chip is an affinity miss.
+    st[1].queued = 4;
+    const RouteDecision miss = r.route(st, 19.0);
+    EXPECT_EQ(miss.chip, 0);
+    EXPECT_TRUE(miss.diverted);
+    EXPECT_FALSE(miss.affinityHit);
+    EXPECT_EQ(r.affinityMisses(), 1u);
+}
+
+TEST(Router, AdaptiveSkipsDarkChipsStaticDoesNot)
+{
+    auto st = flatStatus(2);
+    st[0].alive = false;
+
+    Router adaptive({}, 2);
+    EXPECT_EQ(adaptive.route(st, 0.0).chip, 1);
+
+    RouterConfig pinned;
+    pinned.reRouteOnFailure = false;
+    Router fixed(pinned, 2);
+    // Static pinning ignores health: the dark chip still wins the
+    // least-loaded tie and the runtime sheds what lands there.
+    EXPECT_EQ(fixed.route(st, 0.0).chip, 0);
+
+    // ...but a chip that doesn't serve the model is never a target,
+    // dark or not.
+    st[0].servesModel = false;
+    EXPECT_EQ(fixed.route(st, 0.0).chip, 1);
+
+    // No eligible chip at all -> shed regardless of queue room.
+    st[1].servesModel = false;
+    EXPECT_EQ(fixed.route(st, 0.0).chip, RouteDecision::kShed);
+    EXPECT_EQ(fixed.shed(), 1u);
+}
+
+// --------------------------------------------------- Interconnect
+
+TEST(Interconnect, TransferChargesSerializationAndLatency)
+{
+    InterconnectConfig ic;
+    ic.bytesPerCycle = 48.0;
+    ic.latencyCycles = 2000;
+    Interconnect fab(ic, 2);
+
+    // ceil(4096 / 48) = 86 cycles of serialization + 2000 latency.
+    EXPECT_EQ(fab.transfer(0, true, 1000, 4096,
+                           PayloadClass::Request),
+              Tick{1000 + 86 + 2000});
+    EXPECT_EQ(fab.linkBusyUntil(0, true), Tick{1086});
+    EXPECT_EQ(fab.transfers(), 1u);
+}
+
+TEST(Interconnect, LinksAreFifoAndIndependent)
+{
+    InterconnectConfig ic;
+    ic.bytesPerCycle = 48.0;
+    ic.latencyCycles = 100;
+    Interconnect fab(ic, 2);
+
+    // Two back-to-back transfers on chip 0's ingress serialize in
+    // issue order: the second starts where the first finished.
+    const Tick first = fab.transfer(0, true, 0, 4800,
+                                    PayloadClass::Request);
+    EXPECT_EQ(first, Tick{100 + 100});
+    const Tick second = fab.transfer(0, true, 0, 4800,
+                                     PayloadClass::Request);
+    EXPECT_EQ(second, Tick{200 + 100});
+
+    // Chip 0's egress and chip 1's links are untouched.
+    EXPECT_EQ(fab.linkBusyUntil(0, false), Tick{0});
+    EXPECT_EQ(fab.linkBusyUntil(1, true), Tick{0});
+    EXPECT_EQ(fab.transfer(1, true, 0, 4800, PayloadClass::Request),
+              Tick{100 + 100});
+}
+
+TEST(Interconnect, CountsBytesPerClass)
+{
+    Interconnect fab({}, 1);
+    fab.transfer(0, true, 0, 4096, PayloadClass::Request);
+    fab.transfer(0, false, 0, 2048, PayloadClass::Response);
+    fab.transfer(0, true, 0, 1 << 20, PayloadClass::Weights);
+    EXPECT_EQ(fab.requestBytes(), Bytes{4096});
+    EXPECT_EQ(fab.responseBytes(), Bytes{2048});
+    EXPECT_EQ(fab.weightBytes(), Bytes{1 << 20});
+    EXPECT_EQ(fab.transfers(), 3u);
+}
+
+// ----------------------------------------------------- PodRuntime
+
+struct TestWorkload
+{
+    models::ModelBundle bundle;
+    graph::DynGraph dg;
+    trace::TraceConfig tc;
+
+    explicit TestWorkload(const char *name, int maxBatch)
+        : bundle(models::buildByName(name, maxBatch)),
+          dg(graph::parseModel(bundle.graph)), tc(bundle.traceConfig)
+    {
+        tc.batchSize = maxBatch;
+        tc.driftStrength = 0.0;
+    }
+};
+
+serve::ServeConfig
+smokeServeConfig(std::uint64_t seed, unsigned requests)
+{
+    serve::ServeConfig sc;
+    sc.arrival.ratePerSec = 5e5;
+    sc.batching.maxBatch = 8;
+    sc.batching.maxWaitCycles = 20000;
+    sc.slo.deadlineMs = 1.0;
+    sc.drift.windowRequests = 64;
+    sc.numRequests = requests;
+    sc.profileBatches = 8;
+    sc.seed = seed;
+    return sc;
+}
+
+PodReport
+runPod(PodConfig pc, std::vector<PodWorkload> wls)
+{
+    const arch::HwConfig hw;
+    PodRuntime rt(std::move(wls), hw,
+                  baselines::schedulerConfig(baselines::Design::Adyna),
+                  baselines::execPolicy(baselines::Design::Adyna),
+                  std::move(pc));
+    kernels::KernelStoreCache stores;
+    rt.setSharedStoreCache(&stores);
+    return rt.run();
+}
+
+PodReport
+skipnetPod(PodConfig pc)
+{
+    static TestWorkload w("skipnet", 8);
+    return runPod(std::move(pc), {{&w.dg, w.tc, "skipnet", 1.0}});
+}
+
+/** chip_fail plan text striking chip 1 about a third of the way
+ * through @p requests pod arrivals (1 GHz clock, 5e5 r/s). */
+std::string
+midRunStrike(unsigned requests, const char *extra = "")
+{
+    const arch::HwConfig hw;
+    const double ticksPerSec = hw.tech.freqGhz * 1e9;
+    const auto at = static_cast<Tick>(requests / 3 * ticksPerSec /
+                                      smokeServeConfig(0, 1)
+                                          .arrival.ratePerSec);
+    return "chip_fail@" + std::to_string(at) + ":chip=1" + extra;
+}
+
+TEST(PodRuntime, SingleChipPodMatchesServeRuntimeByteForByte)
+{
+    TestWorkload w("skipnet", 8);
+    const arch::HwConfig hw;
+    const auto schedCfg =
+        baselines::schedulerConfig(baselines::Design::Adyna);
+    const auto policy =
+        baselines::execPolicy(baselines::Design::Adyna);
+    const serve::ServeConfig sc = smokeServeConfig(7, 200);
+
+    serve::ServeRuntime direct(w.dg, w.tc, hw, schedCfg, policy, sc,
+                               "skipnet");
+    kernels::KernelStoreCache directStores;
+    direct.setSharedStoreCache(&directStores);
+    const std::string want = serve::toJson(direct.run());
+
+    PodConfig pc;
+    pc.chips = 1;
+    pc.serve = sc;
+    PodRuntime rt({{&w.dg, w.tc, "skipnet", 1.0}}, hw, schedCfg,
+                  policy, pc);
+    kernels::KernelStoreCache podStores;
+    rt.setSharedStoreCache(&podStores);
+    const PodReport pr = rt.run();
+
+    ASSERT_EQ(pr.chips.size(), 1u);
+    EXPECT_EQ(serve::toJson(pr.chips[0].serve), want);
+    EXPECT_EQ(pr.chipCount, 1);
+    EXPECT_EQ(pr.requests, pr.chips[0].serve.requests);
+    EXPECT_EQ(pr.chips[0].model, "skipnet");
+    EXPECT_FALSE(pr.chips[0].dark);
+}
+
+TEST(PodRuntime, TwoChipRunIsDeterministic)
+{
+    PodConfig pc;
+    pc.chips = 2;
+    pc.serve = smokeServeConfig(11, 200);
+    const PodReport a = skipnetPod(pc);
+    const PodReport b = skipnetPod(pc);
+    EXPECT_EQ(toJson(a), toJson(b));
+
+    ASSERT_EQ(a.chips.size(), 2u);
+    EXPECT_EQ(a.chips[0].id, 0);
+    EXPECT_EQ(a.chips[1].id, 1);
+    EXPECT_EQ(a.policy, "least_loaded");
+    EXPECT_EQ(a.placement, "replicated");
+    // No faults, no queue limit: every arrival lands and completes.
+    EXPECT_EQ(a.requests, 200u);
+    EXPECT_EQ(a.shedRequests, 0u);
+    EXPECT_EQ(a.darkChipSheds, 0u);
+    EXPECT_GT(a.chips[0].routed, 0u);
+    EXPECT_GT(a.chips[1].routed, 0u);
+    EXPECT_EQ(a.chips[0].routed + a.chips[1].routed, 200u);
+    // Every routed request and response crossed the fabric, and both
+    // chips streamed their weights in at bring-up.
+    EXPECT_GT(a.icRequestBytes, Bytes{0});
+    EXPECT_GT(a.icResponseBytes, Bytes{0});
+    EXPECT_GT(a.icWeightBytes, Bytes{0});
+    EXPECT_GT(a.goodputRps, 0.0);
+    EXPECT_GT(a.p99Ms, 0.0);
+}
+
+TEST(PodRuntime, ChipFailDrainsAndReRoutesOntoSurvivors)
+{
+    PodConfig pc;
+    pc.chips = 2;
+    pc.serve = smokeServeConfig(13, 240);
+    pc.faultPlan = fault::parseFaultPlanOrDie(midRunStrike(240));
+    const PodReport r = skipnetPod(pc);
+
+    EXPECT_EQ(r.chipFailEvents, 1u);
+    EXPECT_EQ(r.chipHeals, 0u);
+    ASSERT_EQ(r.chips.size(), 2u);
+    EXPECT_FALSE(r.chips[0].dark);
+    EXPECT_TRUE(r.chips[1].dark);
+    // Adaptive fail-over loses nothing: the dark chip's queue drains
+    // onto the survivor and later arrivals steer around it.
+    EXPECT_GT(r.drained, 0u);
+    EXPECT_EQ(r.rerouted, r.drained);
+    EXPECT_EQ(r.chips[0].rerouted, r.rerouted);
+    EXPECT_EQ(r.chips[1].drained, r.drained);
+    EXPECT_EQ(r.darkChipSheds, 0u);
+    EXPECT_EQ(r.requests + r.shedRequests, 240u);
+}
+
+TEST(PodRuntime, StaticPinningShedsDarkChipTraffic)
+{
+    PodConfig pc;
+    pc.chips = 2;
+    pc.serve = smokeServeConfig(13, 240);
+    pc.faultPlan = fault::parseFaultPlanOrDie(midRunStrike(240));
+    pc.router.reRouteOnFailure = false;
+    const PodReport r = skipnetPod(pc);
+
+    // The router keeps dispatching to the dark chip; everything that
+    // lands there (and its drained queue) is lost.
+    EXPECT_GT(r.darkChipSheds, 0u);
+    EXPECT_EQ(r.rerouted, 0u);
+    EXPECT_EQ(r.requests + r.shedRequests + r.darkChipSheds, 240u);
+
+    PodConfig adaptive = pc;
+    adaptive.router.reRouteOnFailure = true;
+    const PodReport a = skipnetPod(adaptive);
+    EXPECT_GT(a.requests, r.requests);
+}
+
+TEST(PodRuntime, HealedChipRejoinsWithWeightRestream)
+{
+    PodConfig pc;
+    pc.chips = 2;
+    pc.serve = smokeServeConfig(17, 240);
+    const PodReport base = skipnetPod(pc);
+
+    PodConfig healed = pc;
+    healed.faultPlan = fault::parseFaultPlanOrDie(
+        midRunStrike(240, ",heal=100000"));
+    const PodReport r = skipnetPod(healed);
+
+    EXPECT_EQ(r.chipFailEvents, 1u);
+    EXPECT_EQ(r.chipHeals, 1u);
+    ASSERT_EQ(r.chips.size(), 2u);
+    EXPECT_FALSE(r.chips[1].dark);
+    EXPECT_EQ(r.requests + r.shedRequests, 240u);
+    // Rejoining re-streams the chip's weight working set on top of
+    // the two bring-up streams the fault-free run pays.
+    EXPECT_GT(r.icWeightBytes, base.icWeightBytes);
+    EXPECT_EQ(base.icWeightBytes % 2, Bytes{0});
+    EXPECT_EQ(r.icWeightBytes, base.icWeightBytes * 3 / 2);
+}
+
+TEST(PodRuntime, PartitionedPlacementRoutesByModel)
+{
+    static TestWorkload wa("skipnet", 8);
+    static TestWorkload wb("pabee", 8);
+    PodConfig pc;
+    pc.chips = 3;
+    pc.placement = Placement::Partitioned;
+    pc.serve = smokeServeConfig(19, 240);
+    const PodReport r =
+        runPod(pc, {{&wa.dg, wa.tc, "skipnet", 0.75},
+                    {&wb.dg, wb.tc, "pabee", 0.25}});
+
+    EXPECT_EQ(r.placement, "partitioned");
+    ASSERT_EQ(r.chips.size(), 3u);
+    // Largest-remainder sizing: 0.75 of 3 chips -> 2 for skipnet,
+    // the floor of 1 for pabee; groups are contiguous.
+    EXPECT_EQ(r.chips[0].model, "skipnet");
+    EXPECT_EQ(r.chips[1].model, "skipnet");
+    EXPECT_EQ(r.chips[2].model, "pabee");
+    for (const ChipResult &c : r.chips) {
+        EXPECT_GT(c.routed, 0u);
+        EXPECT_GT(c.serve.requests, 0u);
+    }
+    EXPECT_EQ(r.requests + r.shedRequests, 240u);
+}
+
+TEST(PodRuntime, RoundRobinSpreadsArrivalsEvenly)
+{
+    PodConfig pc;
+    pc.chips = 4;
+    pc.router.policy = RoutePolicy::RoundRobin;
+    pc.serve = smokeServeConfig(23, 240);
+    const PodReport r = skipnetPod(pc);
+
+    EXPECT_EQ(r.policy, "round_robin");
+    ASSERT_EQ(r.chips.size(), 4u);
+    std::uint64_t lo = r.chips[0].routed, hi = r.chips[0].routed;
+    for (const ChipResult &c : r.chips) {
+        lo = std::min(lo, c.routed);
+        hi = std::max(hi, c.routed);
+    }
+    EXPECT_LE(hi - lo, 1u);
+    EXPECT_EQ(r.requests, 240u);
+}
+
+} // namespace
