@@ -53,6 +53,34 @@ Scheduler::Scheduler(const graph::DynGraph &dg, arch::HwConfig hw,
 }
 
 void
+Scheduler::setPlanOverride(const PlanOverride *override)
+{
+    override_ = override;
+    segCacheValid_ = false; // the partition may change either way
+}
+
+double
+Scheduler::allocBias(OpId op) const
+{
+    if (!override_)
+        return 1.0;
+    const auto it = override_->allocBias.find(op);
+    return it != override_->allocBias.end() ? it->second : 1.0;
+}
+
+double
+Scheduler::groupThreshold(OpId switch_op) const
+{
+    double scale = 1.0;
+    if (override_) {
+        const auto it = override_->groupScale.find(switch_op);
+        if (it != override_->groupScale.end())
+            scale = it->second;
+    }
+    return cfg_.groupActivityThreshold * scale;
+}
+
+void
 Scheduler::setHealthyTiles(std::vector<TileId> healthy)
 {
     std::sort(healthy.begin(), healthy.end());
@@ -123,11 +151,9 @@ Scheduler::expectedWork(OpId op,
     return rows * perRow;
 }
 
-const std::vector<std::vector<OpId>> &
-Scheduler::segmentOps() const
+std::vector<std::vector<OpId>>
+Scheduler::segmentationAtoms() const
 {
-    if (segCacheValid_)
-        return segCache_;
     const std::vector<OpId> ops = stageOps();
 
     // Atom of each op: a switch region [switch..merge] must stay
@@ -163,6 +189,39 @@ Scheduler::segmentOps() const
         }
     }
 
+    std::vector<std::vector<OpId>> out;
+    out.reserve(atoms.size());
+    for (auto &[key, list] : atoms)
+        out.push_back(std::move(list));
+    return out;
+}
+
+const std::vector<std::vector<OpId>> &
+Scheduler::segmentOps() const
+{
+    if (segCacheValid_)
+        return segCache_;
+    if (override_ && !override_->partition.empty()) {
+        // The override pins the partition; check it covers exactly
+        // the stage ops (a stale override against a different graph
+        // would otherwise build a silently wrong schedule).
+        std::vector<OpId> flat;
+        for (const auto &seg : override_->partition)
+            flat.insert(flat.end(), seg.begin(), seg.end());
+        std::vector<OpId> want = stageOps();
+        std::vector<OpId> got = flat;
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        ADYNA_ASSERT(got == want,
+                     "PlanOverride partition must cover exactly the "
+                     "stage ops (got ", got.size(), " ops, want ",
+                     want.size(), ")");
+        segCache_ = override_->partition;
+        segCacheValid_ = true;
+        return segCache_;
+    }
+    const std::vector<std::vector<OpId>> atoms = segmentationAtoms();
+
     // Degraded builds budget only the surviving tiles' scratchpad
     // (identical to totalSpad() when every tile is healthy).
     const Bytes spadAvail =
@@ -175,7 +234,7 @@ Scheduler::segmentOps() const
     std::vector<std::vector<OpId>> segments;
     std::vector<OpId> current;
     Bytes currentWeights = 0;
-    for (const auto &[key, list] : atoms) {
+    for (const auto &list : atoms) {
         Bytes atomWeights = 0;
         for (OpId op : list)
             atomWeights += dg_.graph().node(op).weightBytes();
@@ -341,7 +400,7 @@ Scheduler::buildSegment(const std::vector<OpId> &segOps,
                     if (!hasStage)
                         continue;
                     if (profiler->branchActivity(sw.switchOp, b) <
-                        cfg_.groupActivityThreshold)
+                        groupThreshold(sw.switchOp))
                         lowBranches.push_back(b);
                 }
                 if (lowBranches.size() < 2)
@@ -371,12 +430,15 @@ Scheduler::buildSegment(const std::vector<OpId> &segOps,
                     ui = uit->second;
                 }
                 units[ui].ops.push_back(op);
-                units[ui].work += expectedWork(op, expectations);
+                units[ui].work +=
+                    expectedWork(op, expectations) * allocBias(op);
                 unitOf[op] = ui;
             } else {
                 unitOf[op] = units.size();
-                units.push_back(
-                    {{op}, expectedWork(op, expectations), 1, true, {}});
+                units.push_back({{op},
+                                 expectedWork(op, expectations) *
+                                     allocBias(op),
+                                 1, true, {}});
             }
         }
 
@@ -553,9 +615,13 @@ Scheduler::buildSegment(const std::vector<OpId> &segOps,
                         if (tt < 2)
                             continue;
                         const double wa = std::max(
-                            expectedWork(sa.op, expectations), 1.0);
+                            expectedWork(sa.op, expectations) *
+                                allocBias(sa.op),
+                            1.0);
                         const double wb = std::max(
-                            expectedWork(sb.op, expectations), 1.0);
+                            expectedWork(sb.op, expectations) *
+                                allocBias(sb.op),
+                            1.0);
                         const auto ratioAlloc = [tt](double x,
                                                      double y) {
                             int a = static_cast<int>(

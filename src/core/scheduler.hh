@@ -49,6 +49,43 @@ struct SchedulerConfig
     bool storeCache = true;
 };
 
+/**
+ * A structural plan imposed on the scheduler by the search layer
+ * (src/search): an explicit segment partition plus per-op allocation
+ * biases and per-switch grouping scales. The heuristic keeps making
+ * every decision the override does not pin down (tile counts,
+ * residency, sharing, store compilation), so an override is a small
+ * set of knobs over the existing build path, not a second scheduler.
+ *
+ * An empty override (all fields at their defaults) leaves build()
+ * bit-identical to the no-override path.
+ */
+struct PlanOverride
+{
+    /**
+     * Segment partition over the stage ops, replacing the greedy
+     * weight-budget fill. Must cover exactly the stage ops, in
+     * topological order within each segment, and must not split a
+     * merged switch region (validateSchedule enforces the latter).
+     * Empty keeps the heuristic partition.
+     */
+    std::vector<std::vector<OpId>> partition;
+
+    /**
+     * Multiplier on an op's frequency-weighted allocation work:
+     * biases the tile count (and share-pair allocation ratios) of
+     * the unit containing the op. Missing ops use 1.0.
+     */
+    std::map<OpId, double> allocBias;
+
+    /**
+     * Multiplier on the branch-grouping activity threshold, keyed by
+     * switch op: 0 disables grouping for that switch, values > 1
+     * group more aggressively. Missing switches use 1.0.
+     */
+    std::map<OpId, double> groupScale;
+};
+
 /** What a delta re-schedule actually rebuilt (observability for the
  * serve loop and the perf harness). */
 struct DeltaStats
@@ -156,14 +193,53 @@ class Scheduler
                    : static_cast<int>(healthyTiles_.size());
     }
 
+    /**
+     * Impose @p override on subsequent builds (see PlanOverride).
+     * The override must outlive the scheduler or be cleared with
+     * nullptr, which restores the exact heuristic path. Invalidates
+     * the memoized partition either way.
+     */
+    void setPlanOverride(const PlanOverride *override);
+
+    const PlanOverride *planOverride() const { return override_; }
+
+    /**
+     * The indivisible partition units: each merged switch region
+     * [switch..merge] is one atom (its dynamic routing must happen
+     * on-chip, so a segment boundary may never cross it); every
+     * other stage op is its own atom. Atoms are in first-occurrence
+     * topological order — every legal partition, including the
+     * heuristic one, is a split of this sequence into contiguous
+     * runs. This is the search layer's mutation alphabet.
+     */
+    std::vector<std::vector<OpId>> segmentationAtoms() const;
+
+    /** The partition build() would use right now (override or
+     * heuristic; memoized). */
+    const std::vector<std::vector<OpId>> &partition() const
+    {
+        return segmentOps();
+    }
+
+    /** Expected per-batch work of an op, in single-tile cycles (the
+     * frequency-weighted allocation weight before any override
+     * bias). Public so the search surrogate prices mutations with
+     * the exact weights the real allocator uses. */
+    double expectedWork(OpId op,
+                        const std::map<OpId, double> &expectations) const;
+
   private:
     /** Ops that become pipeline stages (compute + standalone vector
      * ops), topologically ordered. */
     std::vector<OpId> stageOps() const;
 
-    /** Expected per-batch work of an op, in single-tile cycles. */
-    double expectedWork(OpId op,
-                        const std::map<OpId, double> &expectations) const;
+    /** PlanOverride::allocBias multiplier for @p op (1.0 without an
+     * override entry). */
+    double allocBias(OpId op) const;
+
+    /** Branch-grouping activity threshold for @p switch_op after the
+     * override's groupScale. */
+    double groupThreshold(OpId switch_op) const;
 
     /** Partition stage ops into segments respecting atoms. The
      * partition only depends on the graph, the hw config, and the
@@ -203,6 +279,10 @@ class Scheduler
 
     /** Sorted healthy-tile subset; empty = every tile is healthy. */
     std::vector<TileId> healthyTiles_;
+
+    /** Structural override imposed by the search layer; nullptr =
+     * pure heuristic. */
+    const PlanOverride *override_ = nullptr;
 
     /** Memoized segmentOps() result (single-threaded: builds never
      * run concurrently on one scheduler). */

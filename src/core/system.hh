@@ -18,6 +18,7 @@
 #include "arch/profiler.hh"
 #include "core/engine.hh"
 #include "core/scheduler.hh"
+#include "core/search_stats.hh"
 #include "fault/fault.hh"
 #include "graph/dyngraph.hh"
 #include "trace/trace.hh"
@@ -106,6 +107,13 @@ struct RunReport
      * subset of `reconfigurations`' spirit but counted separately;
      * also excluded from the exporters). */
     int failovers = 0;
+
+    /** Schedule-search counters (all zero unless a ScheduleSearch
+     * filled them in; src/search). Excluded from the CSV/JSON
+     * exporters like the cache and fault counters so search-off
+     * reports stay byte-identical; exported separately via
+     * searchStatsJson(). */
+    SearchStats search;
 
     /** Per-batch completion times. */
     std::vector<Tick> batchEnds;

@@ -105,6 +105,41 @@ toJson(const ServeReport &r)
         out.pop_back(); // drop the closing brace
         out += fbuf;
     }
+    if (r.searchActive) {
+        // Appended only when the schedule search was enabled so
+        // search-off reports keep the pre-search bytes.
+        char sbuf[1024];
+        std::snprintf(
+            sbuf, sizeof(sbuf),
+            ", \"search_reschedules\": %d, "
+            "\"max_reschedule_cycles\": %llu, "
+            "\"search_tried\": %llu, \"search_accepted\": %llu, "
+            "\"search_materialized\": %llu, "
+            "\"search_segments_rebuilt\": %llu, "
+            "\"search_segments_spliced\": %llu, "
+            "\"search_full_rebuilds\": %llu, "
+            "\"search_budget_spent\": %llu, "
+            "\"search_budget_exhausted\": %s, "
+            "\"search_improved_last\": %s}",
+            r.searchReschedules,
+            static_cast<unsigned long long>(r.maxRescheduleCycles),
+            static_cast<unsigned long long>(
+                r.search.candidatesTried),
+            static_cast<unsigned long long>(
+                r.search.candidatesAccepted),
+            static_cast<unsigned long long>(r.search.materialized),
+            static_cast<unsigned long long>(
+                r.search.segmentsRebuilt),
+            static_cast<unsigned long long>(
+                r.search.segmentsSpliced),
+            static_cast<unsigned long long>(r.search.fullRebuilds),
+            static_cast<unsigned long long>(
+                r.search.budgetSpentCycles),
+            r.search.budgetExhausted ? "true" : "false",
+            r.search.improved ? "true" : "false");
+        out.pop_back(); // drop the closing brace
+        out += sbuf;
+    }
     return out;
 }
 
@@ -170,6 +205,27 @@ ServeRuntime::run()
         scheduler.setThreadPool(schedulerPool_);
     core::Engine engine(dg_, hw_, mapper, policy_);
     arch::Chip chip(hw_);
+
+    // Online schedule search (searchOnDrift): owns its own engine so
+    // the serving engine's exec counters never see rejected
+    // candidates; counters it does move on the shared mapper/store
+    // cache are snapshot-scoped into searchStats and subtracted from
+    // the run-level report below.
+    std::optional<search::ScheduleSearch> searcher;
+    core::SearchStats searchStats;
+    core::PlanOverride installedOverride;
+    search::TreeState installedTree;
+    bool haveTree = false;
+    std::vector<trace::BatchRouting> probeRing;
+    int searchReschedules = 0;
+    Cycles maxRescheduleCycles = 0;
+    if (cfg_.searchOnDrift) {
+        search::SearchConfig scfg = cfg_.search;
+        scfg.storeCompileCycles = cfg_.storeCompileCycles;
+        searcher.emplace(dg_, hw_, mapper, policy_, scfg);
+        if (schedulerPool_)
+            searcher->setThreadPool(schedulerPool_);
+    }
 
     // Two observation streams: merged-batch statistics feed the
     // scheduler (allocation expectations, kernel re-sampling), while
@@ -441,6 +497,12 @@ ServeRuntime::run()
         // execution instead.
         if (injector && injector->advanceTo(dispatchAt, chip) &&
             cfg_.failover && !schedCfg_.worstCase) {
+            if (searcher && haveTree) {
+                // The searched structure was tuned for the healthy
+                // grid; fail-over falls back to the pure heuristic.
+                scheduler.setPlanOverride(nullptr);
+                haveTree = false;
+            }
             scheduler.setHealthyTiles(chip.healthyTiles());
             Rebuild rb = rebuildSchedule(dispatchAt, nullptr);
             schedule = std::move(rb.schedule);
@@ -459,6 +521,16 @@ ServeRuntime::run()
         routings.reserve(formed.size());
         for (const FormedBatch &fb : formed)
             routings.push_back(fb.routing);
+        if (searcher) {
+            // Ring of the most recent dispatched batches: the
+            // search's scoring probe.
+            for (const trace::BatchRouting &r : routings) {
+                if (static_cast<int>(probeRing.size()) >=
+                    cfg_.searchProbeBatches)
+                    probeRing.erase(probeRing.begin());
+                probeRing.push_back(r);
+            }
+        }
         const core::PeriodResult res = engine.runPeriod(
             chip, schedule, routings, &engineProf, dispatchAt);
         engineFree = res.endTime;
@@ -505,7 +577,57 @@ ServeRuntime::run()
                     // the rebuild burn before killing it.
                     engineFree += cfg_.rescheduleBudgetCycles;
                     ++watchdogFallbacks;
+                    maxRescheduleCycles =
+                        std::max(maxRescheduleCycles,
+                                 cfg_.rescheduleBudgetCycles);
                 } else {
+                    Cycles charge = rb.cost;
+                    if (searcher && !probeRing.empty()) {
+                        // Anytime search inside the watchdog's
+                        // leftover: its modeled spend is capped at
+                        // budget - rb.cost, so charge never exceeds
+                        // the budget (0 budget = unbounded).
+                        searcher->setCycleBudget(
+                            cfg_.rescheduleBudgetCycles > 0
+                                ? cfg_.rescheduleBudgetCycles -
+                                      rb.cost
+                                : 0);
+                        searcher->setSeed(
+                            cfg_.search.seed ^
+                            (0x2545f4914f6cdd1dULL *
+                             static_cast<std::uint64_t>(
+                                 reschedules + 1)));
+                        search::ScheduleSearch::Result sr =
+                            searcher->run(
+                                scheduler, rb.schedule,
+                                haveTree ? &installedTree : nullptr,
+                                expectations, kernelValues,
+                                &engineProf, probeRing,
+                                schedCfg_.storeCache ? &storeCache
+                                                     : nullptr,
+                                &searchStats);
+                        charge += sr.spentCycles;
+                        if (sr.improved) {
+                            rb.schedule = std::move(sr.schedule);
+                            installedOverride =
+                                std::move(sr.planOverride);
+                            installedTree = sr.tree;
+                            haveTree = true;
+                            // Later delta re-schedules splice
+                            // against the searched structure.
+                            scheduler.setPlanOverride(
+                                &installedOverride);
+                            ++searchReschedules;
+                        }
+                        ADYNA_ASSERT(
+                            cfg_.rescheduleBudgetCycles == 0 ||
+                                charge <=
+                                    cfg_.rescheduleBudgetCycles,
+                            "search overshot the watchdog budget");
+                        engineFree += sr.spentCycles;
+                    }
+                    maxRescheduleCycles =
+                        std::max(maxRescheduleCycles, charge);
                     schedule = std::move(rb.schedule);
                     monitor.setReference(std::move(reference));
                     if (rb.delta) {
@@ -591,11 +713,19 @@ ServeRuntime::run()
     report.driftWindows = driftWindows;
     report.lastDriftDistance = monitor.lastDistance();
     report.driftThreshold = monitor.effectiveThreshold();
-    report.mapperHits = mapper.hits() - mHits0;
-    report.mapperMisses = mapper.misses() - mMisses0;
+    // Counter scoping: lookups the search burned on rejected
+    // candidates are carved out of the run-level counters, so these
+    // reflect the schedules that actually served (the search's own
+    // share is reported under report.search).
+    report.mapperHits =
+        mapper.hits() - mHits0 - searchStats.mapperHits;
+    report.mapperMisses =
+        mapper.misses() - mMisses0 - searchStats.mapperMisses;
     if (schedCfg_.storeCache) {
-        report.storeHits = storeCache.hits() - sHits0;
-        report.storeMisses = storeCache.misses() - sMisses0;
+        report.storeHits =
+            storeCache.hits() - sHits0 - searchStats.storeHits;
+        report.storeMisses =
+            storeCache.misses() - sMisses0 - searchStats.storeMisses;
     }
     report.execHits = engine.execHits();
     report.execMisses = engine.execMisses();
@@ -606,6 +736,10 @@ ServeRuntime::run()
     report.faultActive = injector.has_value() ||
                          cfg_.admissionControl ||
                          cfg_.rescheduleBudgetCycles > 0;
+    report.searchReschedules = searchReschedules;
+    report.maxRescheduleCycles = maxRescheduleCycles;
+    report.search = searchStats;
+    report.searchActive = cfg_.searchOnDrift;
     if (injector) {
         const fault::FaultStats fs = injector->stats(chip);
         report.failedTiles = fs.failedTiles;

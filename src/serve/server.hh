@@ -29,9 +29,11 @@
 #include "arch/hwconfig.hh"
 #include "core/engine.hh"
 #include "core/scheduler.hh"
+#include "core/search_stats.hh"
 #include "costmodel/mapper.hh"
 #include "fault/fault.hh"
 #include "graph/dyngraph.hh"
+#include "search/search.hh"
 #include "serve/arrival.hh"
 #include "serve/batcher.hh"
 #include "serve/drift.hh"
@@ -122,6 +124,29 @@ struct ServeConfig
     /** Modeled cycles to compile one kernel store (the watchdog's
      * per-store cost term). */
     Cycles storeCompileCycles = 2000;
+
+    /**
+     * Run the anytime schedule search (search/search.hh) after each
+     * drift-triggered heuristic rebuild, adopting the searched
+     * schedule when it strictly beats the heuristic one on a probe
+     * of recent batches. The search's modeled cycle spend is capped
+     * at whatever rescheduleBudgetCycles leaves after the heuristic
+     * rebuild's own cost, so the watchdog budget is never exceeded;
+     * with the watchdog off the search runs unbounded. Off keeps
+     * every simulation path and report byte-identical to the
+     * pre-search runtime.
+     */
+    bool searchOnDrift = false;
+
+    /** Search policy when searchOnDrift is set. cycleBudget and
+     * storeCompileCycles are overridden per re-schedule from the
+     * watchdog state; the rest apply as configured. */
+    search::SearchConfig search;
+
+    /** Most recent dispatched batches retained as the search's
+     * scoring probe (drift-fires before any dispatch skip the
+     * search). */
+    int searchProbeBatches = 8;
 
     /** Deadline-aware admission control: shed arrivals whose
      * projected completion would overshoot the SLO deadline by
@@ -228,6 +253,28 @@ struct ServeReport
     /** Any fault-tolerance machinery was active this run (a fault
      * plan, admission control, or a watchdog budget). */
     bool faultActive = false;
+
+    // ---- schedule search --------------------------------------------
+    // Serialized into the JSON report only while searchActive is set,
+    // so search-off runs keep the pre-search report bytes.
+
+    /** Drift re-schedules where the searched schedule beat the
+     * heuristic rebuild and was installed. */
+    int searchReschedules = 0;
+
+    /** Largest modeled cycle charge of any drift re-schedule
+     * (heuristic rebuild + search spend); the serve-side proof that
+     * the search stayed inside rescheduleBudgetCycles. */
+    Cycles maxRescheduleCycles = 0;
+
+    /** Aggregate search counters (see core/search_stats.hh); the
+     * cache counters here are already subtracted from the run-level
+     * mapper/store counters above, so those keep reflecting the
+     * installed schedules only. */
+    core::SearchStats search;
+
+    /** ServeConfig::searchOnDrift was set. */
+    bool searchActive = false;
 };
 
 /** One serving run as a JSON object (for BENCH_serve.json). */

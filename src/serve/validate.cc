@@ -126,6 +126,35 @@ validateServeConfig(const ServeConfig &cfg)
         ADYNA_FATAL("ServeConfig.deltaExpectationTol must be >= 0 "
                     "(got ",
                     cfg.deltaExpectationTol, ")");
+    if (cfg.searchOnDrift) {
+        if (cfg.searchProbeBatches < 1)
+            ADYNA_FATAL("ServeConfig.searchProbeBatches must be "
+                        ">= 1 (got ",
+                        cfg.searchProbeBatches, ")");
+        if (cfg.search.chains < 1)
+            ADYNA_FATAL("SearchConfig.chains must be >= 1 (got ",
+                        cfg.search.chains, ")");
+        if (cfg.search.mutationBudget < 0)
+            ADYNA_FATAL("SearchConfig.mutationBudget must be >= 0 "
+                        "(got ",
+                        cfg.search.mutationBudget, ")");
+        if (cfg.search.materializeTop < 1)
+            ADYNA_FATAL("SearchConfig.materializeTop must be >= 1 "
+                        "(got ",
+                        cfg.search.materializeTop, ")");
+        if (cfg.search.refineFraction < 0.0 ||
+            cfg.search.refineFraction > 1.0)
+            ADYNA_FATAL("SearchConfig.refineFraction must be in "
+                        "[0, 1] (got ",
+                        cfg.search.refineFraction, ")");
+        if (cfg.search.initTemp <= 0.0 ||
+            cfg.search.tempDecayTo <= 0.0 ||
+            cfg.search.tempDecayTo > cfg.search.initTemp)
+            ADYNA_FATAL("SearchConfig temperatures must satisfy "
+                        "0 < tempDecayTo <= initTemp (got initTemp ",
+                        cfg.search.initTemp, ", tempDecayTo ",
+                        cfg.search.tempDecayTo, ")");
+    }
 }
 
 void

@@ -430,3 +430,43 @@ TEST(SchedulerDelta, HealthyTileChangeInvalidatesPartition)
     const Schedule full = sched.build({}, kv, nullptr);
     EXPECT_EQ(deltaFingerprint(degraded), deltaFingerprint(full));
 }
+
+TEST(SchedulerDelta, LongSpliceChainKeepsFingerprintAndIdentity)
+{
+    // The schedule search replays dozens of single-op deltas, each
+    // against the previous delta's result. Fingerprints must stay
+    // byte-identical to the original base the whole way down the
+    // chain, and every untouched segment must keep pointer identity
+    // with its immediate predecessor (splice, not copy).
+    const auto bundle = models::buildPabee(64);
+    const DynGraph dg = parseModel(bundle.graph);
+    costmodel::Mapper mapper(hw().tech);
+    Scheduler sched(dg, hw(), mapper, SchedulerConfig{});
+    const auto kv = sched.initialKernelValues();
+    const Schedule base = sched.build({}, kv, nullptr);
+    ASSERT_GT(base.segments.size(), 1u);
+
+    Schedule cur = base;
+    for (int round = 0; round < 24; ++round) {
+        const std::size_t si =
+            static_cast<std::size_t>(round) % cur.segments.size();
+        const OpId changed = cur.segments[si]->stages.front().op;
+        DeltaStats stats;
+        Schedule next =
+            sched.buildDelta(cur, {}, kv, nullptr, {changed}, &stats);
+        ASSERT_EQ(stats.segmentsRebuilt, 1u) << "round " << round;
+        ASSERT_EQ(deltaFingerprint(next), deltaFingerprint(base))
+            << "round " << round;
+        ASSERT_EQ(next.segments.size(), cur.segments.size());
+        for (std::size_t i = 0; i < cur.segments.size(); ++i) {
+            if (i == si)
+                EXPECT_NE(next.segments[i].get(),
+                          cur.segments[i].get());
+            else
+                EXPECT_EQ(next.segments[i].get(),
+                          cur.segments[i].get())
+                    << "round " << round << " segment " << i;
+        }
+        cur = std::move(next);
+    }
+}

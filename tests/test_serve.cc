@@ -762,6 +762,92 @@ TEST(ServeRuntime, DeltaPathTracksFullRebuildServing)
     EXPECT_GT(off.goodputRps, 0.0);
 }
 
+namespace {
+
+/** The driftServe workload with the anytime schedule search on the
+ * drift path and an optional watchdog budget. */
+ServeReport
+searchServe(bool search_on, Cycles watchdog_budget,
+            std::uint64_t seed)
+{
+    models::ModelBundle bundle = models::buildByName("pabee", 8);
+    const graph::DynGraph dg = graph::parseModel(bundle.graph);
+    trace::TraceConfig tc = bundle.traceConfig;
+    tc.batchSize = 8;
+    tc.driftStrength = 0.9;
+    tc.driftPeriod = 700;
+
+    const arch::HwConfig hw;
+    ServeConfig sc;
+    sc.arrival.ratePerSec = 2e5;
+    sc.batching.maxBatch = 8;
+    sc.batching.maxWaitCycles = 20000;
+    sc.slo.deadlineMs = 4.0;
+    sc.drift.windowRequests = 200;
+    sc.drift.noiseMultiplier = 1.0;
+    sc.drift.threshold = 0.2;
+    sc.numRequests = 2400;
+    sc.profileBatches = 8;
+    sc.seed = seed;
+    sc.rescheduleBudgetCycles = watchdog_budget;
+    sc.searchOnDrift = search_on;
+    sc.search.chains = 2;
+    sc.search.mutationBudget = 200;
+    sc.search.materializeTop = 2;
+
+    ServeRuntime rt(
+        dg, tc, hw,
+        baselines::schedulerConfig(baselines::Design::Adyna),
+        baselines::execPolicy(baselines::Design::Adyna), sc,
+        "pabee");
+    kernels::KernelStoreCache stores;
+    rt.setSharedStoreCache(&stores);
+    return rt.run();
+}
+
+} // namespace
+
+TEST(ServeRuntime, SearchStaysInsideWatchdogBudget)
+{
+    // Generous budget: the heuristic rebuild fits and the search
+    // gets the leftover. The serve-side guarantee under test is the
+    // ISSUE's acceptance bound -- no drift re-schedule (rebuild +
+    // search spend) may ever exceed the watchdog budget.
+    const Cycles budget = 40'000'000;
+    const ServeReport r = searchServe(true, budget, 11);
+    ASSERT_GT(r.reschedules, 0) << "drift must trigger";
+    EXPECT_TRUE(r.searchActive);
+    EXPECT_GT(r.search.candidatesTried, 0u);
+    EXPECT_LE(r.maxRescheduleCycles, budget);
+    EXPECT_LE(r.search.budgetSpentCycles, budget);
+    EXPECT_EQ(r.requests, 2400u);
+}
+
+TEST(ServeRuntime, SearchOffKeepsReportBytes)
+{
+    // Search-off runs must serialize the pre-search report exactly:
+    // no search keys at all, and deterministically so.
+    const ServeReport off = searchServe(false, 0, 11);
+    const std::string offJson = toJson(off);
+    EXPECT_EQ(offJson.find("search_"), std::string::npos);
+    EXPECT_FALSE(off.searchActive);
+    EXPECT_EQ(off.search.candidatesTried, 0u);
+
+    const ServeReport on = searchServe(true, 0, 11);
+    const std::string onJson = toJson(on);
+    EXPECT_NE(onJson.find("search_reschedules"), std::string::npos);
+    EXPECT_NE(onJson.find("search_budget_spent"),
+              std::string::npos);
+    EXPECT_EQ(on.requests, off.requests);
+}
+
+TEST(ServeRuntime, SearchRunIsDeterministic)
+{
+    const ServeReport a = searchServe(true, 40'000'000, 13);
+    const ServeReport b = searchServe(true, 40'000'000, 13);
+    EXPECT_EQ(toJson(a), toJson(b));
+}
+
 TEST(Validate, RejectsNegativeDeltaExpectationTol)
 {
     ServeConfig cfg;
