@@ -22,6 +22,18 @@
  *  - partitioned (ungated): two models split 50/50 over K=4 under
  *    schedule-affinity routing, reporting affinity hit rates and
  *    per-group goodput.
+ *  - gray straggler: K=4 with a permanent `chip_slow` (factor >= 4)
+ *    dilating chip 1 a third into the run, hedged+breaker reliability
+ *    vs the naive router. Gate D: the reliability layer beats naive
+ *    on BOTH pod p99 and goodput.
+ *  - gray integrity: K=4 under a fabric-wide `payload_corrupt`
+ *    window with end-to-end checksums. Gate E: every injected
+ *    corruption is detected and retried (costed on the
+ *    interconnect), none delivered wrong. A checksums-off twin is
+ *    reported ungated.
+ *
+ * `--only gray` runs just the two gray cells (the CI fault job's
+ * gray-failure leg); the default runs everything.
  */
 
 #include <cstdio>
@@ -60,6 +72,16 @@ main(int argc, char **argv)
         args.getDouble("wait-intervals", 1.0);
     const std::size_t queueLimit = static_cast<std::size_t>(
         args.getInt("queue-limit", 8L * maxBatch));
+    const std::string only = args.getString("only", "");
+    const bool baseCells = only.empty();
+    if (!baseCells && only != "gray") {
+        std::fprintf(stderr, "unknown --only section \"%s\" "
+                             "(supported: gray)\n",
+                     only.c_str());
+        return 2;
+    }
+    const double slowFactor = args.getDouble("slow-factor", 5.0);
+    const double corruptProb = args.getDouble("corrupt-prob", 0.05);
     p.batchSize = maxBatch;
     const arch::HwConfig hw;
     printBanner("=== Multi-chip pod serving: request routing and "
@@ -142,6 +164,11 @@ main(int argc, char **argv)
     };
     std::vector<CellRun> cellRuns;
 
+    double scaleup = 0.0;
+    bool scalingPass = true;
+    bool failoverPass = true;
+    bool identityPass = true;
+    if (baseCells) {
     // ---- cell 1: scaling sweep K in {1,2,4,8} ----------------------
     const std::vector<int> kSweep = {1, 2, 4, 8};
     const auto scaling = sweep.map(kSweep.size(), [&](std::size_t i) {
@@ -178,9 +205,8 @@ main(int argc, char **argv)
     }
     ts.print(std::cout);
 
-    const double scaleup =
-        scaling.back().goodputRps / scaling.front().goodputRps;
-    const bool scalingPass = scaleup >= 6.0;
+    scaleup = scaling.back().goodputRps / scaling.front().goodputRps;
+    scalingPass = scaleup >= 6.0;
     std::printf("\nGate A (scale-out): goodput K=8 / K=1 = %.2fx "
                 "(need >= 6x) -> %s\n\n",
                 scaleup, scalingPass ? "pass" : "FAIL");
@@ -231,8 +257,7 @@ main(int argc, char **argv)
     cellRuns.push_back({"chip-loss-adaptive", lossAdaptive});
     cellRuns.push_back({"chip-loss-static", lossStatic});
 
-    const bool failoverPass =
-        lossAdaptive.goodputRps > lossStatic.goodputRps;
+    failoverPass = lossAdaptive.goodputRps > lossStatic.goodputRps;
     std::printf("\nGate B (fail-over): adaptive goodput %.0f vs "
                 "static pinning %.0f r/s -> %s\n\n",
                 lossAdaptive.goodputRps, lossStatic.goodputRps,
@@ -241,7 +266,6 @@ main(int argc, char **argv)
     // ---- cell 3: 1-chip pod == ServeRuntime (byte identity) --------
     // Private store caches on both sides so cache counters are
     // byte-stable regardless of what ran before.
-    bool identityPass = false;
     {
         const serve::ServeConfig sc = serveConfig(
             c0, rateFrac * c0.capacityRps, requestsPerChip);
@@ -329,6 +353,142 @@ main(int argc, char **argv)
                     r.goodputRps);
         cellRuns.push_back({"partitioned-affinity", r});
     }
+    } // baseCells
+
+    // ---- cell 5: gray straggler — hedged+breaker vs naive ----------
+    // A permanent chip_slow dilates chip 1's clock by slowFactor from
+    // a third of the arrival horizon. The reliability run hedges
+    // stuck requests onto healthy chips and lets the circuit breaker
+    // stop admitting to the straggler; the naive run has only the
+    // router's load projection.
+    const int kGray = 4;
+    const double grayRate = rateFrac * kGray * c0.capacityRps;
+    const int grayRequests = requestsPerChip * kGray;
+    const Tick slowTick = static_cast<Tick>(
+        (static_cast<double>(grayRequests) / grayRate / 3.0) *
+        hw.tech.freqGhz * 1e9);
+    const auto grayRun = [&](bool hedged) {
+        pod::PodConfig pc;
+        pc.chips = kGray;
+        pc.placement = pod::Placement::Replicated;
+        pc.router.policy = pod::RoutePolicy::LeastLoaded;
+        pc.router.queueLimit = queueLimit;
+        pc.serve = serveConfig(c0, grayRate, grayRequests);
+        char plan[128];
+        std::snprintf(plan, sizeof(plan),
+                      "chip_slow@%llu:chip=1,factor=%.17g",
+                      static_cast<unsigned long long>(slowTick),
+                      slowFactor);
+        pc.faultPlan = fault::parseFaultPlanOrDie(plan);
+        if (hedged) {
+            pc.reliability.hedging = true;
+            pc.reliability.breaker = true;
+        }
+        return makePod(std::move(pc), {{&w0.dg, tc0, w0.name}});
+    };
+    const auto grayReports =
+        sweep.map(2, [&](std::size_t i) { return grayRun(i == 0); });
+    const pod::PodReport &grayHedged = grayReports[0];
+    const pod::PodReport &grayNaive = grayReports[1];
+
+    TextTable tg("Gray straggler (K=4, chip 1 " +
+                 TextTable::num(slowFactor, 1) + "x slow at 1/3 " +
+                 "horizon, " + std::to_string(grayRequests) +
+                 " requests)");
+    tg.header({"mode", "goodput r/s", "p99 ms", "slo att", "hedges",
+               "wins", "wasted", "trips", "sheds"});
+    const auto grayRow = [&](const char *mode,
+                             const pod::PodReport &r) {
+        tg.row({mode, TextTable::num(r.goodputRps, 0),
+                TextTable::num(r.p99Ms, 3),
+                TextTable::num(r.sloAttainment, 3),
+                std::to_string(r.reliability.hedges),
+                std::to_string(r.reliability.hedgeWins),
+                std::to_string(r.reliability.wastedCompletions),
+                std::to_string(r.reliability.breakerTrips),
+                std::to_string(r.shedRequests +
+                               r.reliability.brownoutSheds)});
+    };
+    grayRow("hedged+brk", grayHedged);
+    grayRow("naive", grayNaive);
+    tg.print(std::cout);
+    cellRuns.push_back({"gray-slow-hedged", grayHedged});
+    cellRuns.push_back({"gray-slow-naive", grayNaive});
+
+    const double hedgedGoodputRatio =
+        grayNaive.goodputRps > 0.0
+            ? grayHedged.goodputRps / grayNaive.goodputRps
+            : 0.0;
+    const bool stragglerPass =
+        grayHedged.p99Ms < grayNaive.p99Ms &&
+        grayHedged.goodputRps > grayNaive.goodputRps;
+    std::printf("\nGate D (straggler): hedged+breaker p99 %.3f ms / "
+                "goodput %.0f r/s vs naive %.3f ms / %.0f r/s "
+                "(ratio %.2fx) -> %s\n\n",
+                grayHedged.p99Ms, grayHedged.goodputRps,
+                grayNaive.p99Ms, grayNaive.goodputRps,
+                hedgedGoodputRatio,
+                stragglerPass ? "pass" : "FAIL");
+
+    // ---- cell 6: gray integrity — payload corruption + checksums ---
+    const auto corruptRun = [&](bool checks) {
+        pod::PodConfig pc;
+        pc.chips = kGray;
+        pc.placement = pod::Placement::Replicated;
+        pc.router.policy = pod::RoutePolicy::LeastLoaded;
+        pc.router.queueLimit = queueLimit;
+        pc.serve = serveConfig(c0, grayRate, grayRequests);
+        char plan[96];
+        std::snprintf(plan, sizeof(plan),
+                      "payload_corrupt@0:prob=%.17g", corruptProb);
+        pc.faultPlan = fault::parseFaultPlanOrDie(plan);
+        pc.reliability.checksums = checks;
+        return makePod(std::move(pc), {{&w0.dg, tc0, w0.name}});
+    };
+    const auto corruptReports = sweep.map(
+        2, [&](std::size_t i) { return corruptRun(i == 0); });
+    const pod::PodReport &corruptChecked = corruptReports[0];
+    const pod::PodReport &corruptNaive = corruptReports[1];
+
+    TextTable tc("Gray integrity (K=4, fabric-wide bit-flip prob " +
+                 TextTable::num(corruptProb, 3) + " per transfer)");
+    tc.header({"mode", "goodput r/s", "injected", "detected",
+               "undetected", "retries", "retry KB"});
+    const auto corruptRow = [&](const char *mode,
+                                const pod::PodReport &r) {
+        tc.row({mode, TextTable::num(r.goodputRps, 0),
+                std::to_string(r.reliability.corruptionsInjected),
+                std::to_string(r.reliability.corruptionsDetected),
+                std::to_string(r.reliability.corruptionsUndetected),
+                std::to_string(r.reliability.integrityRetries),
+                TextTable::num(static_cast<double>(
+                                   r.reliability.icRetryBytes) /
+                                   1e3,
+                               1)});
+    };
+    corruptRow("checksums", corruptChecked);
+    corruptRow("naive", corruptNaive);
+    tc.print(std::cout);
+    cellRuns.push_back({"gray-corrupt-checksum", corruptChecked});
+    cellRuns.push_back({"gray-corrupt-naive", corruptNaive});
+
+    const pod::PodReliabilityStats &ck = corruptChecked.reliability;
+    const bool integrityPass =
+        ck.corruptionsInjected > 0 &&
+        ck.corruptionsDetected == ck.corruptionsInjected &&
+        ck.corruptionsUndetected == 0 && ck.icRetryBytes > 0;
+    std::printf("\nGate E (integrity): %llu/%llu corruptions "
+                "detected-and-retried (%llu KB retransmitted, %llu "
+                "undetected) -> %s\n\n",
+                static_cast<unsigned long long>(
+                    ck.corruptionsDetected),
+                static_cast<unsigned long long>(
+                    ck.corruptionsInjected),
+                static_cast<unsigned long long>(ck.icRetryBytes /
+                                                1000),
+                static_cast<unsigned long long>(
+                    ck.corruptionsUndetected),
+                integrityPass ? "pass" : "FAIL");
 
     // ---- BENCH_pod.json --------------------------------------------
     const std::string jsonPath =
@@ -337,14 +497,20 @@ main(int argc, char **argv)
         std::ofstream out(jsonPath);
         out << "{\n  \"bench\": \"pod_loadgen\",\n  "
             << buildStampJson() << ",\n  \"max_batch\": " << maxBatch
-            << ",\n  \"requests_per_chip\": " << requestsPerChip
-            << ",\n  \"scaleup_k8\": " << scaleup
-            << ",\n  \"scaling_pass\": "
-            << (scalingPass ? "true" : "false")
-            << ",\n  \"failover_pass\": "
-            << (failoverPass ? "true" : "false")
-            << ",\n  \"identity_pass\": "
-            << (identityPass ? "true" : "false")
+            << ",\n  \"requests_per_chip\": " << requestsPerChip;
+        if (baseCells)
+            out << ",\n  \"scaleup_k8\": " << scaleup
+                << ",\n  \"scaling_pass\": "
+                << (scalingPass ? "true" : "false")
+                << ",\n  \"failover_pass\": "
+                << (failoverPass ? "true" : "false")
+                << ",\n  \"identity_pass\": "
+                << (identityPass ? "true" : "false");
+        out << ",\n  \"hedged_goodput_ratio\": "
+            << hedgedGoodputRatio << ",\n  \"straggler_pass\": "
+            << (stragglerPass ? "true" : "false")
+            << ",\n  \"integrity_pass\": "
+            << (integrityPass ? "true" : "false")
             << ",\n  \"runs\": [\n";
         for (std::size_t i = 0; i < cellRuns.size(); ++i) {
             std::string obj = pod::toJson(cellRuns[i].report);
@@ -360,8 +526,9 @@ main(int argc, char **argv)
     std::printf("Wrote %s\n", jsonPath.c_str());
     sweep.printCacheStats();
 
-    if (!scalingPass || !failoverPass || !identityPass) {
-        std::printf("\nFAIL:%s%s%s\n",
+    if (!scalingPass || !failoverPass || !identityPass ||
+        !stragglerPass || !integrityPass) {
+        std::printf("\nFAIL:%s%s%s%s%s\n",
                     scalingPass ? "" : " scale-out below 6x at K=8;",
                     failoverPass
                         ? ""
@@ -369,12 +536,28 @@ main(int argc, char **argv)
                           "pinning;",
                     identityPass
                         ? ""
-                        : " 1-chip pod diverged from ServeRuntime");
+                        : " 1-chip pod diverged from ServeRuntime;",
+                    stragglerPass
+                        ? ""
+                        : " hedged+breaker did not beat the naive "
+                          "router under the straggler;",
+                    integrityPass
+                        ? ""
+                        : " checksums missed injected corruptions");
         return 1;
     }
-    std::printf("\nPASS: %.2fx goodput at K=8, adaptive fail-over "
-                "beats static pinning, and the 1-chip pod is "
-                "byte-identical to ServeRuntime\n",
-                scaleup);
+    if (baseCells)
+        std::printf(
+            "\nPASS: %.2fx goodput at K=8, adaptive fail-over "
+            "beats static pinning, the 1-chip pod is "
+            "byte-identical to ServeRuntime, hedged+breaker beats "
+            "naive %.2fx under the straggler, and checksums caught "
+            "every corruption\n",
+            scaleup, hedgedGoodputRatio);
+    else
+        std::printf(
+            "\nPASS: hedged+breaker beats naive %.2fx under the "
+            "straggler, and checksums caught every corruption\n",
+            hedgedGoodputRatio);
     return 0;
 }

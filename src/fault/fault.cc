@@ -106,6 +106,12 @@ kindFromName(const std::string &name, FaultKind &out)
         out = FaultKind::StoreFitFail;
     else if (name == "chip_fail")
         out = FaultKind::ChipFail;
+    else if (name == "chip_slow")
+        out = FaultKind::ChipSlow;
+    else if (name == "link_flaky")
+        out = FaultKind::LinkFlaky;
+    else if (name == "payload_corrupt")
+        out = FaultKind::PayloadCorrupt;
     else
         return false;
     return true;
@@ -250,6 +256,18 @@ parseEvent(const std::string &text, FaultEvent &ev, std::string &err)
         required = kKeyChip;
         allowed = kKeyHeal;
         break;
+      case FaultKind::ChipSlow:
+        required = kKeyChip | kKeyFactor;
+        allowed = kKeyHeal;
+        break;
+      case FaultKind::LinkFlaky:
+        required = kKeyChip | kKeyProb;
+        allowed = kKeyHeal;
+        break;
+      case FaultKind::PayloadCorrupt:
+        required = kKeyProb;
+        allowed = kKeyHeal;
+        break;
     }
     allowed |= required;
     if (const int stray = seen & ~allowed) {
@@ -282,6 +300,15 @@ parseEvent(const std::string &text, FaultEvent &ev, std::string &err)
           case FaultKind::ProbeDrop:
             err = "probe_drop needs prob=";
             break;
+          case FaultKind::ChipSlow:
+            err = "chip_slow needs chip= and factor=";
+            break;
+          case FaultKind::LinkFlaky:
+            err = "link_flaky needs chip= and prob=";
+            break;
+          case FaultKind::PayloadCorrupt:
+            err = "payload_corrupt needs prob=";
+            break;
           default:
             err = "chip_fail needs chip=";
             break;
@@ -297,6 +324,19 @@ parseEvent(const std::string &text, FaultEvent &ev, std::string &err)
     if (ev.kind == FaultKind::ProbeDrop &&
         !(ev.factor > 0.0 && ev.factor <= 1.0)) {
         err = "probe_drop prob must be in (0, 1]";
+        return false;
+    }
+    if (ev.kind == FaultKind::ChipSlow && !(ev.factor > 1.0)) {
+        err = "chip_slow factor must be > 1";
+        return false;
+    }
+    // Retransmits loop until a clean attempt, so a certain fault
+    // (prob=1) would never deliver; keep the open interval.
+    if ((ev.kind == FaultKind::LinkFlaky ||
+         ev.kind == FaultKind::PayloadCorrupt) &&
+        !(ev.factor > 0.0 && ev.factor < 1.0)) {
+        err = std::string(faultKindName(ev.kind)) +
+              " prob must be in (0, 1)";
         return false;
     }
     return true;
@@ -318,8 +358,28 @@ faultKindName(FaultKind kind)
         return "probe_drop";
       case FaultKind::StoreFitFail:
         return "store_fit_fail";
+      case FaultKind::ChipSlow:
+        return "chip_slow";
+      case FaultKind::LinkFlaky:
+        return "link_flaky";
+      case FaultKind::PayloadCorrupt:
+        return "payload_corrupt";
       default:
         return "chip_fail";
+    }
+}
+
+bool
+podScopeFault(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::ChipFail:
+      case FaultKind::ChipSlow:
+      case FaultKind::LinkFlaky:
+      case FaultKind::PayloadCorrupt:
+        return true;
+      default:
+        return false;
     }
 }
 
@@ -373,19 +433,34 @@ FaultPlan::str() const
           case FaultKind::StoreFitFail:
             break;
           case FaultKind::ChipFail:
-            // chip_fail spells its heal tick `heal=`, not
-            // `duration=`, so skip the generic append below.
-            if (ev.duration > 0)
-                std::snprintf(buf, sizeof(buf),
-                              "chip=%d,heal=%llu", ev.chip,
-                              static_cast<unsigned long long>(
-                                  ev.duration));
-            else
-                std::snprintf(buf, sizeof(buf), "chip=%d", ev.chip);
+            // Pod-scope kinds spell their heal tick `heal=`, not
+            // `duration=`, so they skip the generic append below.
+            std::snprintf(buf, sizeof(buf), "chip=%d", ev.chip);
+            args = buf;
+            break;
+          case FaultKind::ChipSlow:
+            std::snprintf(buf, sizeof(buf), "chip=%d,factor=%.17g",
+                          ev.chip, ev.factor);
+            args = buf;
+            break;
+          case FaultKind::LinkFlaky:
+            std::snprintf(buf, sizeof(buf), "chip=%d,prob=%.17g",
+                          ev.chip, ev.factor);
+            args = buf;
+            break;
+          case FaultKind::PayloadCorrupt:
+            std::snprintf(buf, sizeof(buf), "prob=%.17g", ev.factor);
             args = buf;
             break;
         }
-        if (ev.duration > 0 && ev.kind != FaultKind::ChipFail) {
+        if (ev.duration > 0 && podScopeFault(ev.kind)) {
+            std::snprintf(buf, sizeof(buf), "%sheal=%llu",
+                          args.empty() ? "" : ",",
+                          static_cast<unsigned long long>(
+                              ev.duration));
+            args += buf;
+        }
+        if (ev.duration > 0 && !podScopeFault(ev.kind)) {
             std::snprintf(buf, sizeof(buf), "%sduration=%llu",
                           args.empty() ? "" : ",",
                           static_cast<unsigned long long>(
@@ -502,7 +577,8 @@ randomFaultPlan(const RandomFaultConfig &cfg, std::uint64_t seed)
         ev.duration = transientTicks();
         plan.events.push_back(ev);
     }
-    if (cfg.chipFails > 0)
+    if (cfg.chipFails > 0 || cfg.chipSlows > 0 ||
+        cfg.linkFlakies > 0)
         ADYNA_ASSERT(cfg.podChips > 0, "bad pod size");
     for (int i = 0; i < cfg.chipFails; ++i) {
         FaultEvent ev;
@@ -510,6 +586,34 @@ randomFaultPlan(const RandomFaultConfig &cfg, std::uint64_t seed)
         ev.at = strikeTick();
         ev.chip = static_cast<int>(
             rng.uniformInt(0, cfg.podChips - 1));
+        ev.duration = transientTicks();
+        plan.events.push_back(ev);
+    }
+    for (int i = 0; i < cfg.chipSlows; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::ChipSlow;
+        ev.at = strikeTick();
+        ev.chip = static_cast<int>(
+            rng.uniformInt(0, cfg.podChips - 1));
+        ev.factor = rng.uniform(2.0, 8.0);
+        ev.duration = transientTicks();
+        plan.events.push_back(ev);
+    }
+    for (int i = 0; i < cfg.linkFlakies; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::LinkFlaky;
+        ev.at = strikeTick();
+        ev.chip = static_cast<int>(
+            rng.uniformInt(0, cfg.podChips - 1));
+        ev.factor = rng.uniform(0.05, 0.5);
+        ev.duration = transientTicks();
+        plan.events.push_back(ev);
+    }
+    for (int i = 0; i < cfg.payloadCorrupts; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::PayloadCorrupt;
+        ev.at = strikeTick();
+        ev.factor = rng.uniform(0.01, 0.3);
         ev.duration = transientTicks();
         plan.events.push_back(ev);
     }
@@ -622,6 +726,22 @@ FaultInjector::apply(const TimedEvent &te, arch::Chip &chip,
         else
             ++stats_.chipFailEvents;
         healthy_changed = true;
+        break;
+      case FaultKind::ChipSlow:
+        // Pod-scope gray failures replayed against a single chip
+        // only count: there is no router / interconnect tier here to
+        // straggle, retransmit on, or checksum, so the simulation
+        // paths stay untouched (the single-chip byte-identity gate).
+        if (!te.recover)
+            ++stats_.chipSlowWindows;
+        break;
+      case FaultKind::LinkFlaky:
+        if (!te.recover)
+            ++stats_.linkFlakyWindows;
+        break;
+      case FaultKind::PayloadCorrupt:
+        if (!te.recover)
+            ++stats_.payloadCorruptWindows;
         break;
     }
 }

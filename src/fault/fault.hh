@@ -19,25 +19,42 @@
  *   plan   := event (';' event)*
  *   event  := kind '@' tick [':' key '=' value (',' key '=' value)*]
  *   kind   := tile_fail | link_down | link_degrade | probe_drop
- *           | store_fit_fail | chip_fail
+ *           | store_fit_fail | chip_fail | chip_slow | link_flaky
+ *           | payload_corrupt
  *
  * Keys per kind (duration=0 or omitted means permanent; keys that do
  * not belong to a kind are rejected so every accepted plan
  * round-trips through its canonical str() text):
- *   tile_fail:      tile=<id> [duration=<cycles>]
- *   link_down:      tile=<id> dir=<E|W|S|N> [duration=<cycles>]
- *   link_degrade:   tile=<id> dir=<E|W|S|N> factor=<(0,1)>
- *                   [duration=<cycles>]
- *   probe_drop:     prob=<(0,1]> [duration=<cycles>]
- *   store_fit_fail: [duration=<cycles>]
- *   chip_fail:      chip=<pod chip index> [heal=<cycles>]
+ *   tile_fail:       tile=<id> [duration=<cycles>]
+ *   link_down:       tile=<id> dir=<E|W|S|N> [duration=<cycles>]
+ *   link_degrade:    tile=<id> dir=<E|W|S|N> factor=<(0,1)>
+ *                    [duration=<cycles>]
+ *   probe_drop:      prob=<(0,1]> [duration=<cycles>]
+ *   store_fit_fail:  [duration=<cycles>]
+ *   chip_fail:       chip=<pod chip index> [heal=<cycles>]
+ *   chip_slow:       chip=<pod chip index> factor=<(1,inf)>
+ *                    [heal=<cycles>]
+ *   link_flaky:      chip=<pod chip index> prob=<(0,1)>
+ *                    [heal=<cycles>]
+ *   payload_corrupt: prob=<(0,1)> [heal=<cycles>]
  *
- * chip_fail is the pod-scope fault: a whole chip goes dark. The pod
- * runtime (src/pod) intercepts it at the router tier — draining and
- * re-routing the dark chip's traffic onto the surviving chips — and
- * heal= gives the ticks until the chip reboots (0 = permanent, like
- * duration). Replayed against a single arch::Chip instead, it fails
- * every tile on strike and recovers every tile on heal.
+ * chip_fail is the pod-scope fail-stop fault: a whole chip goes dark.
+ * The pod runtime (src/pod) intercepts it at the router tier —
+ * draining and re-routing the dark chip's traffic onto the surviving
+ * chips — and heal= gives the ticks until the chip reboots (0 =
+ * permanent, like duration). Replayed against a single arch::Chip
+ * instead, it fails every tile on strike and recovers every tile on
+ * heal.
+ *
+ * chip_slow, link_flaky and payload_corrupt are the pod-scope *gray*
+ * failures (DESIGN.md §15): a straggler chip whose clock dilates by
+ * factor=, a chip's interconnect links dropping frames with
+ * probability prob= (detected, retransmitted, costed), and silent
+ * bit-flips on chip-boundary payloads with probability prob= (caught
+ * — and retried — only when end-to-end checksums are on). They all
+ * spell their end tick `heal=` like chip_fail. Replayed against a
+ * single arch::Chip they only count (there is no router tier to
+ * react), so single-chip runs stay byte-identical.
  *
  * Example: "tile_fail@5000000:tile=17;probe_drop@0:prob=0.3,duration=100000"
  */
@@ -62,10 +79,19 @@ enum class FaultKind {
     ProbeDrop,    ///< probe/ack round trips start dropping
     StoreFitFail, ///< compiled kernel stores stop fitting on-chip
     ChipFail,     ///< a whole pod chip goes dark (pod scope)
+    ChipSlow,     ///< a pod chip's clock dilates (straggler)
+    LinkFlaky,    ///< a chip's interconnect links drop frames
+    PayloadCorrupt, ///< chip-boundary payloads take bit-flips
 };
 
 /** Canonical lower-case name of a fault kind. */
 const char *faultKindName(FaultKind kind);
+
+/** The kind targets the pod tier (chip_fail / chip_slow /
+ * link_flaky / payload_corrupt) rather than a single chip's
+ * internals. Pod plans may only hold pod-scope kinds; per-chip plans
+ * must not. */
+bool podScopeFault(FaultKind kind);
 
 /** One timed fault event. */
 struct FaultEvent
@@ -82,16 +108,19 @@ struct FaultEvent
     int dir = 0;
 
     /** LinkDegrade: remaining bandwidth fraction in (0, 1).
-     *  ProbeDrop: drop probability in (0, 1]. */
+     *  ProbeDrop: drop probability in (0, 1].
+     *  ChipSlow: clock dilation factor in (1, inf).
+     *  LinkFlaky / PayloadCorrupt: per-transfer fault probability in
+     *  (0, 1). */
     double factor = 0.5;
 
-    /** ChipFail: pod chip index the fault strikes. The parser only
-     * checks non-negativity; the pod runtime validates the index
-     * against its own chip count. */
+    /** ChipFail / ChipSlow / LinkFlaky: pod chip index the fault
+     * strikes. The parser only checks non-negativity; the pod
+     * runtime validates the index against its own chip count. */
     int chip = 0;
 
-    /** Ticks until the fault heals; 0 = permanent. ChipFail spells
-     * this key `heal=` in the plan text. */
+    /** Ticks until the fault heals; 0 = permanent. The pod-scope
+     * kinds spell this key `heal=` in the plan text. */
     Tick duration = 0;
 
     bool operator==(const FaultEvent &) const = default;
@@ -138,8 +167,12 @@ struct RandomFaultConfig
     int probeDropWindows = 1;
     int storeFitWindows = 0;
     int chipFails = 0;
+    int chipSlows = 0;
+    int linkFlakies = 0;
+    int payloadCorrupts = 0;
 
-    /** Pod size the chip_fail targets are drawn from. */
+    /** Pod size the chip_fail / chip_slow / link_flaky targets are
+     * drawn from. */
     int podChips = 4;
 
     /** Probability an event is transient (heals before the horizon)
@@ -168,6 +201,9 @@ struct FaultStats
     std::uint64_t storeFitWindows = 0;
     std::uint64_t chipFailEvents = 0;
     std::uint64_t chipHeals = 0;
+    std::uint64_t chipSlowWindows = 0;
+    std::uint64_t linkFlakyWindows = 0;
+    std::uint64_t payloadCorruptWindows = 0;
 
     // Live state at snapshot time.
     int failedTiles = 0;

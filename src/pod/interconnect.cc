@@ -14,6 +14,8 @@ Interconnect::Interconnect(InterconnectConfig cfg, int chips)
     ADYNA_ASSERT(cfg_.bytesPerCycle > 0.0,
                  "interconnect bandwidth must be > 0");
     busyUntil_.assign(static_cast<std::size_t>(chips_) * 2, 0);
+    flaky_.assign(static_cast<std::size_t>(chips_), {});
+    sdc_.assign(static_cast<std::size_t>(chips_), 0);
 }
 
 std::size_t
@@ -21,6 +23,39 @@ Interconnect::linkIndex(int chip, bool to_chip) const
 {
     ADYNA_ASSERT(chip >= 0 && chip < chips_, "bad pod chip ", chip);
     return static_cast<std::size_t>(chip) * 2 + (to_chip ? 0 : 1);
+}
+
+void
+Interconnect::setSeed(std::uint64_t seed)
+{
+    rng_ = Rng(seed);
+}
+
+void
+Interconnect::setFlakyWindows(int chip,
+                              std::vector<UnreliableWindow> windows)
+{
+    ADYNA_ASSERT(chip >= 0 && chip < chips_, "bad pod chip ", chip);
+    flaky_[static_cast<std::size_t>(chip)] = std::move(windows);
+    unreliable_ = true;
+}
+
+void
+Interconnect::setCorruptWindows(std::vector<UnreliableWindow> windows)
+{
+    corrupt_ = std::move(windows);
+    unreliable_ = true;
+}
+
+double
+Interconnect::windowProb(const std::vector<UnreliableWindow> &windows,
+                         Tick at)
+{
+    double p = 0.0;
+    for (const UnreliableWindow &w : windows)
+        if (at >= w.start && at < w.end)
+            p = std::max(p, w.prob);
+    return p;
 }
 
 Tick
@@ -31,7 +66,46 @@ Interconnect::transfer(int chip, bool to_chip, Tick now, Bytes bytes,
     const Tick start = std::max(now, busyUntil_[link]);
     const auto serialize = static_cast<Tick>(std::ceil(
         static_cast<double>(bytes) / cfg_.bytesPerCycle));
-    busyUntil_[link] = start + serialize;
+
+    Tick done = start;
+    if (!unreliable_) {
+        // Fast path: no gray windows configured anywhere, never
+        // draw the RNG (the fault-free byte-identity gate).
+        done += serialize;
+    } else {
+        const double flakyP =
+            windowProb(flaky_[static_cast<std::size_t>(chip)], start);
+        const double corruptP = windowProb(corrupt_, start);
+        for (;;) {
+            done += serialize;
+            if (flakyP > 0.0 && rng_.bernoulli(flakyP)) {
+                // Link-layer frame loss: detected by the transport,
+                // retransmitted on the same FIFO link.
+                ++linkRetries_;
+                retryBytes_ += bytes;
+                continue;
+            }
+            if (corruptP > 0.0 && rng_.bernoulli(corruptP)) {
+                ++corruptionsInjected_;
+                if (checksums_) {
+                    // End-to-end checksum catches the flip: count
+                    // the SDC against this chip and retry, costed
+                    // like any other attempt.
+                    ++corruptionsDetected_;
+                    ++sdc_[static_cast<std::size_t>(chip)];
+                    ++integrityRetries_;
+                    retryBytes_ += bytes;
+                    continue;
+                }
+                // No checksums: the corrupted payload is delivered
+                // as if nothing happened.
+                ++corruptionsUndetected_;
+            }
+            break;
+        }
+    }
+
+    busyUntil_[link] = done;
     ++transfers_;
     switch (cls) {
       case PayloadClass::Request:
@@ -43,8 +117,18 @@ Interconnect::transfer(int chip, bool to_chip, Tick now, Bytes bytes,
       case PayloadClass::Weights:
         weightBytes_ += bytes;
         break;
+      case PayloadClass::Probe:
+        probeBytes_ += bytes;
+        break;
     }
     return busyUntil_[link] + cfg_.latencyCycles;
+}
+
+std::uint64_t
+Interconnect::sdcDetected(int chip) const
+{
+    ADYNA_ASSERT(chip >= 0 && chip < chips_, "bad pod chip ", chip);
+    return sdc_[static_cast<std::size_t>(chip)];
 }
 
 Tick

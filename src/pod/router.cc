@@ -29,8 +29,12 @@ bool
 Router::eligible(const ChipStatus &s) const
 {
     // Static pinning ignores health: the router keeps dispatching to
-    // a dark chip and the runtime sheds what lands there.
-    return (s.alive || !cfg_.reRouteOnFailure) && s.servesModel;
+    // a dark chip and the runtime sheds what lands there. A tripped
+    // circuit breaker, by contrast, gates admission under either
+    // policy — it is the router's own health verdict, not the
+    // fault model's.
+    return (s.alive || !cfg_.reRouteOnFailure) && s.servesModel &&
+           s.admittable;
 }
 
 bool

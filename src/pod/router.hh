@@ -71,6 +71,11 @@ struct ChipStatus
      * always true under replicated placement). */
     bool servesModel = true;
 
+    /** The chip's circuit breaker admits new work (an open breaker
+     * drains organically: queued work keeps executing but no new
+     * arrivals land). Always true when the breaker is off. */
+    bool admittable = true;
+
     /** Requests sitting in the chip's admission queue. */
     std::size_t queued = 0;
 

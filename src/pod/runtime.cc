@@ -6,6 +6,8 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <queue>
+#include <tuple>
 
 #include "arch/chip.hh"
 #include "arch/profiler.hh"
@@ -107,6 +109,7 @@ struct ChipBackend
 
     std::uint64_t routed = 0;
     std::uint64_t rerouted = 0;
+    std::uint64_t hedged = 0;
     std::uint64_t drained = 0;
     std::uint64_t completed = 0;
     std::uint64_t batches = 0;
@@ -142,7 +145,9 @@ struct ChipBackend
     }
 };
 
-/** A pod-scope chip_fail strike or heal on the pod timeline. */
+/** A pod-scope chip_fail strike or heal on the pod timeline. The
+ * gray kinds (chip_slow / link_flaky / payload_corrupt) are
+ * stateless spans instead — they never enter this timeline. */
 struct PodFaultEvent
 {
     Tick at = 0;
@@ -156,6 +161,8 @@ podFaultTimeline(const fault::FaultPlan &plan)
     constexpr Tick kForever = ~Tick{0};
     std::vector<PodFaultEvent> out;
     for (const fault::FaultEvent &ev : plan.events) {
+        if (ev.kind != fault::FaultKind::ChipFail)
+            continue;
         out.push_back({ev.at, ev.chip, false});
         if (ev.duration > 0 && ev.at <= kForever - ev.duration)
             out.push_back({ev.at + ev.duration, ev.chip, true});
@@ -181,6 +188,47 @@ placementName(Placement placement)
       default:
         return "partitioned";
     }
+}
+
+std::string
+routerStatsJson(const PodReport &r)
+{
+    const PodReliabilityStats &s = r.reliability;
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"sheds\": %llu, \"diverted\": %llu, \"hedges\": %llu, "
+        "\"hedge_wins\": %llu, \"hedge_cancelled\": %llu, "
+        "\"wasted_completions\": %llu, \"brownout_sheds\": %llu, "
+        "\"timeouts\": %llu, \"probes\": %llu, "
+        "\"probe_failures\": %llu, \"breaker_trips\": %llu, "
+        "\"breaker_reopens\": %llu, \"breaker_closes\": %llu, "
+        "\"link_retries\": %llu, \"integrity_retries\": %llu, "
+        "\"corruptions_injected\": %llu, "
+        "\"corruptions_detected\": %llu, "
+        "\"corruptions_undetected\": %llu, "
+        "\"ic_probe_bytes\": %llu, \"ic_retry_bytes\": %llu}",
+        static_cast<unsigned long long>(r.shedRequests),
+        static_cast<unsigned long long>(r.diverted),
+        static_cast<unsigned long long>(s.hedges),
+        static_cast<unsigned long long>(s.hedgeWins),
+        static_cast<unsigned long long>(s.hedgeCancelled),
+        static_cast<unsigned long long>(s.wastedCompletions),
+        static_cast<unsigned long long>(s.brownoutSheds),
+        static_cast<unsigned long long>(s.timeouts),
+        static_cast<unsigned long long>(s.probes),
+        static_cast<unsigned long long>(s.probeFailures),
+        static_cast<unsigned long long>(s.breakerTrips),
+        static_cast<unsigned long long>(s.breakerReopens),
+        static_cast<unsigned long long>(s.breakerCloses),
+        static_cast<unsigned long long>(s.linkRetries),
+        static_cast<unsigned long long>(s.integrityRetries),
+        static_cast<unsigned long long>(s.corruptionsInjected),
+        static_cast<unsigned long long>(s.corruptionsDetected),
+        static_cast<unsigned long long>(s.corruptionsUndetected),
+        static_cast<unsigned long long>(s.icProbeBytes),
+        static_cast<unsigned long long>(s.icRetryBytes));
+    return buf;
 }
 
 std::string
@@ -221,6 +269,15 @@ toJson(const PodReport &r)
         r.sloAttainment, r.goodputRps,
         static_cast<unsigned long long>(r.horizonTicks));
     std::string out = buf;
+    // The reliability aggregate is spliced in only while the layer
+    // was live, so default-configured pods keep the pre-reliability
+    // JSON bytes (the byte-identity gate).
+    if (r.reliabilityActive) {
+        const std::string stats = routerStatsJson(r);
+        const std::string key = "\"router_stats\": " + stats + ", ";
+        const auto at = out.find("\"chips\": [");
+        out.insert(at, key);
+    }
     // The chips array is emitted in ascending chip-id order (the
     // vector is built that way), so BENCH_pod.json diffs stay
     // deterministic across --jobs values. Each element is the chip's
@@ -230,16 +287,30 @@ toJson(const PodReport &r)
     for (std::size_t i = 0; i < r.chips.size(); ++i) {
         const ChipResult &c = r.chips[i];
         std::string obj = serve::toJson(c.serve);
-        char pre[224];
-        std::snprintf(pre, sizeof(pre),
-                      "\"chip\": %d, \"model\": \"%s\", "
-                      "\"dark\": %s, \"routed\": %llu, "
-                      "\"rerouted\": %llu, \"drained\": %llu, ",
-                      c.id, c.model.c_str(),
-                      c.dark ? "true" : "false",
-                      static_cast<unsigned long long>(c.routed),
-                      static_cast<unsigned long long>(c.rerouted),
-                      static_cast<unsigned long long>(c.drained));
+        char pre[288];
+        if (r.reliabilityActive)
+            std::snprintf(
+                pre, sizeof(pre),
+                "\"chip\": %d, \"model\": \"%s\", "
+                "\"dark\": %s, \"routed\": %llu, "
+                "\"rerouted\": %llu, \"drained\": %llu, "
+                "\"hedged\": %llu, \"sdc\": %llu, ",
+                c.id, c.model.c_str(), c.dark ? "true" : "false",
+                static_cast<unsigned long long>(c.routed),
+                static_cast<unsigned long long>(c.rerouted),
+                static_cast<unsigned long long>(c.drained),
+                static_cast<unsigned long long>(c.hedged),
+                static_cast<unsigned long long>(c.sdc));
+        else
+            std::snprintf(
+                pre, sizeof(pre),
+                "\"chip\": %d, \"model\": \"%s\", "
+                "\"dark\": %s, \"routed\": %llu, "
+                "\"rerouted\": %llu, \"drained\": %llu, ",
+                c.id, c.model.c_str(), c.dark ? "true" : "false",
+                static_cast<unsigned long long>(c.routed),
+                static_cast<unsigned long long>(c.rerouted),
+                static_cast<unsigned long long>(c.drained));
         obj.insert(1, pre);
         if (i > 0)
             out += ", ";
@@ -295,14 +366,17 @@ PodRuntime::PodRuntime(std::vector<PodWorkload> workloads,
                  "the router's queueLimit is the pod's admission "
                  "backpressure");
     for (const fault::FaultEvent &ev : cfg_.faultPlan.events) {
-        ADYNA_ASSERT(ev.kind == fault::FaultKind::ChipFail,
-                     "the pod fault plan is chip scope: only "
-                     "chip_fail events allowed (put ",
+        ADYNA_ASSERT(fault::podScopeFault(ev.kind),
+                     "the pod fault plan is pod scope: only "
+                     "chip_fail / chip_slow / link_flaky / "
+                     "payload_corrupt events allowed (put ",
                      fault::faultKindName(ev.kind),
                      " into chipFaultPlans)");
-        ADYNA_ASSERT(ev.chip >= 0 && ev.chip < cfg_.chips,
-                     "chip_fail targets chip ", ev.chip, " of a ",
-                     cfg_.chips, "-chip pod");
+        if (ev.kind != fault::FaultKind::PayloadCorrupt)
+            ADYNA_ASSERT(ev.chip >= 0 && ev.chip < cfg_.chips,
+                         fault::faultKindName(ev.kind),
+                         " targets chip ", ev.chip, " of a ",
+                         cfg_.chips, "-chip pod");
     }
     ADYNA_ASSERT(cfg_.chipFaultPlans.empty() ||
                      cfg_.chipFaultPlans.size() ==
@@ -313,9 +387,15 @@ PodRuntime::PodRuntime(std::vector<PodWorkload> workloads,
                  " chips)");
     for (const fault::FaultPlan &plan : cfg_.chipFaultPlans)
         for (const fault::FaultEvent &ev : plan.events)
-            ADYNA_ASSERT(ev.kind != fault::FaultKind::ChipFail,
-                         "chip_fail is pod scope: put it into "
+            ADYNA_ASSERT(!fault::podScopeFault(ev.kind),
+                         fault::faultKindName(ev.kind),
+                         " is pod scope: put it into "
                          "PodConfig::faultPlan");
+    ADYNA_ASSERT(!(cfg_.reliability.hedging &&
+                   !cfg_.router.reRouteOnFailure),
+                 "hedging needs the adaptive router "
+                 "(reRouteOnFailure): static pinning has no "
+                 "next-best chip to hedge onto");
 
     // Model -> chip-group assignment. Replicated: every chip serves
     // model 0. Partitioned: contiguous groups, one chip minimum,
@@ -445,6 +525,101 @@ PodRuntime::run()
     const std::uint64_t faultSeedBase =
         cfg_.faultSeed ? cfg_.faultSeed
                        : cfg_.serve.seed ^ 0xda3e39cb94b95bdbULL;
+
+    // ---- reliability layer setup (DESIGN.md §15) -------------------
+    // Gray-failure kinds replay as stateless [start, end) spans — a
+    // chip_slow span dilates that chip's execution, link_flaky /
+    // payload_corrupt spans arm the interconnect's per-attempt fault
+    // draws — instead of entering the stateful chip_fail timeline.
+    const ReliabilityConfig &rel = cfg_.reliability;
+    constexpr Tick kForever = ~Tick{0};
+    struct SlowSpan
+    {
+        Tick start;
+        Tick end;
+        double factor;
+    };
+    std::vector<std::vector<SlowSpan>> slowSpans(
+        static_cast<std::size_t>(K));
+    bool grayActive = false;
+    {
+        std::vector<std::vector<UnreliableWindow>> flakyWin(
+            static_cast<std::size_t>(K));
+        std::vector<UnreliableWindow> corruptWin;
+        for (const fault::FaultEvent &ev : cfg_.faultPlan.events) {
+            if (ev.kind == fault::FaultKind::ChipFail)
+                continue;
+            grayActive = true;
+            const Tick end =
+                ev.duration > 0 && ev.at <= kForever - ev.duration
+                    ? ev.at + ev.duration
+                    : kForever;
+            if (ev.kind == fault::FaultKind::ChipSlow)
+                slowSpans[static_cast<std::size_t>(ev.chip)]
+                    .push_back({ev.at, end, ev.factor});
+            else if (ev.kind == fault::FaultKind::LinkFlaky)
+                flakyWin[static_cast<std::size_t>(ev.chip)]
+                    .push_back({ev.at, end, ev.factor});
+            else
+                corruptWin.push_back({ev.at, end, ev.factor});
+        }
+        for (int c = 0; c < K; ++c)
+            if (!flakyWin[static_cast<std::size_t>(c)].empty())
+                ic.setFlakyWindows(
+                    c, std::move(
+                           flakyWin[static_cast<std::size_t>(c)]));
+        if (!corruptWin.empty())
+            ic.setCorruptWindows(std::move(corruptWin));
+    }
+    ic.setChecksums(rel.checksums);
+    ic.setSeed(faultSeedBase ^ 0xa0761d6478bd642fULL);
+
+    /** Clock-dilation factor of chip @p c at tick @p t (1 = healthy;
+     * overlapping chip_slow spans take the worst). */
+    const auto slowFactorAt = [&](int c, Tick t) {
+        double f = 1.0;
+        for (const SlowSpan &sp :
+             slowSpans[static_cast<std::size_t>(c)])
+            if (t >= sp.start && t < sp.end)
+                f = std::max(f, sp.factor);
+        return f;
+    };
+
+    const bool haveBreakers = rel.breaker;
+    std::vector<CircuitBreaker> breakers;
+    if (haveBreakers)
+        breakers.assign(static_cast<std::size_t>(K),
+                        CircuitBreaker(rel.breakerCfg));
+    std::vector<std::uint64_t> sdcSeen(static_cast<std::size_t>(K),
+                                       0);
+
+    /** Feed newly checksum-detected corruptions on chip @p c's links
+     * into its breaker's SDC counter. */
+    const auto feedSdc = [&](int c, Tick t) {
+        if (!haveBreakers || !rel.checksums)
+            return;
+        const std::uint64_t seen = ic.sdcDetected(c);
+        auto &fed = sdcSeen[static_cast<std::size_t>(c)];
+        while (fed < seen) {
+            breakers[static_cast<std::size_t>(c)].recordSdc(t);
+            ++fed;
+        }
+    };
+
+    /** Hedge / timeout bookkeeping is live (outstanding table +
+     * timer heap). */
+    const bool relTracking =
+        rel.hedging || rel.timeoutDeadlineFactor > 0.0;
+    const bool relActive = relTracking || haveBreakers ||
+                           rel.checksums || grayActive;
+
+    const double deadlineTicks =
+        cfg_.serve.slo.deadlineMs * 1e-3 * hw_.tech.freqGhz * 1e9;
+    const Tick timeoutTicks =
+        rel.timeoutDeadlineFactor > 0.0
+            ? static_cast<Tick>(std::llround(
+                  rel.timeoutDeadlineFactor * deadlineTicks))
+            : 0;
 
     // ---- per-chip back-ends ----------------------------------------
     std::vector<std::unique_ptr<ChipBackend>> chips;
@@ -660,6 +835,68 @@ PodRuntime::run()
         podFaultTimeline(cfg_.faultPlan);
     std::size_t podFaultCursor = 0;
 
+    // ---- hedge / timeout state -------------------------------------
+    /** Where the (up to two) live copies of an outstanding request
+     * sit; -1 = no copy in that slot. First completion wins. */
+    struct Outstanding
+    {
+        bool done = false;
+        int chipA = -1; ///< primary copy
+        int chipB = -1; ///< hedge copy (or a re-routed second slot)
+        int copies() const
+        {
+            return (chipA >= 0 ? 1 : 0) + (chipB >= 0 ? 1 : 0);
+        }
+    };
+    std::vector<Outstanding> outs;
+    if (relTracking)
+        outs.resize(total);
+    /** Routing draw of every issued request, retained so a hedge can
+     * re-issue an identical copy. */
+    std::vector<trace::BatchRouting> routingOf;
+    if (rel.hedging)
+        routingOf.resize(total);
+    /** Pending (tick, id, kind) timers, min-heap; kind 0 = hedge
+     * trigger, 1 = timeout. */
+    using TimerEv = std::tuple<Tick, std::uint64_t, int>;
+    std::priority_queue<TimerEv, std::vector<TimerEv>,
+                        std::greater<TimerEv>>
+        timers;
+    /** Recent completed pod latencies (ticks) feeding the hedge
+     * trigger quantile. */
+    std::deque<double> latWin;
+    PodReliabilityStats relStats;
+    /** Next health-probe round (breaker heartbeat). Probes piggyback
+     * on the event loop and never extend the run: once arrivals,
+     * queues, deliveries, and timers are all exhausted the pod stops
+     * pinging too. */
+    Tick nextProbe = rel.probeIntervalCycles;
+
+    /** The hedge trigger delay for a request arriving now: the
+     * hedgeQuantile of recent completed latencies, clamped into
+     * [min, max] fractions of the SLO deadline. */
+    const auto hedgeDelayTicks = [&]() -> Tick {
+        const double lo =
+            rel.hedgeMinDeadlineFraction * deadlineTicks;
+        const double hi =
+            rel.hedgeMaxDeadlineFraction * deadlineTicks;
+        double d = hi;
+        if (!latWin.empty()) {
+            std::vector<double> tmp(latWin.begin(), latWin.end());
+            const double q =
+                std::clamp(rel.hedgeQuantile, 0.0, 1.0);
+            const auto k = static_cast<std::size_t>(
+                q * static_cast<double>(tmp.size() - 1));
+            std::nth_element(tmp.begin(),
+                             tmp.begin() +
+                                 static_cast<std::ptrdiff_t>(k),
+                             tmp.end());
+            d = tmp[k];
+        }
+        d = std::clamp(d, lo, std::max(lo, hi));
+        return static_cast<Tick>(std::llround(d));
+    };
+
     /** Route-time status snapshot of every chip. */
     const auto statuses = [&](int model, Tick now) {
         std::vector<ChipStatus> st(static_cast<std::size_t>(K));
@@ -685,6 +922,9 @@ PodRuntime::run()
             s.load = backlog + static_cast<double>(s.queued) *
                                    perRequest;
             s.installedLoadMean = b.installedLoadMean;
+            s.admittable =
+                !haveBreakers ||
+                breakers[static_cast<std::size_t>(c)].admits(now);
         }
         return st;
     };
@@ -692,11 +932,12 @@ PodRuntime::run()
     /** Deliver one routed request onto a chip over the
      * interconnect. */
     const auto deliverTo = [&](int c, serve::Request r, Tick when,
-                               bool is_reroute) {
+                               bool is_reroute, bool is_hedge) {
         ChipBackend &b = *chips[static_cast<std::size_t>(c)];
         const Tick delivered =
             ic.transfer(c, true, when, cfg_.interconnect.requestBytes,
                         PayloadClass::Request);
+        const std::uint64_t id = r.id;
         r.arrival = delivered;
         b.inflight.push_back(std::move(r));
         ++b.routed;
@@ -704,11 +945,45 @@ PodRuntime::run()
             ++b.rerouted;
             ++reroutedTotal;
         }
+        if (is_hedge)
+            ++b.hedged;
+        if (relTracking) {
+            Outstanding &o = outs[id];
+            if (is_hedge || o.chipA >= 0)
+                o.chipB = c;
+            else
+                o.chipA = c;
+        }
         if (!b.haveArrival) {
             b.firstArrival = delivered;
             b.haveArrival = true;
         }
         b.lastArrival = delivered;
+    };
+
+    /**
+     * Cancel the copy of request @p id living on chip @p c — erase
+     * it from the admission queue or the in-flight deque. False when
+     * the copy is already inside a formed batch (an executing loser:
+     * its completion is wasted work, not cancellable).
+     */
+    const auto cancelCopy = [&](std::uint64_t id, int c) {
+        ChipBackend &b = *chips[static_cast<std::size_t>(c)];
+        Outstanding &o = outs[id];
+        if (o.chipA == c)
+            o.chipA = -1;
+        else if (o.chipB == c)
+            o.chipB = -1;
+        if (b.batcher.cancel(id))
+            return true;
+        for (auto it = b.inflight.begin(); it != b.inflight.end();
+             ++it) {
+            if (it->id == id) {
+                b.inflight.erase(it);
+                return true;
+            }
+        }
+        return false;
     };
 
     /** Move every in-flight request delivered by @p up_to into the
@@ -735,19 +1010,31 @@ PodRuntime::run()
         modelOf[issued] = model;
         lastArrival = at;
         ++issued;
+        if (rel.hedging)
+            routingOf[r.id] = r.routing;
         const double sig = static_cast<double>(trace::totalDynLoad(
             *workloads_[static_cast<std::size_t>(model)].dg,
             r.routing));
         const RouteDecision dec =
             router.route(statuses(model, at), sig);
-        if (dec.chip == RouteDecision::kShed)
+        if (dec.chip == RouteDecision::kShed) {
             ++shedFront;
-        else if (chips[static_cast<std::size_t>(dec.chip)]->dark)
+            if (relTracking)
+                outs[r.id].done = true;
+        } else if (chips[static_cast<std::size_t>(dec.chip)]->dark) {
             // Static pinning dispatched onto a dark chip: the
             // request is lost (brownout, not collapse).
             ++darkChipSheds;
-        else
-            deliverTo(dec.chip, std::move(r), at, false);
+            if (relTracking)
+                outs[r.id].done = true;
+        } else {
+            const std::uint64_t id = r.id;
+            deliverTo(dec.chip, std::move(r), at, false, false);
+            if (rel.hedging)
+                timers.push({at + hedgeDelayTicks(), id, 0});
+            if (timeoutTicks > 0)
+                timers.push({at + timeoutTicks, id, 1});
+        }
         nextArrival = arrivals.next();
     };
 
@@ -774,8 +1061,21 @@ PodRuntime::run()
                 b.drained += drained.size();
                 drainedTotal += drained.size();
                 for (serve::Request &r : drained) {
+                    if (relTracking) {
+                        Outstanding &o = outs[r.id];
+                        if (o.chipA == ev.chip)
+                            o.chipA = -1;
+                        else if (o.chipB == ev.chip)
+                            o.chipB = -1;
+                        // A hedged twin still lives elsewhere: drop
+                        // this copy silently, nothing is lost.
+                        if (o.done || o.copies() > 0)
+                            continue;
+                    }
                     if (!cfg_.router.reRouteOnFailure) {
                         ++darkChipSheds;
+                        if (relTracking)
+                            outs[r.id].done = true;
                         continue;
                     }
                     const int model = modelOf[r.id];
@@ -789,11 +1089,14 @@ PodRuntime::run()
                         router.route(statuses(model, ev.at), sig);
                     if (dec.chip == RouteDecision::kShed ||
                         chips[static_cast<std::size_t>(dec.chip)]
-                            ->dark)
+                            ->dark) {
                         ++shedFront;
-                    else
+                        if (relTracking)
+                            outs[r.id].done = true;
+                    } else {
                         deliverTo(dec.chip, std::move(r), ev.at,
-                                  true);
+                                  true, false);
+                    }
                 }
             } else if (ev.recover && b.dark) {
                 b.dark = false;
@@ -916,7 +1219,20 @@ PodRuntime::run()
                 bestIdx = c;
             }
         }
-        const Tick horizon = std::min(best, nextDelivery);
+        // Drop timers of already-settled requests lazily, then fold
+        // the earliest live timer into the horizon.
+        Tick nextTimer = kNever;
+        while (!timers.empty()) {
+            const TimerEv &top = timers.top();
+            if (outs[std::get<1>(top)].done) {
+                timers.pop();
+                continue;
+            }
+            nextTimer = std::get<0>(top);
+            break;
+        }
+        const Tick horizon =
+            std::min({best, nextDelivery, nextTimer});
 
         // Route every pod arrival due by the horizon (or the next
         // arrival alone when the pod is idle — it defines the
@@ -941,6 +1257,127 @@ PodRuntime::run()
         // Pod-scope chip faults due by the horizon strike before
         // anything else moves; they change the picture, so re-pick.
         if (applyPodFaults(horizon))
+            continue;
+
+        // Health-probe rounds due by the horizon ping every chip and
+        // feed the breakers. The probe measures the chip-side service
+        // component (what a straggler dilates), not the full round
+        // trip — propagation latency would mask the dilation — and it
+        // samples the slow factor at the ping's nominal arrival
+        // (probe tick + propagation): arrivals are pipeline-routed up
+        // to the event horizon, so the FIFO ingress link can already
+        // hold future-timestamped request payloads that would push
+        // the probe's delivery tick far past the window it is meant
+        // to observe. Both transfer legs are still costed on the
+        // interconnect.
+        if (haveBreakers && nextProbe <= horizon) {
+            const Tick at = nextProbe;
+            for (int c = 0; c < K; ++c) {
+                ChipBackend &b = *chips[static_cast<std::size_t>(c)];
+                ++relStats.probes;
+                if (b.dark) {
+                    breakers[static_cast<std::size_t>(c)].recordPing(
+                        at, 0.0, false);
+                    ++relStats.probeFailures;
+                    continue;
+                }
+                const Tick in =
+                    ic.transfer(c, true, at, rel.probePayloadBytes,
+                                PayloadClass::Probe);
+                const double service =
+                    static_cast<double>(rel.probeServiceCycles) *
+                    slowFactorAt(
+                        c, at + cfg_.interconnect.latencyCycles);
+                ic.transfer(c, false,
+                            in + static_cast<Tick>(
+                                     std::llround(service)),
+                            rel.probePayloadBytes,
+                            PayloadClass::Probe);
+                feedSdc(c, at);
+                breakers[static_cast<std::size_t>(c)].recordPing(
+                    at, service, true);
+            }
+            nextProbe = at + rel.probeIntervalCycles;
+            continue;
+        }
+
+        // Hedge / timeout timers due by the horizon fire next.
+        bool firedAny = false;
+        while (!timers.empty() &&
+               std::get<0>(timers.top()) <= horizon) {
+            const auto [at, id, kind] = timers.top();
+            timers.pop();
+            Outstanding &o = outs[id];
+            if (o.done)
+                continue;
+            firedAny = true;
+            if (kind == 1) {
+                // Deadline timeout: give up on the request and
+                // cancel whatever copies have not started executing.
+                o.done = true;
+                ++relStats.timeouts;
+                if (o.chipA >= 0)
+                    cancelCopy(id, o.chipA);
+                if (o.chipB >= 0)
+                    cancelCopy(id, o.chipB);
+                continue;
+            }
+            // Hedge trigger: the request is still outstanding past
+            // the latency-percentile delay — issue one duplicate on
+            // the best other chip (idempotent: first completion
+            // wins, the loser is cancelled or discarded).
+            if (o.copies() != 1)
+                continue;
+            const int holder = o.chipA >= 0 ? o.chipA : o.chipB;
+            const int model = modelOf[id];
+            const auto st = statuses(model, at);
+            int target = -1;
+            for (int c = 0; c < K; ++c) {
+                if (c == holder)
+                    continue;
+                const ChipStatus &s =
+                    st[static_cast<std::size_t>(c)];
+                if (!s.alive || !s.servesModel || !s.admittable)
+                    continue;
+                if (cfg_.router.queueLimit != 0 &&
+                    s.queued >= cfg_.router.queueLimit)
+                    continue;
+                if (target < 0 ||
+                    s.load <
+                        st[static_cast<std::size_t>(target)].load)
+                    target = c;
+            }
+            if (target < 0)
+                continue; // nowhere to hedge onto
+            if (rel.brownout) {
+                // Graceful brownout: a hedge whose projected
+                // completion already misses the deadline is wasted
+                // interconnect + compute — account and skip it.
+                const ChipBackend &tb =
+                    *chips[static_cast<std::size_t>(target)];
+                const double perReq =
+                    tb.haveService
+                        ? tb.serviceEwma /
+                              cfg_.serve.batching.maxBatch
+                        : 0.0;
+                const double projected =
+                    static_cast<double>(at) +
+                    st[static_cast<std::size_t>(target)].load +
+                    perReq;
+                if (projected > static_cast<double>(
+                                    podArrivalOf[id]) +
+                                    deadlineTicks) {
+                    ++relStats.brownoutSheds;
+                    continue;
+                }
+            }
+            serve::Request copy;
+            copy.id = id;
+            copy.routing = routingOf[id];
+            deliverTo(target, std::move(copy), at, false, true);
+            ++relStats.hedges;
+        }
+        if (firedAny)
             continue;
 
         // Interconnect deliveries due by the horizon land next;
@@ -986,8 +1423,23 @@ PodRuntime::run()
         for (const serve::FormedBatch &fb : formed)
             routings.push_back(fb.routing);
 
-        const core::PeriodResult res = b.engine.runPeriod(
+        core::PeriodResult res = b.engine.runPeriod(
             b.chip, b.schedule, routings, &b.engineProf, best);
+        // A chip_slow span dilates the chip's clock: every cycle the
+        // engine spends between dispatch and completion stretches by
+        // the straggler factor. The dilated service then feeds the
+        // EWMA, so the router's load projections see the slowness.
+        const double sf = slowFactorAt(bestIdx, best);
+        if (sf > 1.0) {
+            const auto dilate = [&](Tick t) {
+                return best + static_cast<Tick>(std::llround(
+                                  static_cast<double>(t - best) *
+                                  sf));
+            };
+            for (Tick &t : res.batchEnds)
+                t = dilate(t);
+            res.endTime = dilate(res.endTime);
+        }
         b.engineFree = res.endTime;
         b.batches += formed.size();
         if (!res.batchEnds.empty()) {
@@ -1001,6 +1453,23 @@ PodRuntime::run()
 
         for (std::size_t bi = 0; bi < formed.size(); ++bi) {
             for (const serve::Request &r : formed[bi].requests) {
+                if (relTracking) {
+                    Outstanding &o = outs[r.id];
+                    if (o.done) {
+                        // A hedged twin (or a timeout) already
+                        // settled this request: the batch slot it
+                        // occupied is pure wasted work.
+                        ++relStats.wastedCompletions;
+                        continue;
+                    }
+                    o.done = true;
+                    if (o.chipB >= 0 && bestIdx == o.chipB)
+                        ++relStats.hedgeWins;
+                    const int other =
+                        bestIdx == o.chipA ? o.chipB : o.chipA;
+                    if (other >= 0 && cancelCopy(r.id, other))
+                        ++relStats.hedgeCancelled;
+                }
                 // The response serializes back over the chip's
                 // egress link; end-to-end latency is pod arrival to
                 // response delivery.
@@ -1008,8 +1477,17 @@ PodRuntime::run()
                     bestIdx, false, res.batchEnds[bi],
                     cfg_.interconnect.responseBytes,
                     PayloadClass::Response);
+                feedSdc(bestIdx, respTick);
                 b.slo.record(podArrivalOf[r.id], best, respTick);
                 podSlo.record(podArrivalOf[r.id], best, respTick);
+                if (rel.hedging) {
+                    latWin.push_back(static_cast<double>(
+                        respTick - podArrivalOf[r.id]));
+                    while (latWin.size() >
+                           static_cast<std::size_t>(
+                               rel.hedgeWindow))
+                        latWin.pop_front();
+                }
                 ++b.completed;
                 ++completed;
                 recordRequest(b.driftProf, *b.wl->dg, r.routing);
@@ -1041,6 +1519,20 @@ PodRuntime::run()
     report.icRequestBytes = ic.requestBytes();
     report.icResponseBytes = ic.responseBytes();
     report.icWeightBytes = ic.weightBytes();
+    report.reliabilityActive = relActive;
+    for (const CircuitBreaker &brk : breakers) {
+        relStats.breakerTrips += brk.trips();
+        relStats.breakerReopens += brk.reopens();
+        relStats.breakerCloses += brk.closes();
+    }
+    relStats.linkRetries = ic.linkRetries();
+    relStats.integrityRetries = ic.integrityRetries();
+    relStats.corruptionsInjected = ic.corruptionsInjected();
+    relStats.corruptionsDetected = ic.corruptionsDetected();
+    relStats.corruptionsUndetected = ic.corruptionsUndetected();
+    relStats.icProbeBytes = ic.probeBytes();
+    relStats.icRetryBytes = ic.retryBytes();
+    report.reliability = relStats;
     const double tickSec = 1.0 / (hw_.tech.freqGhz * 1e9);
     if (issued > 1 && lastArrival > firstArrival)
         report.offeredRps =
@@ -1128,6 +1620,8 @@ PodRuntime::run()
         cr.routed = b.routed;
         cr.rerouted = b.rerouted;
         cr.drained = b.drained;
+        cr.hedged = b.hedged;
+        cr.sdc = ic.sdcDetected(c);
         cr.serve = std::move(r);
         report.chips.push_back(std::move(cr));
     }

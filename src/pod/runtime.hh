@@ -49,6 +49,7 @@
 #include "costmodel/mapper.hh"
 #include "fault/fault.hh"
 #include "graph/dyngraph.hh"
+#include "pod/breaker.hh"
 #include "pod/interconnect.hh"
 #include "pod/router.hh"
 #include "serve/server.hh"
@@ -83,6 +84,90 @@ enum class Placement {
 /** Canonical lower-case name of a placement. */
 const char *placementName(Placement placement);
 
+/**
+ * The pod's reliability layer (DESIGN.md §15): hedged retries,
+ * per-request timeouts, per-chip circuit breakers fed by health
+ * probes, and end-to-end payload checksums. Every default leaves all
+ * simulation paths untouched, so a default-configured pod stays
+ * byte-identical to the pre-reliability runtime.
+ */
+struct ReliabilityConfig
+{
+    /** Hedge a still-incomplete request onto the next-best chip once
+     * its age crosses the latency-percentile trigger. First
+     * completion wins; the loser is cancelled (queued / in-flight)
+     * or its duplicate completion discarded (already executing). */
+    bool hedging = false;
+
+    /** Hedge when a request's age exceeds this quantile of recent
+     * completed pod latencies. */
+    double hedgeQuantile = 0.95;
+
+    /** Trigger clamps as fractions of the SLO deadline: the floor
+     * keeps cold-start hedges off the fast path, the cap guarantees
+     * the hedge fires while the deadline is still reachable. */
+    double hedgeMinDeadlineFraction = 0.25;
+    double hedgeMaxDeadlineFraction = 0.75;
+
+    /** Completed-latency window the trigger quantile reads. */
+    int hedgeWindow = 128;
+
+    /** Graceful brownout: a hedge whose projected completion (queue
+     * + interconnect + service estimate) would miss the deadline
+     * anyway is suppressed and counted instead of issued. */
+    bool brownout = true;
+
+    /** Abandon a request outstanding past this many SLO deadlines —
+     * shed-with-accounting, every copy cancelled. 0 = no timeouts. */
+    double timeoutDeadlineFactor = 0.0;
+
+    /** Per-chip circuit breaker driven by health-probe pings; an
+     * open breaker drains organically (queued work keeps executing,
+     * no new admissions) and re-admits via half-open probation. */
+    bool breaker = false;
+    BreakerConfig breakerCfg;
+
+    /** Health-probe ping cadence, cycles. */
+    Cycles probeIntervalCycles = 400'000;
+
+    /** Ping payload serialized each way on the chip's links,
+     * bytes. */
+    Bytes probePayloadBytes = 64;
+
+    /** Modeled chip-side ping service, cycles; a chip_slow straggler
+     * dilates it, which is what the breaker's latency trip sees. */
+    Cycles probeServiceCycles = 500;
+
+    /** End-to-end checksums on every interconnect transfer:
+     * detect-and-retry of corrupted payloads plus the per-chip SDC
+     * counter that can trip the breaker. */
+    bool checksums = false;
+};
+
+/** Aggregated reliability-layer counters (serialized as
+ * "router_stats" only while the layer is active). */
+struct PodReliabilityStats
+{
+    std::uint64_t hedges = 0;         ///< hedge copies issued
+    std::uint64_t hedgeWins = 0;      ///< hedge copy finished first
+    std::uint64_t hedgeCancelled = 0; ///< loser copies cancelled
+    std::uint64_t wastedCompletions = 0; ///< duplicate completions
+    std::uint64_t brownoutSheds = 0;  ///< hedges suppressed
+    std::uint64_t timeouts = 0;       ///< requests abandoned
+    std::uint64_t probes = 0;         ///< health pings issued
+    std::uint64_t probeFailures = 0;  ///< pings lost (dark chip)
+    std::uint64_t breakerTrips = 0;
+    std::uint64_t breakerReopens = 0;
+    std::uint64_t breakerCloses = 0;
+    std::uint64_t linkRetries = 0;
+    std::uint64_t integrityRetries = 0;
+    std::uint64_t corruptionsInjected = 0;
+    std::uint64_t corruptionsDetected = 0;
+    std::uint64_t corruptionsUndetected = 0;
+    Bytes icProbeBytes = 0;
+    Bytes icRetryBytes = 0;
+};
+
 /** Pod-level configuration. */
 struct PodConfig
 {
@@ -102,17 +187,21 @@ struct PodConfig
      */
     serve::ServeConfig serve;
 
-    /** Pod-scope fault timeline: chip_fail events only (see
-     * fault/fault.hh), chip indices in [0, chips). */
+    /** Pod-scope fault timeline: pod-scope kinds only (chip_fail /
+     * chip_slow / link_flaky / payload_corrupt, see fault/fault.hh),
+     * chip indices in [0, chips). */
     fault::FaultPlan faultPlan;
 
     /** Per-chip fault timelines (tile/link/probe/store-fit kinds;
-     * chip_fail is rejected here — it is pod scope). Empty, or one
-     * plan per chip. */
+     * pod-scope kinds are rejected here). Empty, or one plan per
+     * chip. */
     std::vector<fault::FaultPlan> chipFaultPlans;
 
     /** Seed for fault probe streams; 0 derives one from serve.seed. */
     std::uint64_t faultSeed = 0;
+
+    /** Hedging / breaker / checksum layer (all off by default). */
+    ReliabilityConfig reliability;
 };
 
 /** One chip's slice of the pod report. */
@@ -135,6 +224,13 @@ struct ChipResult
 
     /** Requests drained off this chip's queue when it went dark. */
     std::uint64_t drained = 0;
+
+    /** Hedge copies delivered to this chip (reliability layer). */
+    std::uint64_t hedged = 0;
+
+    /** Checksum-detected corruptions on this chip's links
+     * (reliability layer). */
+    std::uint64_t sdc = 0;
 
     /** The chip's full single-chip-equivalent serving report. */
     serve::ServeReport serve;
@@ -204,6 +300,15 @@ struct PodReport
     /** Latest response-delivery tick. */
     Tick horizonTicks = 0;
 
+    /** Reliability-layer counters; serialized (as "router_stats")
+     * only while reliabilityActive. */
+    PodReliabilityStats reliability;
+
+    /** Any reliability machinery was live this run (hedging, a
+     * breaker, checksums, or a gray-failure plan). Off keeps the
+     * JSON bytes identical to the pre-reliability report. */
+    bool reliabilityActive = false;
+
     /** Per-chip results, ordered by chip id (byte-stable JSON). */
     std::vector<ChipResult> chips;
 };
@@ -213,6 +318,12 @@ struct PodReport
  * (serve::toJson bytes) prefixed with its id / model / routing
  * counters. */
 std::string toJson(const PodReport &report);
+
+/** The pod-level router/reliability aggregate as one JSON object
+ * (fixed key order, byte-stable): front-door sheds and diverts plus
+ * every PodReliabilityStats counter. Embedded in toJson as
+ * "router_stats" while reliabilityActive. */
+std::string routerStatsJson(const PodReport &report);
 
 /** Multi-chip pod serving simulation. */
 class PodRuntime

@@ -59,6 +59,18 @@ Batcher::form(Tick now)
     return out;
 }
 
+bool
+Batcher::cancel(std::uint64_t id)
+{
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->id == id) {
+            queue_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<Request>
 Batcher::drain()
 {

@@ -96,6 +96,14 @@ class Batcher
      */
     std::vector<Request> drain();
 
+    /**
+     * Remove the queued request with @p id before it forms a batch;
+     * false when no such request is queued (it already formed,
+     * or was never here). Used by the pod's hedging layer to cancel
+     * the losing copy of a hedged request.
+     */
+    bool cancel(std::uint64_t id);
+
     std::size_t queued() const { return queue_.size(); }
 
     const BatchPolicy &policy() const { return policy_; }

@@ -174,6 +174,114 @@ TEST(FaultPlan, RandomPlanCoversChipFails)
     EXPECT_EQ(plan, parsed);
 }
 
+TEST(FaultPlan, GrayKindsRoundTripThroughStr)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(parseFaultPlan(
+        "chip_slow@100:chip=1,factor=4.5;"
+        "chip_slow@200:chip=0,factor=2,heal=5000;"
+        "link_flaky@300:chip=2,prob=0.25,heal=1000;"
+        "payload_corrupt@400:prob=0.05",
+        plan, &err))
+        << err;
+    ASSERT_EQ(plan.events.size(), 4u);
+    EXPECT_EQ(plan.events[0].kind, FaultKind::ChipSlow);
+    EXPECT_EQ(plan.events[0].chip, 1);
+    EXPECT_DOUBLE_EQ(plan.events[0].factor, 4.5);
+    EXPECT_EQ(plan.events[0].duration, 0u); // permanent
+    EXPECT_EQ(plan.events[1].duration, 5000u);
+    EXPECT_EQ(plan.events[2].kind, FaultKind::LinkFlaky);
+    EXPECT_DOUBLE_EQ(plan.events[2].factor, 0.25);
+    EXPECT_EQ(plan.events[3].kind, FaultKind::PayloadCorrupt);
+    EXPECT_DOUBLE_EQ(plan.events[3].factor, 0.05);
+
+    FaultPlan again;
+    ASSERT_TRUE(parseFaultPlan(plan.str(), again, &err)) << err;
+    EXPECT_EQ(plan, again);
+
+    EXPECT_TRUE(podScopeFault(FaultKind::ChipFail));
+    EXPECT_TRUE(podScopeFault(FaultKind::ChipSlow));
+    EXPECT_TRUE(podScopeFault(FaultKind::LinkFlaky));
+    EXPECT_TRUE(podScopeFault(FaultKind::PayloadCorrupt));
+    EXPECT_FALSE(podScopeFault(FaultKind::TileFail));
+    EXPECT_FALSE(podScopeFault(FaultKind::ProbeDrop));
+}
+
+TEST(FaultPlan, GrayKindsRejectBadRanges)
+{
+    const char *bad[] = {
+        "chip_slow@10:chip=1",              // missing factor
+        "chip_slow@10:factor=2",            // missing chip
+        "chip_slow@10:chip=1,factor=1",     // factor must be > 1
+        "chip_slow@10:chip=1,factor=0.5",   // dilation, not speedup
+        "chip_slow@10:chip=1,factor=2,prob=0.5", // stray key
+        "link_flaky@10:chip=1",             // missing prob
+        "link_flaky@10:prob=0.5",           // missing chip
+        "link_flaky@10:chip=1,prob=0",      // prob in (0,1) open
+        "link_flaky@10:chip=1,prob=1",      // p=1 never delivers
+        "payload_corrupt@10",               // missing prob
+        "payload_corrupt@10:prob=1",        // p=1 never delivers
+        "payload_corrupt@10:prob=0.5,chip=1", // fabric scope
+        "chip_slow@10:chip=1,factor=2,duration=5", // pod heal=
+    };
+    for (const char *text : bad) {
+        FaultPlan plan;
+        std::string err;
+        EXPECT_FALSE(parseFaultPlan(text, plan, &err)) << text;
+        EXPECT_FALSE(err.empty()) << text;
+    }
+}
+
+TEST(FaultPlan, RandomPlanCoversGrayKinds)
+{
+    RandomFaultConfig cfg;
+    cfg.tileFails = 0;
+    cfg.linkDowns = 0;
+    cfg.linkDegrades = 0;
+    cfg.probeDropWindows = 0;
+    cfg.chipSlows = 3;
+    cfg.linkFlakies = 2;
+    cfg.payloadCorrupts = 2;
+    cfg.podChips = 4;
+    cfg.transientFraction = 1.0; // force bounded windows
+    const FaultPlan plan = randomFaultPlan(cfg, 13);
+    EXPECT_EQ(plan.events.size(), 7u);
+    int slows = 0, flakies = 0, corrupts = 0;
+    for (const FaultEvent &e : plan.events) {
+        switch (e.kind) {
+          case FaultKind::ChipSlow:
+            ++slows;
+            EXPECT_GT(e.factor, 1.0);
+            EXPECT_GE(e.chip, 0);
+            EXPECT_LT(e.chip, cfg.podChips);
+            break;
+          case FaultKind::LinkFlaky:
+            ++flakies;
+            EXPECT_GT(e.factor, 0.0);
+            EXPECT_LT(e.factor, 1.0);
+            EXPECT_GE(e.chip, 0);
+            EXPECT_LT(e.chip, cfg.podChips);
+            break;
+          case FaultKind::PayloadCorrupt:
+            ++corrupts;
+            EXPECT_GT(e.factor, 0.0);
+            EXPECT_LT(e.factor, 1.0);
+            break;
+          default:
+            ADD_FAILURE() << "unexpected kind in gray plan";
+        }
+        EXPECT_GT(e.duration, 0u); // all transient windows
+    }
+    EXPECT_EQ(slows, 3);
+    EXPECT_EQ(flakies, 2);
+    EXPECT_EQ(corrupts, 2);
+    FaultPlan parsed;
+    std::string err;
+    ASSERT_TRUE(parseFaultPlan(plan.str(), parsed, &err)) << err;
+    EXPECT_EQ(plan, parsed);
+}
+
 // ------------------------------------------------------ Chip faults
 
 TEST(ChipFault, HealthyMaskTracksFailuresAndRecoveries)

@@ -147,6 +147,9 @@ TEST_P(FaultFuzz, ParserSurvivesMutatedValidPlans)
     cfg.probeDropWindows = 1;
     cfg.storeFitWindows = 1;
     cfg.chipFails = 1;
+    cfg.chipSlows = 1;
+    cfg.linkFlakies = 1;
+    cfg.payloadCorrupts = 1;
     const fault::FaultPlan seedPlan =
         fault::randomFaultPlan(cfg, GetParam());
     const std::string valid = seedPlan.str();

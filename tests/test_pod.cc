@@ -21,6 +21,7 @@
 #include "graph/parser.hh"
 #include "kernels/store_cache.hh"
 #include "models/models.hh"
+#include "pod/breaker.hh"
 #include "pod/interconnect.hh"
 #include "pod/router.hh"
 #include "pod/runtime.hh"
@@ -212,6 +213,190 @@ TEST(Interconnect, CountsBytesPerClass)
     EXPECT_EQ(fab.responseBytes(), Bytes{2048});
     EXPECT_EQ(fab.weightBytes(), Bytes{1 << 20});
     EXPECT_EQ(fab.transfers(), 3u);
+}
+
+// -------------------------------------------------- CircuitBreaker
+
+/** Calibrate a breaker with @p n healthy pings of @p service. */
+void
+calibrate(CircuitBreaker &brk, int n, double service, Tick &now)
+{
+    for (int i = 0; i < n; ++i)
+        brk.recordPing(now += 1000, service, true);
+}
+
+TEST(Breaker, ClosedToOpenToHalfOpenToClosed)
+{
+    BreakerConfig cfg;
+    cfg.latencyTripFactor = 3.0;
+    cfg.calibrationPings = 3;
+    cfg.ewmaAlpha = 0.4;
+    cfg.openCycles = 10'000;
+    cfg.halfOpenSuccesses = 2;
+    CircuitBreaker brk(cfg);
+    Tick now = 0;
+
+    // Healthy calibration: baseline 500, breaker stays closed.
+    calibrate(brk, 3, 500.0, now);
+    EXPECT_EQ(brk.state(), BreakerState::Closed);
+    EXPECT_DOUBLE_EQ(brk.baseline(), 500.0);
+    EXPECT_TRUE(brk.admits(now));
+
+    // A straggler dilates the ping service 6x: the EWMA crosses
+    // 3x baseline within a few pings and the breaker trips.
+    while (brk.state() == BreakerState::Closed)
+        brk.recordPing(now += 1000, 3000.0, true);
+    EXPECT_EQ(brk.state(), BreakerState::Open);
+    EXPECT_EQ(brk.trips(), 1u);
+    EXPECT_FALSE(brk.admits(now));
+
+    // Open drains for openCycles, then the next query is probation.
+    EXPECT_FALSE(brk.admits(now + cfg.openCycles - 1));
+    EXPECT_TRUE(brk.admits(now + cfg.openCycles));
+    EXPECT_EQ(brk.state(), BreakerState::HalfOpen);
+
+    // Two healthy probes re-close (instantaneous samples, not the
+    // still-poisoned EWMA).
+    now += cfg.openCycles;
+    brk.recordPing(now += 1000, 500.0, true);
+    EXPECT_EQ(brk.state(), BreakerState::HalfOpen);
+    brk.recordPing(now += 1000, 500.0, true);
+    EXPECT_EQ(brk.state(), BreakerState::Closed);
+    EXPECT_EQ(brk.closes(), 1u);
+    EXPECT_TRUE(brk.admits(now));
+}
+
+TEST(Breaker, HalfOpenFailureReopens)
+{
+    BreakerConfig cfg;
+    cfg.calibrationPings = 1;
+    cfg.errorTrip = 2;
+    cfg.openCycles = 10'000;
+    CircuitBreaker brk(cfg);
+    Tick now = 0;
+    calibrate(brk, 1, 500.0, now);
+
+    // Two consecutive lost probes trip the error counter.
+    brk.recordPing(now += 1000, 0.0, false);
+    EXPECT_EQ(brk.state(), BreakerState::Closed);
+    brk.recordPing(now += 1000, 0.0, false);
+    EXPECT_EQ(brk.state(), BreakerState::Open);
+    EXPECT_EQ(brk.trips(), 1u);
+
+    // Probation fails on a still-slow probe: straight back to Open,
+    // counted as a reopen, and the cooldown restarts.
+    now += cfg.openCycles;
+    brk.recordPing(now, 5000.0, true);
+    EXPECT_EQ(brk.state(), BreakerState::Open);
+    EXPECT_EQ(brk.reopens(), 1u);
+    EXPECT_FALSE(brk.admits(now + cfg.openCycles - 1));
+
+    // A lost probe during probation also re-opens.
+    now += cfg.openCycles;
+    EXPECT_TRUE(brk.admits(now));
+    brk.recordPing(now, 0.0, false);
+    EXPECT_EQ(brk.state(), BreakerState::Open);
+    EXPECT_EQ(brk.reopens(), 2u);
+}
+
+TEST(Breaker, SdcDetectionsTripAndResetOnClose)
+{
+    BreakerConfig cfg;
+    cfg.calibrationPings = 1;
+    cfg.sdcTrip = 3;
+    cfg.openCycles = 10'000;
+    cfg.halfOpenSuccesses = 1;
+    CircuitBreaker brk(cfg);
+    Tick now = 0;
+    calibrate(brk, 1, 500.0, now);
+
+    brk.recordSdc(now += 100);
+    brk.recordSdc(now += 100);
+    EXPECT_EQ(brk.state(), BreakerState::Closed);
+    brk.recordSdc(now += 100);
+    EXPECT_EQ(brk.state(), BreakerState::Open);
+    EXPECT_EQ(brk.trips(), 1u);
+
+    // Close via probation; the SDC counter starts over.
+    now += cfg.openCycles;
+    EXPECT_TRUE(brk.admits(now));
+    brk.recordPing(now += 100, 500.0, true);
+    EXPECT_EQ(brk.state(), BreakerState::Closed);
+    brk.recordSdc(now += 100);
+    brk.recordSdc(now += 100);
+    EXPECT_EQ(brk.state(), BreakerState::Closed);
+    brk.recordSdc(now += 100);
+    EXPECT_EQ(brk.state(), BreakerState::Open);
+}
+
+// -------------------------------------- Interconnect gray failures
+
+TEST(Interconnect, ChecksumsDetectAndRetryEveryCorruption)
+{
+    InterconnectConfig ic;
+    ic.bytesPerCycle = 48.0;
+    ic.latencyCycles = 100;
+    Interconnect fab(ic, 2);
+    fab.setSeed(42);
+    fab.setChecksums(true);
+    fab.setCorruptWindows({{0, ~Tick{0}, 0.5}});
+
+    Tick clean = 0;
+    for (int i = 0; i < 200; ++i)
+        clean = fab.transfer(0, true, clean, 4800,
+                             PayloadClass::Request);
+    EXPECT_GT(fab.corruptionsInjected(), 0u);
+    EXPECT_EQ(fab.corruptionsDetected(), fab.corruptionsInjected());
+    EXPECT_EQ(fab.corruptionsUndetected(), 0u);
+    EXPECT_EQ(fab.integrityRetries(), fab.corruptionsDetected());
+    EXPECT_EQ(fab.sdcDetected(0), fab.corruptionsDetected());
+    EXPECT_EQ(fab.sdcDetected(1), 0u);
+    // Every retry re-serializes the payload on the FIFO link.
+    EXPECT_EQ(fab.retryBytes(),
+              Bytes{4800} * fab.integrityRetries());
+    EXPECT_GT(clean,
+              Tick{200 * 100} + Tick{200 * 100}); // dilated by retries
+}
+
+TEST(Interconnect, WithoutChecksumsCorruptionIsSilent)
+{
+    Interconnect fab({}, 1);
+    fab.setSeed(42);
+    fab.setCorruptWindows({{0, ~Tick{0}, 0.5}});
+    for (int i = 0; i < 100; ++i)
+        fab.transfer(0, true, 0, 4096, PayloadClass::Request);
+    EXPECT_GT(fab.corruptionsInjected(), 0u);
+    EXPECT_EQ(fab.corruptionsUndetected(), fab.corruptionsInjected());
+    EXPECT_EQ(fab.corruptionsDetected(), 0u);
+    EXPECT_EQ(fab.retryBytes(), Bytes{0});
+    EXPECT_EQ(fab.sdcDetected(0), 0u);
+}
+
+TEST(Interconnect, FlakyWindowRetransmitsInsideWindowOnly)
+{
+    InterconnectConfig ic;
+    ic.bytesPerCycle = 48.0;
+    ic.latencyCycles = 0;
+    Interconnect fab(ic, 2);
+    fab.setSeed(7);
+    fab.setFlakyWindows(0, {{1000, 2000, 0.5}});
+
+    // Outside the window: no RNG draws, exact clean delivery.
+    EXPECT_EQ(fab.transfer(0, true, 0, 4800, PayloadClass::Request),
+              Tick{100});
+    EXPECT_EQ(fab.linkRetries(), 0u);
+
+    // Inside: ~half the attempts are lost and retransmitted.
+    for (int i = 0; i < 100; ++i)
+        fab.transfer(0, true, 1000, 48, PayloadClass::Request);
+    EXPECT_GT(fab.linkRetries(), 0u);
+    EXPECT_EQ(fab.retryBytes(), Bytes{48} * fab.linkRetries());
+    // Chip 1's links are clean: exact delivery, no new retries.
+    const std::uint64_t before = fab.linkRetries();
+    EXPECT_EQ(fab.transfer(1, true, 1500, 4800,
+                           PayloadClass::Request),
+              Tick{1600});
+    EXPECT_EQ(fab.linkRetries(), before);
 }
 
 // ----------------------------------------------------- PodRuntime
@@ -434,6 +619,118 @@ TEST(PodRuntime, PartitionedPlacementRoutesByModel)
         EXPECT_GT(c.serve.requests, 0u);
     }
     EXPECT_EQ(r.requests + r.shedRequests, 240u);
+}
+
+TEST(PodRuntime, HedgeDedupCompletesExactlyOnce)
+{
+    PodConfig pc;
+    pc.chips = 2;
+    pc.serve = smokeServeConfig(11, 240);
+    // Fast fabric: the bring-up weight stream clears the ingress
+    // links early, so deliveries (and hedge ages) track arrivals.
+    pc.interconnect.bytesPerCycle = 4800.0;
+    pc.reliability.hedging = true;
+    // Fire hedges at 2-10% of the 1 ms deadline: far below the x8
+    // straggler's service time, so stuck requests always hedge.
+    pc.reliability.hedgeMinDeadlineFraction = 0.02;
+    pc.reliability.hedgeMaxDeadlineFraction = 0.1;
+    pc.faultPlan = fault::parseFaultPlanOrDie(
+        "chip_slow@0:chip=1,factor=8");
+    const PodReport r = skipnetPod(pc);
+
+    EXPECT_TRUE(r.reliabilityActive);
+    const PodReliabilityStats &s = r.reliability;
+    EXPECT_GT(s.hedges, 0u);
+    // Exactly-once accounting: every hedge's losing copy is either
+    // cancelled (queued / in-flight) or finishes as a discarded
+    // duplicate — never both, never neither.
+    EXPECT_EQ(s.hedgeCancelled + s.wastedCompletions, s.hedges);
+    EXPECT_LE(s.hedgeWins, s.hedges);
+    // Each pod arrival completes exactly once despite duplication.
+    EXPECT_EQ(r.requests + r.shedRequests, 240u);
+    ASSERT_EQ(r.chips.size(), 2u);
+    EXPECT_EQ(r.chips[0].hedged + r.chips[1].hedged, s.hedges);
+
+    // Hedged runs replay deterministically, and the reliability
+    // aggregate is serialized.
+    const PodReport again = skipnetPod(pc);
+    EXPECT_EQ(toJson(r), toJson(again));
+    EXPECT_NE(toJson(r).find("\"router_stats\""), std::string::npos);
+    EXPECT_NE(routerStatsJson(r).find("\"hedges\""),
+              std::string::npos);
+}
+
+TEST(PodRuntime, BreakerTripsOnStragglerThenRecloses)
+{
+    PodConfig pc;
+    pc.chips = 2;
+    pc.serve = smokeServeConfig(13, 240);
+    pc.reliability.breaker = true;
+    // Fast fabric (see above): probes measure the chip promptly
+    // instead of queueing behind the bring-up weight stream.
+    pc.interconnect.bytesPerCycle = 4800.0;
+    // The smoke horizon is ~500k ticks, so probe and cool down far
+    // faster than the serving-scale defaults.
+    pc.reliability.probeIntervalCycles = 20'000;
+    pc.reliability.breakerCfg.openCycles = 50'000;
+    // Slow window [100k, 300k): calibration finishes before it, the
+    // EWMA trips inside it, and probation passes after it heals.
+    pc.faultPlan = fault::parseFaultPlanOrDie(
+        "chip_slow@100000:chip=1,factor=8,heal=200000");
+    const PodReport r = skipnetPod(pc);
+
+    EXPECT_TRUE(r.reliabilityActive);
+    const PodReliabilityStats &s = r.reliability;
+    EXPECT_GT(s.probes, 0u);
+    EXPECT_EQ(s.probeFailures, 0u); // slow, never dark
+    EXPECT_GE(s.breakerTrips, 1u);
+    EXPECT_GE(s.breakerCloses, 1u) << routerStatsJson(r)
+                                   << " horizon=" << r.horizonTicks;
+    // An open breaker drains organically: nothing is lost to it.
+    EXPECT_EQ(r.requests + r.shedRequests, 240u);
+    EXPECT_GT(s.icProbeBytes, Bytes{0});
+}
+
+TEST(PodRuntime, ChecksumsCatchEveryPodCorruption)
+{
+    PodConfig pc;
+    pc.chips = 2;
+    pc.serve = smokeServeConfig(17, 160);
+    pc.reliability.checksums = true;
+    pc.faultPlan =
+        fault::parseFaultPlanOrDie("payload_corrupt@0:prob=0.2");
+    const PodReport r = skipnetPod(pc);
+
+    EXPECT_TRUE(r.reliabilityActive);
+    const PodReliabilityStats &s = r.reliability;
+    EXPECT_GT(s.corruptionsInjected, 0u);
+    EXPECT_EQ(s.corruptionsDetected, s.corruptionsInjected);
+    EXPECT_EQ(s.corruptionsUndetected, 0u);
+    EXPECT_EQ(s.integrityRetries, s.corruptionsDetected);
+    EXPECT_GT(s.icRetryBytes, Bytes{0});
+    // The SDC counters attribute each detection to a chip.
+    ASSERT_EQ(r.chips.size(), 2u);
+    EXPECT_EQ(r.chips[0].sdc + r.chips[1].sdc,
+              s.corruptionsDetected);
+    // Detect-and-retry delivers everything: corruption costs
+    // latency, not requests.
+    EXPECT_EQ(r.requests + r.shedRequests, 160u);
+}
+
+TEST(PodRuntime, DefaultPodReportHasNoReliabilityJson)
+{
+    PodConfig pc;
+    pc.chips = 2;
+    pc.serve = smokeServeConfig(19, 120);
+    const PodReport r = skipnetPod(pc);
+
+    // All reliability defaults off: the report says so and the JSON
+    // keeps the pre-reliability byte layout.
+    EXPECT_FALSE(r.reliabilityActive);
+    const std::string json = toJson(r);
+    EXPECT_EQ(json.find("router_stats"), std::string::npos);
+    EXPECT_EQ(json.find("hedged"), std::string::npos);
+    EXPECT_EQ(json.find("\"sdc\""), std::string::npos);
 }
 
 TEST(PodRuntime, RoundRobinSpreadsArrivalsEvenly)

@@ -185,6 +185,34 @@ TEST(Batcher, PartialBatchFormsAtMaxWait)
     EXPECT_EQ(b.nextFormTick(), Batcher::kNever);
 }
 
+TEST(Batcher, CancelRemovesQueuedRequestById)
+{
+    Batcher b(BatchPolicy{8, 500});
+    b.enqueue({0, 100, {}});
+    b.enqueue({1, 140, {}});
+    b.enqueue({2, 180, {}});
+
+    // Cancelling a queued id (a hedge loser) removes exactly it.
+    EXPECT_TRUE(b.cancel(1));
+    EXPECT_EQ(b.queued(), 2u);
+    EXPECT_FALSE(b.cancel(1)); // already gone
+    EXPECT_FALSE(b.cancel(99)); // never enqueued
+    EXPECT_EQ(b.queued(), 2u);
+
+    FormedBatch f = b.form(b.nextFormTick());
+    ASSERT_EQ(f.requests.size(), 2u);
+    EXPECT_EQ(f.requests[0].id, 0u);
+    EXPECT_EQ(f.requests[1].id, 2u);
+
+    // Cancelling the head recomputes the form tick from the new
+    // oldest arrival.
+    b.enqueue({3, 1000, {}});
+    b.enqueue({4, 1300, {}});
+    EXPECT_EQ(b.nextFormTick(), Tick{1500});
+    EXPECT_TRUE(b.cancel(3));
+    EXPECT_EQ(b.nextFormTick(), Tick{1800});
+}
+
 TEST(Batcher, MergedRoutingSumsPerRequestDraws)
 {
     models::ModelBundle bundle = models::buildByName("skipnet", 4);
